@@ -1,0 +1,316 @@
+//! Degradation-coefficient characterisation against the analog reference.
+//!
+//! The paper's flow obtains the DDM constants `A`, `B`, `C` (eq. 2–3) by
+//! fitting electrical-simulation measurements of each cell.  This module
+//! reproduces that bring-up step using the workspace's own analog reference:
+//!
+//! 1. [`measure_step_delays`] — sweep the output load and measure the
+//!    isolated-step propagation delay of a cell (used to sanity-check the
+//!    nominal model),
+//! 2. [`measure_degradation`] — apply pulse pairs with a decreasing gap `T`
+//!    and measure the *degraded* delay of the second transition, producing
+//!    `(T, tp/tp0)` curves,
+//! 3. [`fit_tau`] — fit the exponential of eq. 1 to those curves and return
+//!    the effective time constant, which can then be compared against (or
+//!    used to build) the library's [`DegradationCoeffs`].
+//!
+//! [`DegradationCoeffs`]: halotis_delay::DegradationCoeffs
+
+use halotis_core::{LogicLevel, Time, TimeDelta};
+use halotis_netlist::{CellKind, Library, NetlistBuilder};
+use halotis_waveform::Stimulus;
+
+use crate::config::AnalogConfig;
+use crate::engine::{AnalogError, AnalogSimulator};
+
+/// One isolated-step delay measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepDelaySample {
+    /// Number of identical inverter loads attached to the output.
+    pub fanout: usize,
+    /// Measured 50 %-to-50 % propagation delay.
+    pub delay: TimeDelta,
+}
+
+/// One degradation measurement: the second edge of a pulse pair arriving
+/// `elapsed` after the first produced a delay `degraded`, against the
+/// isolated-step delay `nominal`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationSample {
+    /// Time between the two output excitations, `T` in eq. 1.
+    pub elapsed: TimeDelta,
+    /// The degraded delay of the second transition.
+    pub degraded: TimeDelta,
+    /// The isolated (nominal) delay measured on the same setup.
+    pub nominal: TimeDelta,
+}
+
+impl DegradationSample {
+    /// The attenuation factor `tp / tp0` in `[0, 1]`.
+    pub fn factor(&self) -> f64 {
+        if self.nominal.is_zero() {
+            return 1.0;
+        }
+        (self.degraded.as_fs() as f64 / self.nominal.as_fs() as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Builds a device-under-test netlist: one inverter driving `fanout`
+/// inverter loads.
+fn dut(fanout: usize) -> halotis_netlist::Netlist {
+    let mut builder = NetlistBuilder::new(format!("dut_inv_f{fanout}"));
+    let input = builder.add_input("in");
+    let out = builder.add_net("out");
+    builder
+        .add_gate(CellKind::Inv, "dut", &[input], out)
+        .expect("dut gate is valid");
+    builder.mark_output(out);
+    for index in 0..fanout {
+        let sink = builder.add_net(format!("sink{index}"));
+        builder
+            .add_gate(CellKind::Inv, format!("load{index}"), &[out], sink)
+            .expect("load gate is valid");
+        builder.mark_output(sink);
+    }
+    builder.build().expect("dut netlist is valid")
+}
+
+fn falling_input_step(library: &Library, at: Time) -> Stimulus {
+    let mut stimulus = Stimulus::new(library.default_input_slew());
+    stimulus.set_initial("in", LogicLevel::Low);
+    stimulus.drive("in", at, LogicLevel::High);
+    stimulus
+}
+
+fn measure_output_delay(
+    library: &Library,
+    netlist: &halotis_netlist::Netlist,
+    stimulus: &Stimulus,
+    input_edge_index: usize,
+    output_edge_index: usize,
+    end: Time,
+) -> Result<Option<TimeDelta>, AnalogError> {
+    let result = AnalogSimulator::new(netlist, library).run(
+        stimulus,
+        &AnalogConfig::default()
+            .with_time_step(TimeDelta::from_ps(1.0))
+            .with_end_time(end),
+    )?;
+    let input = result.ideal_waveform("in").expect("in exists");
+    let output = result.ideal_waveform("out").expect("out exists");
+    let input_edge = input.changes().get(input_edge_index).map(|&(t, _)| t);
+    let output_edge = output.changes().get(output_edge_index).map(|&(t, _)| t);
+    Ok(match (input_edge, output_edge) {
+        (Some(i), Some(o)) if o > i => Some(o - i),
+        _ => None,
+    })
+}
+
+/// Measures the isolated-step delay of an inverter for each fanout in
+/// `fanouts`.
+///
+/// # Errors
+///
+/// Propagates analog-simulation errors.
+pub fn measure_step_delays(
+    library: &Library,
+    fanouts: &[usize],
+) -> Result<Vec<StepDelaySample>, AnalogError> {
+    let mut samples = Vec::with_capacity(fanouts.len());
+    for &fanout in fanouts {
+        let netlist = dut(fanout);
+        let stimulus = falling_input_step(library, Time::from_ns(1.0));
+        let delay = measure_output_delay(
+            library,
+            &netlist,
+            &stimulus,
+            0,
+            0,
+            Time::from_ns(5.0),
+        )?
+        .unwrap_or(TimeDelta::ZERO);
+        samples.push(StepDelaySample { fanout, delay });
+    }
+    Ok(samples)
+}
+
+/// Measures degradation: the input makes a rising edge at 1 ns and a falling
+/// edge `gap` later, so the output (an inverter) is re-excited after roughly
+/// `T = gap`.  The delay of the second output transition is compared against
+/// the delay measured with a very large gap.
+///
+/// # Errors
+///
+/// Propagates analog-simulation errors.
+pub fn measure_degradation(
+    library: &Library,
+    fanout: usize,
+    gaps: &[TimeDelta],
+) -> Result<Vec<DegradationSample>, AnalogError> {
+    let netlist = dut(fanout);
+    // Nominal: second edge far away from the first.
+    let nominal = {
+        let mut stimulus = falling_input_step(library, Time::from_ns(1.0));
+        stimulus.drive("in", Time::from_ns(6.0), LogicLevel::Low);
+        measure_output_delay(
+            library,
+            &netlist,
+            &stimulus,
+            1,
+            1,
+            Time::from_ns(10.0),
+        )?
+        .unwrap_or(TimeDelta::ZERO)
+    };
+    let mut samples = Vec::with_capacity(gaps.len());
+    for &gap in gaps {
+        let mut stimulus = falling_input_step(library, Time::from_ns(1.0));
+        stimulus.drive("in", Time::from_ns(1.0) + gap, LogicLevel::Low);
+        let degraded = measure_output_delay(
+            library,
+            &netlist,
+            &stimulus,
+            1,
+            1,
+            Time::from_ns(10.0),
+        )?;
+        if let Some(degraded) = degraded {
+            samples.push(DegradationSample {
+                elapsed: gap,
+                degraded,
+                nominal,
+            });
+        }
+    }
+    Ok(samples)
+}
+
+/// Fits the eq. 1 exponential `factor = 1 - exp(-(T - T0)/tau)` to measured
+/// degradation samples by a least-squares over the linearised form
+/// `-ln(1 - factor) = (T - T0)/tau`, returning `(tau, t_zero)`.
+///
+/// Returns `None` when fewer than two usable samples exist (factors of
+/// exactly 1 carry no information about `tau`).
+pub fn fit_tau(samples: &[DegradationSample]) -> Option<(TimeDelta, TimeDelta)> {
+    let points: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|sample| sample.factor() < 0.999 && sample.factor() > 0.001)
+        .map(|sample| {
+            let y = -(1.0 - sample.factor()).ln();
+            (sample.elapsed.as_ps(), y)
+        })
+        .collect();
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denominator = n * sxx - sx * sx;
+    if denominator.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denominator;
+    let intercept = (sy - slope * sx) / n;
+    if slope <= 0.0 {
+        return None;
+    }
+    let tau_ps = 1.0 / slope;
+    let t_zero_ps = (-intercept / slope).max(0.0);
+    Some((TimeDelta::from_ps(tau_ps), TimeDelta::from_ps(t_zero_ps)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_netlist::technology;
+
+    #[test]
+    fn step_delay_grows_with_fanout() {
+        let library = technology::cmos06();
+        let samples = measure_step_delays(&library, &[1, 4, 8]).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert!(samples[0].delay > TimeDelta::ZERO);
+        assert!(
+            samples[2].delay > samples[0].delay,
+            "fanout 8 ({}) not slower than fanout 1 ({})",
+            samples[2].delay,
+            samples[0].delay
+        );
+    }
+
+    #[test]
+    fn degradation_factor_shrinks_for_tight_pulses() {
+        let library = technology::cmos06();
+        let gaps: Vec<TimeDelta> = [250.0, 400.0, 800.0, 2000.0]
+            .iter()
+            .map(|&ps| TimeDelta::from_ps(ps))
+            .collect();
+        let samples = measure_degradation(&library, 2, &gaps).unwrap();
+        assert!(samples.len() >= 2, "too few usable samples: {samples:?}");
+        // The widest gap is essentially undegraded; the tightest usable gap
+        // shows a clearly reduced factor.
+        let first = samples.first().unwrap();
+        let last = samples.last().unwrap();
+        assert!(last.factor() > 0.9, "wide-gap factor {}", last.factor());
+        assert!(
+            first.factor() < last.factor() + 1e-9,
+            "factors not monotone: {} vs {}",
+            first.factor(),
+            last.factor()
+        );
+    }
+
+    #[test]
+    fn fitted_tau_is_on_the_order_of_the_gate_delay() {
+        let library = technology::cmos06();
+        let gaps: Vec<TimeDelta> = (1..=8)
+            .map(|i| TimeDelta::from_ps(200.0 + 150.0 * i as f64))
+            .collect();
+        let samples = measure_degradation(&library, 2, &gaps).unwrap();
+        if let Some((tau, t_zero)) = fit_tau(&samples) {
+            assert!(
+                tau > TimeDelta::from_ps(30.0) && tau < TimeDelta::from_ns(3.0),
+                "implausible tau {tau}"
+            );
+            assert!(t_zero < TimeDelta::from_ns(1.5), "implausible T0 {t_zero}");
+        } else {
+            // All measured factors were ~1 (no degradation observed): that is
+            // only acceptable if even the tightest gap is generous compared
+            // with the gate delay, which is not the case here.
+            panic!("degradation fit found no usable samples: {samples:?}");
+        }
+    }
+
+    #[test]
+    fn fit_tau_rejects_degenerate_inputs() {
+        assert_eq!(fit_tau(&[]), None);
+        let flat = vec![
+            DegradationSample {
+                elapsed: TimeDelta::from_ps(100.0),
+                degraded: TimeDelta::from_ps(200.0),
+                nominal: TimeDelta::from_ps(200.0),
+            };
+            3
+        ];
+        assert_eq!(fit_tau(&flat), None);
+    }
+
+    #[test]
+    fn sample_factor_is_clamped() {
+        let sample = DegradationSample {
+            elapsed: TimeDelta::from_ps(100.0),
+            degraded: TimeDelta::from_ps(300.0),
+            nominal: TimeDelta::from_ps(200.0),
+        };
+        assert_eq!(sample.factor(), 1.0);
+        let zero_nominal = DegradationSample {
+            elapsed: TimeDelta::from_ps(100.0),
+            degraded: TimeDelta::from_ps(300.0),
+            nominal: TimeDelta::ZERO,
+        };
+        assert_eq!(zero_nominal.factor(), 1.0);
+    }
+}

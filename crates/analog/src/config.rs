@@ -1,0 +1,89 @@
+//! Analog-simulation configuration.
+
+use halotis_core::{Time, TimeDelta};
+
+/// Knobs of the fixed-step analog integrator.
+///
+/// # Example
+///
+/// ```
+/// use halotis_analog::AnalogConfig;
+/// use halotis_core::{Time, TimeDelta};
+///
+/// let config = AnalogConfig::default()
+///     .with_time_step(TimeDelta::from_ps(2.0))
+///     .with_end_time(Time::from_ns(25.0));
+/// assert_eq!(config.time_step, TimeDelta::from_ps(2.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalogConfig {
+    /// Integration step.  Must be well below the fastest gate time constant
+    /// (the default 1 ps is ~100× smaller than the synthetic 0.6 µm gate
+    /// delays).
+    pub time_step: TimeDelta,
+    /// End of the simulated window.  When `None`, the engine runs until the
+    /// last stimulus edge plus a settle margin.
+    pub end_time: Option<Time>,
+    /// Extra quiet time appended after the last stimulus edge when no
+    /// explicit end time is given.
+    pub settle_margin: TimeDelta,
+    /// Record one voltage sample every this many integration steps (1 =
+    /// every step).  Decimation keeps waveform memory reasonable on long
+    /// runs without affecting the integration itself.
+    pub record_every: usize,
+}
+
+impl AnalogConfig {
+    /// Replaces the integration step.
+    pub fn with_time_step(mut self, step: TimeDelta) -> Self {
+        self.time_step = step.max(TimeDelta::from_fs(1));
+        self
+    }
+
+    /// Replaces the end time.
+    pub fn with_end_time(mut self, end: Time) -> Self {
+        self.end_time = Some(end);
+        self
+    }
+
+    /// Replaces the sample decimation factor.
+    pub fn with_record_every(mut self, every: usize) -> Self {
+        self.record_every = every.max(1);
+        self
+    }
+}
+
+impl Default for AnalogConfig {
+    fn default() -> Self {
+        AnalogConfig {
+            time_step: TimeDelta::from_ps(1.0),
+            end_time: None,
+            settle_margin: TimeDelta::from_ns(5.0),
+            record_every: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let config = AnalogConfig::default();
+        assert_eq!(config.time_step, TimeDelta::from_ps(1.0));
+        assert!(config.end_time.is_none());
+        assert!(config.record_every >= 1);
+    }
+
+    #[test]
+    fn builders_clamp_degenerate_values() {
+        let config = AnalogConfig::default()
+            .with_time_step(TimeDelta::ZERO)
+            .with_record_every(0)
+            .with_end_time(Time::from_ns(10.0));
+        assert!(config.time_step > TimeDelta::ZERO);
+        assert_eq!(config.record_every, 1);
+        assert_eq!(config.end_time, Some(Time::from_ns(10.0)));
+    }
+}

@@ -1,0 +1,381 @@
+//! Fixed-step integration engine.
+
+use std::fmt;
+use std::time::Instant;
+
+use halotis_core::{LogicLevel, Time, Voltage};
+use halotis_delay::PinTiming;
+use halotis_netlist::eval;
+use halotis_netlist::library::LibraryError;
+use halotis_netlist::{Library, Netlist};
+use halotis_waveform::{AnalogWaveform, DigitalWaveform, Stimulus, Trace};
+
+use crate::config::AnalogConfig;
+use crate::model;
+use crate::result::AnalogResult;
+
+/// Errors that can abort an analog run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    /// A gate uses a cell kind the library does not characterise.
+    Library(LibraryError),
+    /// A primary input has no stimulus.
+    UndrivenPrimaryInput {
+        /// The net name.
+        net: String,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::Library(err) => write!(f, "library error: {err}"),
+            AnalogError::UndrivenPrimaryInput { net } => {
+                write!(f, "primary input {net} has no stimulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalogError {}
+
+impl From<LibraryError> for AnalogError {
+    fn from(err: LibraryError) -> Self {
+        AnalogError::Library(err)
+    }
+}
+
+/// The behavioural analog simulator.
+///
+/// # Example
+///
+/// ```
+/// use halotis_analog::{AnalogConfig, AnalogSimulator};
+/// use halotis_core::{LogicLevel, Time};
+/// use halotis_netlist::{generators, technology};
+/// use halotis_waveform::Stimulus;
+///
+/// let netlist = generators::inverter_chain(2);
+/// let library = technology::cmos06();
+/// let mut stimulus = Stimulus::new(library.default_input_slew());
+/// stimulus.set_initial("in", LogicLevel::Low);
+/// stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+/// let simulator = AnalogSimulator::new(&netlist, &library);
+/// let result = simulator.run(&stimulus, &AnalogConfig::default())?;
+/// assert_eq!(result.ideal_waveform("out").unwrap().final_level(), LogicLevel::High);
+/// # Ok::<(), halotis_analog::engine::AnalogError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AnalogSimulator<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+}
+
+/// The analog voltage of a stimulus waveform at time `t`: the last started
+/// ramp wins, rails are held between ramps.
+fn stimulus_voltage(waveform: &DigitalWaveform, t: Time, vdd: Voltage) -> Voltage {
+    let initial = match waveform.initial() {
+        LogicLevel::High => vdd,
+        LogicLevel::Low | LogicLevel::Unknown => Voltage::ZERO,
+    };
+    let mut voltage = initial;
+    for transition in waveform.transitions() {
+        if transition.start() > t {
+            break;
+        }
+        voltage = transition.voltage_at(t, vdd);
+    }
+    voltage
+}
+
+impl<'a> AnalogSimulator<'a> {
+    /// Creates an analog simulator for `netlist` characterised by `library`.
+    pub fn new(netlist: &'a Netlist, library: &'a Library) -> Self {
+        AnalogSimulator { netlist, library }
+    }
+
+    /// Runs the fixed-step integration.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalogError::UndrivenPrimaryInput`] if the stimulus does not cover
+    ///   every primary input,
+    /// * [`AnalogError::Library`] if a gate uses an uncharacterised cell.
+    pub fn run(
+        &self,
+        stimulus: &Stimulus,
+        config: &AnalogConfig,
+    ) -> Result<AnalogResult, AnalogError> {
+        let started = Instant::now();
+        let netlist = self.netlist;
+        let library = self.library;
+        let vdd = library.vdd();
+        let dt = config.time_step;
+        let dt_seconds = dt.as_ns() * 1e-9;
+
+        // Static per-gate data: thresholds per input pin and rise/fall time
+        // constants calibrated against the nominal delay under the actual
+        // load.
+        let mut gate_thresholds: Vec<Vec<Voltage>> = Vec::with_capacity(netlist.gate_count());
+        let mut gate_taus: Vec<(f64, f64)> = Vec::with_capacity(netlist.gate_count());
+        for gate in netlist.gates() {
+            let mut thresholds = Vec::with_capacity(gate.inputs().len());
+            for input in 0..gate.inputs().len() {
+                let pin = halotis_core::PinRef::new(gate.id(), input as u32);
+                let fraction = netlist.input_threshold_fraction(pin, library)?;
+                thresholds.push(vdd.fraction(fraction));
+            }
+            gate_thresholds.push(thresholds);
+            let timing: PinTiming = library.pin(gate.kind(), 0)?.timing;
+            let load = netlist.net_load(gate.output(), library)?;
+            let slew = library.default_input_slew();
+            gate_taus.push((
+                model::stage_time_constant(&timing.rise, load, slew),
+                model::stage_time_constant(&timing.fall, load, slew),
+            ));
+        }
+
+        // Initial conditions from the zero-delay solution of the initial
+        // stimulus levels.
+        let mut assignments = Vec::with_capacity(netlist.primary_inputs().len());
+        for &input in netlist.primary_inputs() {
+            let name = netlist.net(input).name();
+            let Some(waveform) = stimulus.waveform(name) else {
+                return Err(AnalogError::UndrivenPrimaryInput {
+                    net: name.to_string(),
+                });
+            };
+            assignments.push((input, waveform.initial()));
+        }
+        let initial_levels = eval::evaluate(netlist, &assignments);
+        let mut voltages: Vec<Voltage> = initial_levels
+            .iter()
+            .map(|&level| model::target_voltage(level, vdd))
+            .collect();
+
+        let end_time = config.end_time.unwrap_or_else(|| {
+            stimulus
+                .last_activity()
+                .unwrap_or(Time::ZERO)
+                .saturating_add(config.settle_margin)
+        });
+
+        let mut waveform_store: Vec<AnalogWaveform> = netlist
+            .nets()
+            .iter()
+            .map(|_| AnalogWaveform::new())
+            .collect();
+        for (index, waveform) in waveform_store.iter_mut().enumerate() {
+            waveform.push(Time::ZERO, voltages[index]);
+        }
+
+        let primary_inputs: Vec<(usize, &DigitalWaveform)> = netlist
+            .primary_inputs()
+            .iter()
+            .map(|&net| {
+                (
+                    net.index(),
+                    stimulus
+                        .waveform(netlist.net(net).name())
+                        .expect("checked above"),
+                )
+            })
+            .collect();
+
+        let mut targets: Vec<Voltage> = vec![Voltage::ZERO; netlist.net_count()];
+        let mut level_scratch: Vec<LogicLevel> = Vec::with_capacity(3);
+        let mut time = Time::ZERO;
+        let mut steps = 0usize;
+        while time < end_time {
+            time += dt;
+            steps += 1;
+
+            // Primary inputs follow the stimulus ramps exactly.
+            for &(net_index, waveform) in &primary_inputs {
+                voltages[net_index] = stimulus_voltage(waveform, time, vdd);
+            }
+
+            // Evaluate each gate's pull target from the *current* voltages
+            // (Jacobi update: all outputs then move simultaneously).
+            for (gate_index, gate) in netlist.gates().iter().enumerate() {
+                level_scratch.clear();
+                for (pin, &net) in gate.inputs().iter().enumerate() {
+                    level_scratch.push(model::thresholded_level(
+                        voltages[net.index()],
+                        gate_thresholds[gate_index][pin],
+                    ));
+                }
+                let output_level = gate.kind().evaluate(&level_scratch);
+                targets[gate.output().index()] = model::target_voltage(output_level, vdd);
+            }
+            for (gate_index, gate) in netlist.gates().iter().enumerate() {
+                let out = gate.output().index();
+                let (rise_tau, fall_tau) = gate_taus[gate_index];
+                voltages[out] = model::integrate_step(
+                    voltages[out],
+                    targets[out],
+                    rise_tau,
+                    fall_tau,
+                    dt_seconds,
+                    vdd,
+                );
+            }
+
+            if steps % config.record_every == 0 {
+                for (index, waveform) in waveform_store.iter_mut().enumerate() {
+                    waveform.push(time, voltages[index]);
+                }
+            }
+        }
+        // Always record the final state.
+        for (index, waveform) in waveform_store.iter_mut().enumerate() {
+            if waveform.end_time() != Some(time) {
+                waveform.push(time, voltages[index]);
+            }
+        }
+
+        let mut waveforms = Trace::new();
+        for net in netlist.nets() {
+            waveforms.insert(
+                net.name(),
+                std::mem::take(&mut waveform_store[net.id().index()]),
+            );
+        }
+        let output_names = netlist
+            .primary_outputs()
+            .iter()
+            .map(|&net| netlist.net(net).name().to_string())
+            .collect();
+        Ok(AnalogResult::new(
+            vdd,
+            waveforms,
+            output_names,
+            steps,
+            started.elapsed(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::TimeDelta;
+    use halotis_netlist::{generators, technology};
+
+    fn library() -> Library {
+        technology::cmos06()
+    }
+
+    fn step_stimulus(lib: &Library) -> Stimulus {
+        let mut stimulus = Stimulus::new(lib.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        stimulus
+    }
+
+    #[test]
+    fn inverter_chain_settles_to_the_boolean_solution() {
+        let netlist = generators::inverter_chain(3);
+        let lib = library();
+        let simulator = AnalogSimulator::new(&netlist, &lib);
+        let result = simulator
+            .run(&step_stimulus(&lib), &AnalogConfig::default())
+            .unwrap();
+        // Odd number of inversions: out ends low after the rising input.
+        assert_eq!(
+            result.ideal_waveform("out").unwrap().final_level(),
+            LogicLevel::Low
+        );
+        assert_eq!(
+            result.ideal_waveform("in").unwrap().final_level(),
+            LogicLevel::High
+        );
+        assert!(result.steps() > 1000);
+    }
+
+    #[test]
+    fn step_delay_is_close_to_the_library_nominal_delay() {
+        let netlist = generators::inverter_chain(1);
+        let lib = library();
+        let simulator = AnalogSimulator::new(&netlist, &lib);
+        let result = simulator
+            .run(&step_stimulus(&lib), &AnalogConfig::default())
+            .unwrap();
+        let input = result.ideal_waveform("in").unwrap();
+        let output = result.ideal_waveform("out").unwrap();
+        let input_edge = input.changes()[0].0;
+        let output_edge = output.changes()[0].0;
+        let measured = output_edge - input_edge;
+        // The lone inverter drives only the wire capacitance; its nominal
+        // delay is on the order of 120-200 ps.  The analog stage is
+        // calibrated to reproduce that within a factor of ~2 (the boolean
+        // target flips at the input threshold, not at the 50 % point).
+        assert!(
+            measured > TimeDelta::from_ps(40.0) && measured < TimeDelta::from_ps(500.0),
+            "measured step delay {measured}"
+        );
+    }
+
+    #[test]
+    fn narrow_pulses_attenuate_through_the_chain() {
+        let netlist = generators::inverter_chain(6);
+        let lib = library();
+        let simulator = AnalogSimulator::new(&netlist, &lib);
+        let mut stimulus = Stimulus::new(lib.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        stimulus.drive("in", Time::from_ns(1.15), LogicLevel::Low);
+        let result = simulator.run(&stimulus, &AnalogConfig::default()).unwrap();
+        // The pulse is visible early in the chain but vanishes at the end.
+        let first_stage = result.ideal_waveform("n1").unwrap().edge_count();
+        let last_stage = result.ideal_waveform("out").unwrap().edge_count();
+        assert!(last_stage < first_stage.max(1) || last_stage == 0,
+            "pulse did not attenuate: first {first_stage} edges, last {last_stage} edges");
+        // Peak excursion on the last net stays well below the rail.
+        let (lo, hi) = result.waveform("out").unwrap().voltage_range().unwrap();
+        assert!(hi <= lib.vdd());
+        assert!(lo >= Voltage::ZERO);
+    }
+
+    #[test]
+    fn undriven_input_is_rejected() {
+        let netlist = generators::c17();
+        let lib = library();
+        let simulator = AnalogSimulator::new(&netlist, &lib);
+        let stimulus = Stimulus::new(lib.default_input_slew());
+        let err = simulator
+            .run(&stimulus, &AnalogConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, AnalogError::UndrivenPrimaryInput { .. }));
+        assert!(err.to_string().contains("no stimulus"));
+    }
+
+    #[test]
+    fn explicit_end_time_bounds_the_run() {
+        let netlist = generators::inverter_chain(2);
+        let lib = library();
+        let simulator = AnalogSimulator::new(&netlist, &lib);
+        let config = AnalogConfig::default()
+            .with_end_time(Time::from_ns(2.0))
+            .with_time_step(TimeDelta::from_ps(2.0));
+        let result = simulator.run(&step_stimulus(&lib), &config).unwrap();
+        assert_eq!(result.steps(), 1000);
+        let end = result.waveform("out").unwrap().end_time().unwrap();
+        assert!(end >= Time::from_ns(2.0));
+    }
+
+    #[test]
+    fn stimulus_voltage_tracks_ramps_and_rails() {
+        let vdd = Voltage::from_volts(5.0);
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        w.push(halotis_waveform::Transition::new(
+            Time::from_ns(1.0),
+            TimeDelta::from_ps(400.0),
+            halotis_core::Edge::Rise,
+        ));
+        assert_eq!(stimulus_voltage(&w, Time::ZERO, vdd), Voltage::ZERO);
+        let mid = stimulus_voltage(&w, Time::from_ns(1.2), vdd);
+        assert!((mid.as_volts() - 2.5).abs() < 1e-9);
+        assert_eq!(stimulus_voltage(&w, Time::from_ns(3.0), vdd), vdd);
+    }
+}

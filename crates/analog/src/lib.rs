@@ -1,0 +1,40 @@
+//! Reference electrical simulator — the workspace's HSPICE substitute.
+//!
+//! The paper validates HALOTIS against HSPICE runs of a 0.6 µm CMOS
+//! multiplier.  A transistor-level simulator is outside the scope of this
+//! reproduction, so this crate provides the closest behavioural equivalent
+//! that exercises the same comparison: every gate output is modelled as a
+//! **first-order RC stage** driven towards the rail selected by the gate's
+//! boolean function, and the whole circuit is integrated with a fixed time
+//! step.
+//!
+//! The properties the paper relies on are preserved:
+//!
+//! * full analog waveforms with finite slopes — one net can sit at any
+//!   intermediate voltage,
+//! * natural glitch attenuation: a brief excitation only partially charges
+//!   the output node, so narrow pulses shrink stage after stage and
+//!   eventually disappear (the degradation effect the DDM models
+//!   analytically),
+//! * per-input threshold behaviour: whether a partial-swing pulse toggles a
+//!   fanout gate depends on that gate's own switching threshold,
+//! * a runtime orders of magnitude above an event-driven logic simulator —
+//!   the basis of the paper's Table 2 CPU-time comparison.
+//!
+//! The per-gate time constant is calibrated so that a step input reproduces
+//! the library's nominal propagation delay, which keeps the analog reference
+//! and the logic simulators consistent with each other (see
+//! [`model::stage_time_constant`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod config;
+pub mod engine;
+pub mod model;
+pub mod result;
+
+pub use config::AnalogConfig;
+pub use engine::AnalogSimulator;
+pub use result::AnalogResult;

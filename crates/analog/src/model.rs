@@ -1,0 +1,147 @@
+//! The first-order behavioural gate model.
+//!
+//! Each gate output is a single RC node: the gate's boolean function (taken
+//! over the *thresholded* input voltages) selects which rail the node is
+//! pulled towards, and the pull strength is a time constant calibrated so a
+//! step input reproduces the library's nominal propagation delay.
+//!
+//! For a first-order stage the 50 % point of a step response is reached
+//! after `tau * ln 2`, so calibrating
+//! `tau = nominal_delay / ln 2` makes the analog model agree with the logic
+//! simulators on isolated, full-swing transitions — differences then come
+//! only from the dynamic effects this crate is meant to expose (partial
+//! swings, glitch attenuation), which is exactly how the paper uses HSPICE.
+
+use halotis_core::{Capacitance, Edge, LogicLevel, TimeDelta, Voltage};
+use halotis_delay::EdgeTiming;
+
+/// `ln 2`, the step-response 50 % factor of a first-order stage.
+pub const LN2: f64 = std::f64::consts::LN_2;
+
+/// The time constant (in seconds) of a gate output stage for the given
+/// timing arc, load and assumed input transition time.
+///
+/// # Example
+///
+/// ```
+/// use halotis_analog::model;
+/// use halotis_core::{Capacitance, TimeDelta};
+/// use halotis_delay::EdgeTiming;
+///
+/// let arc = EdgeTiming::example();
+/// let tau = model::stage_time_constant(&arc, Capacitance::from_femtofarads(20.0), TimeDelta::from_ps(200.0));
+/// assert!(tau > 0.0);
+/// ```
+pub fn stage_time_constant(
+    arc: &EdgeTiming,
+    load: Capacitance,
+    input_slew: TimeDelta,
+) -> f64 {
+    let delay = arc.propagation.nominal_delay(load, input_slew);
+    (delay.as_ns().max(1e-3) * 1e-9) / LN2
+}
+
+/// Converts an analog input voltage into the logic level seen by a gate
+/// input with threshold `vt`.
+pub fn thresholded_level(voltage: Voltage, vt: Voltage) -> LogicLevel {
+    LogicLevel::from_bool(voltage >= vt)
+}
+
+/// The rail voltage a gate output is pulled towards for a given boolean
+/// output value.
+pub fn target_voltage(output: LogicLevel, vdd: Voltage) -> Voltage {
+    match output {
+        LogicLevel::High => vdd,
+        LogicLevel::Low | LogicLevel::Unknown => Voltage::ZERO,
+    }
+}
+
+/// One forward-Euler step of the output node:
+/// `v += dt * (target - v) / tau`, with `tau` selected from the rise or fall
+/// arc depending on the pull direction.
+pub fn integrate_step(
+    voltage: Voltage,
+    target: Voltage,
+    rise_tau: f64,
+    fall_tau: f64,
+    dt_seconds: f64,
+    vdd: Voltage,
+) -> Voltage {
+    let tau = if target > voltage { rise_tau } else { fall_tau };
+    let delta = (target.as_volts() - voltage.as_volts()) * (dt_seconds / tau).min(1.0);
+    Voltage::from_volts(voltage.as_volts() + delta).clamp(Voltage::ZERO, vdd)
+}
+
+/// Chooses which timing arc describes the current pull direction.
+pub fn pull_edge(voltage: Voltage, target: Voltage) -> Edge {
+    if target > voltage {
+        Edge::Rise
+    } else {
+        Edge::Fall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vdd() -> Voltage {
+        Voltage::from_volts(5.0)
+    }
+
+    #[test]
+    fn time_constant_reproduces_nominal_delay_at_half_swing() {
+        let arc = EdgeTiming::example();
+        let load = Capacitance::from_femtofarads(20.0);
+        let slew = TimeDelta::from_ps(200.0);
+        let tau = stage_time_constant(&arc, load, slew);
+        let delay = arc.propagation.nominal_delay(load, slew).as_ns() * 1e-9;
+        // After `delay` seconds a step response reaches 50 %.
+        let reached = 1.0 - (-(delay / tau)).exp();
+        assert!((reached - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholding_matches_comparison() {
+        assert_eq!(
+            thresholded_level(Voltage::from_volts(3.0), Voltage::from_volts(2.5)),
+            LogicLevel::High
+        );
+        assert_eq!(
+            thresholded_level(Voltage::from_volts(1.0), Voltage::from_volts(2.5)),
+            LogicLevel::Low
+        );
+    }
+
+    #[test]
+    fn targets_are_the_rails() {
+        assert_eq!(target_voltage(LogicLevel::High, vdd()), vdd());
+        assert_eq!(target_voltage(LogicLevel::Low, vdd()), Voltage::ZERO);
+        assert_eq!(target_voltage(LogicLevel::Unknown, vdd()), Voltage::ZERO);
+    }
+
+    #[test]
+    fn integration_converges_to_target() {
+        let mut v = Voltage::ZERO;
+        let tau = 200e-12;
+        for _ in 0..10_000 {
+            v = integrate_step(v, vdd(), tau, tau, 1e-12, vdd());
+        }
+        assert!((v.as_volts() - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn integration_is_stable_for_large_steps() {
+        // A step larger than tau must not overshoot thanks to the (dt/tau)
+        // clamp.
+        let v = integrate_step(Voltage::ZERO, vdd(), 1e-12, 1e-12, 1e-9, vdd());
+        assert!(v <= vdd());
+        assert!(v >= Voltage::ZERO);
+    }
+
+    #[test]
+    fn pull_edge_tracks_direction() {
+        assert_eq!(pull_edge(Voltage::ZERO, vdd()), Edge::Rise);
+        assert_eq!(pull_edge(vdd(), Voltage::ZERO), Edge::Fall);
+    }
+}

@@ -1,0 +1,129 @@
+//! Analog-simulation results.
+
+use std::time::Duration;
+
+use halotis_core::Voltage;
+use halotis_waveform::{AnalogWaveform, IdealWaveform, Trace};
+
+/// The waveforms and metadata produced by one analog run.
+#[derive(Clone, Debug)]
+pub struct AnalogResult {
+    vdd: Voltage,
+    waveforms: Trace<AnalogWaveform>,
+    output_names: Vec<String>,
+    steps: usize,
+    wall_time: Duration,
+}
+
+impl AnalogResult {
+    pub(crate) fn new(
+        vdd: Voltage,
+        waveforms: Trace<AnalogWaveform>,
+        output_names: Vec<String>,
+        steps: usize,
+        wall_time: Duration,
+    ) -> Self {
+        AnalogResult {
+            vdd,
+            waveforms,
+            output_names,
+            steps,
+            wall_time,
+        }
+    }
+
+    /// The supply voltage of the run.
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// The analog waveform of every net, keyed by net name.
+    pub fn waveforms(&self) -> &Trace<AnalogWaveform> {
+        &self.waveforms
+    }
+
+    /// The analog waveform of one net.
+    pub fn waveform(&self, net: &str) -> Option<&AnalogWaveform> {
+        self.waveforms.get(net)
+    }
+
+    /// One net digitised with a half-swing observer.
+    pub fn ideal_waveform(&self, net: &str) -> Option<IdealWaveform> {
+        self.waveforms.get(net).map(|w| w.digitize(self.vdd.half()))
+    }
+
+    /// One net digitised with an arbitrary observation threshold.
+    pub fn ideal_waveform_at(&self, net: &str, vt: Voltage) -> Option<IdealWaveform> {
+        self.waveforms.get(net).map(|w| w.digitize(vt))
+    }
+
+    /// The primary-output names, in netlist declaration order.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// All primary outputs digitised at half swing, in declaration order —
+    /// directly comparable with
+    /// [`SimulationResult::output_trace`](halotis_sim::SimulationResult::output_trace).
+    pub fn output_trace(&self) -> Trace<IdealWaveform> {
+        self.output_names
+            .iter()
+            .filter_map(|name| {
+                self.waveforms
+                    .get(name)
+                    .map(|w| (name.clone(), w.digitize(self.vdd.half())))
+            })
+            .collect()
+    }
+
+    /// Number of integration steps taken.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Wall-clock time of the integration loop (Table 2 metric).
+    pub fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::{LogicLevel, Time};
+
+    fn sample() -> AnalogResult {
+        let vdd = Voltage::from_volts(5.0);
+        let mut w = AnalogWaveform::new();
+        w.push(Time::ZERO, Voltage::ZERO);
+        w.push(Time::from_ns(1.0), vdd);
+        let mut trace = Trace::new();
+        trace.insert("out", w);
+        AnalogResult::new(
+            vdd,
+            trace,
+            vec!["out".to_string()],
+            1000,
+            Duration::from_millis(12),
+        )
+    }
+
+    #[test]
+    fn accessors_and_digitisation() {
+        let result = sample();
+        assert_eq!(result.vdd(), Voltage::from_volts(5.0));
+        assert_eq!(result.steps(), 1000);
+        assert_eq!(result.wall_time(), Duration::from_millis(12));
+        assert_eq!(result.output_names(), &["out".to_string()]);
+        assert!(result.waveform("out").is_some());
+        assert!(result.waveform("missing").is_none());
+        let ideal = result.ideal_waveform("out").unwrap();
+        assert_eq!(ideal.final_level(), LogicLevel::High);
+        let strict = result
+            .ideal_waveform_at("out", Voltage::from_volts(4.9))
+            .unwrap();
+        assert_eq!(strict.final_level(), LogicLevel::High);
+        assert_eq!(result.output_trace().len(), 1);
+        assert_eq!(result.waveforms().len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Micro-benchmark of the HALOTIS event queue (design-choice ablation from
+//! `DESIGN.md`): the binary heap with lazy cancellation that implements the
+//! Fig. 4 per-input insert/delete rule.
+//!
+//! Two workloads are measured: a pure insert/pop stream (no cancellations)
+//! and a glitch-heavy stream where a large fraction of the scheduled events
+//! annihilate, showing that the cancellation path does not slow the common
+//! case down.  Run with `cargo bench -p halotis-bench event_queue`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use halotis::core::{GateId, LogicLevel, PinRef, Time, TimeDelta};
+use halotis::sim::event::Event;
+use halotis::sim::queue::EventQueue;
+use std::hint::black_box;
+
+fn event(time_fs: i64, pin: u32) -> Event {
+    Event::new(
+        Time::from_fs(time_fs),
+        PinRef::new(GateId::new(pin), 0),
+        LogicLevel::High,
+        TimeDelta::from_ps(100.0),
+    )
+}
+
+fn bench_insert_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &count in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ordered_insert_pop", count),
+            &count,
+            |b, &count| {
+                b.iter(|| {
+                    let pins = 64;
+                    let mut queue = EventQueue::new(pins);
+                    for i in 0..count {
+                        // Per-pin strictly increasing times: no cancellations.
+                        let pin = (i * 7919) % pins;
+                        let time = (i as i64) * 97 + (pin as i64) * 13;
+                        queue.schedule(pin, event(time, pin as u32));
+                    }
+                    while let Some(e) = queue.pop() {
+                        black_box(e);
+                    }
+                    black_box(queue.scheduled());
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("glitchy_insert_cancel", count),
+            &count,
+            |b, &count| {
+                b.iter(|| {
+                    let pins = 64;
+                    let mut queue = EventQueue::new(pins);
+                    for i in 0..count {
+                        let pin = (i * 7919) % pins;
+                        // Alternate far-future and immediate events on the
+                        // same pin so a large fraction of schedules cancel.
+                        let time = if i % 2 == 0 {
+                            1_000_000 + i as i64
+                        } else {
+                            500_000 + i as i64 / 2
+                        };
+                        queue.schedule(pin, event(time, pin as u32));
+                    }
+                    while let Some(e) = queue.pop() {
+                        black_box(e);
+                    }
+                    black_box(queue.filtered());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_pop);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Error type shared by the vocabulary crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating core quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A physical quantity was outside its valid range (negative capacitance,
+    /// non-finite voltage, time overflow, ...).
+    QuantityOutOfRange {
+        /// Human-readable name of the quantity ("supply voltage", "time", ...).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::QuantityOutOfRange { quantity, value } => {
+                write!(f, "{quantity} out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = CoreError::QuantityOutOfRange {
+            quantity: "capacitance",
+            value: -1.0,
+        };
+        assert_eq!(err.to_string(), "capacitance out of range: -1");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

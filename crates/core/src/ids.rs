@@ -1,0 +1,196 @@
+//! Typed identifiers into a netlist.
+//!
+//! Gates, nets and gate-input pins are stored in flat vectors by the
+//! netlist crate; these newtypes keep the different index spaces apart at
+//! compile time (a `GateId` cannot be used where a `NetId` is expected).
+
+use std::fmt;
+
+/// Index of a gate instance within a netlist.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::GateId;
+/// let g = GateId::new(3);
+/// assert_eq!(g.index(), 3);
+/// assert_eq!(format!("{g}"), "g3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GateId(u32);
+
+/// Index of a net (signal) within a netlist.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::NetId;
+/// let n = NetId::new(7);
+/// assert_eq!(n.index(), 7);
+/// assert_eq!(format!("{n}"), "n7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NetId(u32);
+
+/// A reference to one *input pin* of one gate: the pair `(gate, input index)`.
+///
+/// The HALOTIS algorithm keeps one pending event per gate input, so this is
+/// the key used throughout the simulator.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{GateId, PinRef};
+/// let pin = PinRef::new(GateId::new(2), 1);
+/// assert_eq!(pin.gate(), GateId::new(2));
+/// assert_eq!(pin.input(), 1);
+/// assert_eq!(format!("{pin}"), "g2.in1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PinRef {
+    gate: GateId,
+    input: u32,
+}
+
+impl GateId {
+    /// Creates a gate identifier from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        GateId(index)
+    }
+
+    /// Creates a gate identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (netlists that large are outside
+    /// the scope of this simulator).
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("gate index exceeds u32::MAX"))
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NetId {
+    /// Creates a net identifier from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NetId(index)
+    }
+
+    /// Creates a net identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index exceeds u32::MAX"))
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PinRef {
+    /// Creates a pin reference from a gate and an input position.
+    #[inline]
+    pub const fn new(gate: GateId, input: u32) -> Self {
+        PinRef { gate, input }
+    }
+
+    /// The gate this pin belongs to.
+    #[inline]
+    pub const fn gate(self) -> GateId {
+        self.gate
+    }
+
+    /// The zero-based input position on the gate.
+    #[inline]
+    pub const fn input(self) -> u32 {
+        self.input
+    }
+
+    /// The input position as a `usize`, for indexing pin vectors.
+    #[inline]
+    pub const fn input_index(self) -> usize {
+        self.input as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.in{}", self.gate, self.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(GateId::new(5).index(), 5);
+        assert_eq!(NetId::new(9).index(), 9);
+        assert_eq!(GateId::from_usize(12), GateId::new(12));
+        assert_eq!(NetId::from_usize(3), NetId::new(3));
+    }
+
+    #[test]
+    fn pin_ref_accessors() {
+        let pin = PinRef::new(GateId::new(4), 2);
+        assert_eq!(pin.gate(), GateId::new(4));
+        assert_eq!(pin.input(), 2);
+        assert_eq!(pin.input_index(), 2);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(GateId::new(1) < GateId::new(2));
+        assert!(NetId::new(0) < NetId::new(10));
+        assert!(PinRef::new(GateId::new(1), 0) < PinRef::new(GateId::new(1), 1));
+        let set: HashSet<PinRef> = [
+            PinRef::new(GateId::new(0), 0),
+            PinRef::new(GateId::new(0), 1),
+            PinRef::new(GateId::new(0), 0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_style_names() {
+        assert_eq!(format!("{}", GateId::new(2)), "g2");
+        assert_eq!(format!("{}", NetId::new(4)), "n4");
+        assert_eq!(format!("{}", PinRef::new(GateId::new(2), 0)), "g2.in0");
+    }
+
+    #[test]
+    #[should_panic(expected = "gate index exceeds u32::MAX")]
+    fn gate_id_from_huge_usize_panics() {
+        let _ = GateId::from_usize(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared vocabulary types for the HALOTIS timing-simulation workspace.
+//!
+//! This crate defines the small, dependency-free building blocks used by
+//! every other crate in the workspace:
+//!
+//! * [`Time`] and [`TimeDelta`] — femtosecond fixed-point simulation time,
+//! * [`Voltage`] and [`Capacitance`] — electrical quantities,
+//! * [`LogicLevel`] and [`Edge`] — digital signal abstractions,
+//! * [`GateId`], [`NetId`], [`PinRef`] — typed identifiers into a netlist,
+//! * [`CoreError`] — error type for quantity parsing/validation.
+//!
+//! # Example
+//!
+//! ```
+//! use halotis_core::{Time, TimeDelta, Voltage, Edge};
+//!
+//! let start = Time::from_ns(1.0);
+//! let slew = TimeDelta::from_ps(250.0);
+//! let end = start + slew;
+//! assert_eq!(end.as_ps(), 1250.0);
+//! assert_eq!(Edge::Rise.inverted(), Edge::Fall);
+//! let vdd = Voltage::from_volts(5.0);
+//! assert!(vdd.half() < vdd);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod logic;
+pub mod quantity;
+pub mod time;
+
+pub use error::CoreError;
+pub use ids::{GateId, NetId, PinRef};
+pub use logic::{Edge, LogicLevel};
+pub use quantity::{Capacitance, Voltage};
+pub use time::{Time, TimeDelta};

@@ -1,0 +1,255 @@
+//! Digital signal abstractions: logic levels and transition edges.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A (possibly unknown) static logic level on a net.
+///
+/// HALOTIS models transitions as analog ramps, but the *boolean* evaluation
+/// of a gate still happens on discrete levels.  `Unknown` is used before a
+/// net has been initialised by the stimulus or by simulation.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::LogicLevel;
+/// assert_eq!(!LogicLevel::Low, LogicLevel::High);
+/// assert_eq!(!LogicLevel::Unknown, LogicLevel::Unknown);
+/// assert_eq!(LogicLevel::from_bool(true), LogicLevel::High);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LogicLevel {
+    /// Logic `0`.
+    Low,
+    /// Logic `1`.
+    High,
+    /// Uninitialised / unknown.
+    #[default]
+    Unknown,
+}
+
+/// The sense of a signal transition.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Edge, LogicLevel};
+/// assert_eq!(Edge::Rise.target_level(), LogicLevel::High);
+/// assert_eq!(Edge::Rise.inverted(), Edge::Fall);
+/// assert_eq!(Edge::between(LogicLevel::Low, LogicLevel::High), Some(Edge::Rise));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Edge {
+    /// A `0 -> 1` transition.
+    Rise,
+    /// A `1 -> 0` transition.
+    Fall,
+}
+
+impl LogicLevel {
+    /// Converts a boolean into a defined logic level.
+    #[inline]
+    pub const fn from_bool(value: bool) -> Self {
+        if value {
+            LogicLevel::High
+        } else {
+            LogicLevel::Low
+        }
+    }
+
+    /// Returns `Some(bool)` for defined levels, `None` for [`LogicLevel::Unknown`].
+    #[inline]
+    pub const fn to_bool(self) -> Option<bool> {
+        match self {
+            LogicLevel::Low => Some(false),
+            LogicLevel::High => Some(true),
+            LogicLevel::Unknown => None,
+        }
+    }
+
+    /// `true` when the level is `Low` or `High`.
+    #[inline]
+    pub const fn is_defined(self) -> bool {
+        !matches!(self, LogicLevel::Unknown)
+    }
+
+    /// The edge required to move from `self` to `target`, if any.
+    #[inline]
+    pub fn edge_to(self, target: LogicLevel) -> Option<Edge> {
+        Edge::between(self, target)
+    }
+
+    /// Single-character representation (`0`, `1`, `x`), as used by the
+    /// netlist text format and the ASCII waveform renderer.
+    #[inline]
+    pub const fn as_char(self) -> char {
+        match self {
+            LogicLevel::Low => '0',
+            LogicLevel::High => '1',
+            LogicLevel::Unknown => 'x',
+        }
+    }
+}
+
+impl Not for LogicLevel {
+    type Output = LogicLevel;
+    #[inline]
+    fn not(self) -> LogicLevel {
+        match self {
+            LogicLevel::Low => LogicLevel::High,
+            LogicLevel::High => LogicLevel::Low,
+            LogicLevel::Unknown => LogicLevel::Unknown,
+        }
+    }
+}
+
+impl From<bool> for LogicLevel {
+    #[inline]
+    fn from(value: bool) -> Self {
+        LogicLevel::from_bool(value)
+    }
+}
+
+impl fmt::Display for LogicLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+impl Edge {
+    /// The logic level the signal settles at after this edge.
+    #[inline]
+    pub const fn target_level(self) -> LogicLevel {
+        match self {
+            Edge::Rise => LogicLevel::High,
+            Edge::Fall => LogicLevel::Low,
+        }
+    }
+
+    /// The logic level the signal held before this edge.
+    #[inline]
+    pub const fn source_level(self) -> LogicLevel {
+        match self {
+            Edge::Rise => LogicLevel::Low,
+            Edge::Fall => LogicLevel::High,
+        }
+    }
+
+    /// The opposite edge.
+    #[inline]
+    pub const fn inverted(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+
+    /// The edge needed to go from `from` to `to`, or `None` when the levels
+    /// are equal or either side is undefined.
+    #[inline]
+    pub fn between(from: LogicLevel, to: LogicLevel) -> Option<Edge> {
+        match (from, to) {
+            (LogicLevel::Low, LogicLevel::High) => Some(Edge::Rise),
+            (LogicLevel::High, LogicLevel::Low) => Some(Edge::Fall),
+            _ => None,
+        }
+    }
+
+    /// `true` for a rising edge.
+    #[inline]
+    pub const fn is_rise(self) -> bool {
+        matches!(self, Edge::Rise)
+    }
+
+    /// `true` for a falling edge.
+    #[inline]
+    pub const fn is_fall(self) -> bool {
+        matches!(self, Edge::Fall)
+    }
+
+    /// Both edges, in `[Rise, Fall]` order.  Handy for characterisation loops.
+    #[inline]
+    pub const fn both() -> [Edge; 2] {
+        [Edge::Rise, Edge::Fall]
+    }
+}
+
+impl Not for Edge {
+    type Output = Edge;
+    #[inline]
+    fn not(self) -> Edge {
+        self.inverted()
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rise => write!(f, "rise"),
+            Edge::Fall => write!(f, "fall"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_not_is_involutive_on_defined_levels() {
+        assert_eq!(!!LogicLevel::Low, LogicLevel::Low);
+        assert_eq!(!!LogicLevel::High, LogicLevel::High);
+        assert_eq!(!LogicLevel::Unknown, LogicLevel::Unknown);
+    }
+
+    #[test]
+    fn logic_bool_round_trip() {
+        assert_eq!(LogicLevel::from_bool(true).to_bool(), Some(true));
+        assert_eq!(LogicLevel::from_bool(false).to_bool(), Some(false));
+        assert_eq!(LogicLevel::Unknown.to_bool(), None);
+        assert_eq!(LogicLevel::from(true), LogicLevel::High);
+    }
+
+    #[test]
+    fn logic_char_rendering() {
+        assert_eq!(LogicLevel::Low.as_char(), '0');
+        assert_eq!(LogicLevel::High.as_char(), '1');
+        assert_eq!(LogicLevel::Unknown.as_char(), 'x');
+        assert_eq!(format!("{}", LogicLevel::High), "1");
+    }
+
+    #[test]
+    fn edge_levels_are_consistent() {
+        for edge in Edge::both() {
+            assert_eq!(edge.source_level(), !edge.target_level());
+            assert_eq!(edge.inverted().target_level(), edge.source_level());
+            assert_eq!(!edge, edge.inverted());
+        }
+    }
+
+    #[test]
+    fn edge_between_defined_levels() {
+        assert_eq!(
+            Edge::between(LogicLevel::Low, LogicLevel::High),
+            Some(Edge::Rise)
+        );
+        assert_eq!(
+            Edge::between(LogicLevel::High, LogicLevel::Low),
+            Some(Edge::Fall)
+        );
+        assert_eq!(Edge::between(LogicLevel::Low, LogicLevel::Low), None);
+        assert_eq!(Edge::between(LogicLevel::Unknown, LogicLevel::High), None);
+        assert_eq!(
+            LogicLevel::Low.edge_to(LogicLevel::High),
+            Some(Edge::Rise)
+        );
+    }
+
+    #[test]
+    fn edge_predicates() {
+        assert!(Edge::Rise.is_rise());
+        assert!(!Edge::Rise.is_fall());
+        assert!(Edge::Fall.is_fall());
+        assert_eq!(format!("{} {}", Edge::Rise, Edge::Fall), "rise fall");
+    }
+}

@@ -1,0 +1,321 @@
+//! Electrical quantities: supply/threshold voltages and load capacitances.
+//!
+//! These are thin `f64` newtypes ([`Voltage`] in volts, [`Capacitance`] in
+//! farads).  They exist to keep the degradation-model formulas (paper
+//! eq. 1–3) readable and to prevent the classic unit mix-up between
+//! femtofarad cell characterisation data and farad-level math.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::error::CoreError;
+
+/// An electrical potential in volts.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::Voltage;
+/// let vdd = Voltage::from_volts(5.0);
+/// assert_eq!(vdd.half(), Voltage::from_volts(2.5));
+/// assert_eq!(vdd.fraction(0.4), Voltage::from_volts(2.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Voltage(f64);
+
+/// A capacitance in farads.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::Capacitance;
+/// let c = Capacitance::from_femtofarads(20.0);
+/// assert!((c.as_femtofarads() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Capacitance(f64);
+
+impl Voltage {
+    /// Zero volts.
+    pub const ZERO: Voltage = Voltage(0.0);
+
+    /// Creates a voltage from volts.
+    #[inline]
+    pub const fn from_volts(v: f64) -> Self {
+        Voltage(v)
+    }
+
+    /// Creates a voltage from millivolts.
+    #[inline]
+    pub fn from_millivolts(mv: f64) -> Self {
+        Voltage(mv * 1e-3)
+    }
+
+    /// Value in volts.
+    #[inline]
+    pub const fn as_volts(self) -> f64 {
+        self.0
+    }
+
+    /// Half of this voltage (the conventional logic threshold `Vdd/2`).
+    #[inline]
+    pub fn half(self) -> Voltage {
+        Voltage(self.0 * 0.5)
+    }
+
+    /// `fraction * self`, useful for expressing input thresholds as a
+    /// fraction of the supply.
+    #[inline]
+    pub fn fraction(self, fraction: f64) -> Voltage {
+        Voltage(self.0 * fraction)
+    }
+
+    /// Validates that the voltage is finite and strictly positive, as
+    /// required for a supply rail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QuantityOutOfRange`] when the value is zero,
+    /// negative, NaN or infinite.
+    pub fn validate_supply(self) -> Result<Voltage, CoreError> {
+        if !self.0.is_finite() || self.0 <= 0.0 {
+            return Err(CoreError::QuantityOutOfRange {
+                quantity: "supply voltage",
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Clamps the voltage into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Voltage, hi: Voltage) -> Voltage {
+        Voltage(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl Capacitance {
+    /// Zero farads.
+    pub const ZERO: Capacitance = Capacitance(0.0);
+
+    /// Creates a capacitance from farads.
+    #[inline]
+    pub const fn from_farads(f: f64) -> Self {
+        Capacitance(f)
+    }
+
+    /// Creates a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femtofarads(ff: f64) -> Self {
+        Capacitance(ff * 1e-15)
+    }
+
+    /// Creates a capacitance from picofarads.
+    #[inline]
+    pub fn from_picofarads(pf: f64) -> Self {
+        Capacitance(pf * 1e-12)
+    }
+
+    /// Value in farads.
+    #[inline]
+    pub const fn as_farads(self) -> f64 {
+        self.0
+    }
+
+    /// Value in femtofarads.
+    #[inline]
+    pub fn as_femtofarads(self) -> f64 {
+        self.0 * 1e15
+    }
+
+    /// Validates that the capacitance is finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QuantityOutOfRange`] when the value is negative,
+    /// NaN or infinite.
+    pub fn validate(self) -> Result<Capacitance, CoreError> {
+        if !self.0.is_finite() || self.0 < 0.0 {
+            return Err(CoreError::QuantityOutOfRange {
+                quantity: "capacitance",
+                value: self.0,
+            });
+        }
+        Ok(self)
+    }
+}
+
+impl Add for Voltage {
+    type Output = Voltage;
+    #[inline]
+    fn add(self, rhs: Voltage) -> Voltage {
+        Voltage(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Voltage {
+    type Output = Voltage;
+    #[inline]
+    fn sub(self, rhs: Voltage) -> Voltage {
+        Voltage(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Voltage {
+    type Output = Voltage;
+    #[inline]
+    fn mul(self, rhs: f64) -> Voltage {
+        Voltage(self.0 * rhs)
+    }
+}
+
+impl Div<Voltage> for Voltage {
+    /// Dimensionless ratio of two voltages.
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Voltage) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Add for Capacitance {
+    type Output = Capacitance;
+    #[inline]
+    fn add(self, rhs: Capacitance) -> Capacitance {
+        Capacitance(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Capacitance {
+    #[inline]
+    fn add_assign(&mut self, rhs: Capacitance) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Capacitance {
+    type Output = Capacitance;
+    #[inline]
+    fn sub(self, rhs: Capacitance) -> Capacitance {
+        Capacitance(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Capacitance {
+    type Output = Capacitance;
+    #[inline]
+    fn mul(self, rhs: f64) -> Capacitance {
+        Capacitance(self.0 * rhs)
+    }
+}
+
+impl Sum for Capacitance {
+    fn sum<I: Iterator<Item = Capacitance>>(iter: I) -> Capacitance {
+        Capacitance(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Debug for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Voltage({} V)", self.0)
+    }
+}
+
+impl fmt::Display for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+impl fmt::Debug for Capacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Capacitance({} fF)", self.as_femtofarads())
+    }
+}
+
+impl fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} fF", self.as_femtofarads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn voltage_constructors_and_accessors() {
+        assert_eq!(Voltage::from_millivolts(2500.0), Voltage::from_volts(2.5));
+        assert_eq!(Voltage::from_volts(5.0).half().as_volts(), 2.5);
+        assert_eq!(Voltage::from_volts(5.0).fraction(0.2).as_volts(), 1.0);
+    }
+
+    #[test]
+    fn voltage_ratio_is_dimensionless() {
+        let a = Voltage::from_volts(2.0);
+        let b = Voltage::from_volts(4.0);
+        assert_eq!(a / b, 0.5);
+    }
+
+    #[test]
+    fn voltage_supply_validation() {
+        assert!(Voltage::from_volts(3.3).validate_supply().is_ok());
+        assert!(Voltage::ZERO.validate_supply().is_err());
+        assert!(Voltage::from_volts(-1.0).validate_supply().is_err());
+        assert!(Voltage::from_volts(f64::NAN).validate_supply().is_err());
+    }
+
+    #[test]
+    fn voltage_clamp() {
+        let lo = Voltage::ZERO;
+        let hi = Voltage::from_volts(5.0);
+        assert_eq!(Voltage::from_volts(7.0).clamp(lo, hi), hi);
+        assert_eq!(Voltage::from_volts(-1.0).clamp(lo, hi), lo);
+    }
+
+    #[test]
+    fn capacitance_units() {
+        let c = Capacitance::from_femtofarads(1000.0);
+        assert!((c.as_farads() - 1e-12).abs() < 1e-27);
+        assert_eq!(Capacitance::from_picofarads(1.0), c);
+        assert!((c.as_femtofarads() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitance_sums_fanout_loads() {
+        let total: Capacitance = (1..=3)
+            .map(|i| Capacitance::from_femtofarads(i as f64 * 10.0))
+            .sum();
+        assert!((total.as_femtofarads() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitance_validation() {
+        assert!(Capacitance::from_femtofarads(0.0).validate().is_ok());
+        assert!(Capacitance::from_femtofarads(-1.0).validate().is_err());
+        assert!(Capacitance::from_farads(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(format!("{}", Voltage::from_volts(3.3)), "3.300 V");
+        assert_eq!(format!("{}", Capacitance::from_femtofarads(12.5)), "12.50 fF");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_voltage_fraction_monotone(f1 in 0.0f64..1.0, f2 in 0.0f64..1.0) {
+            let vdd = Voltage::from_volts(5.0);
+            prop_assert_eq!(vdd.fraction(f1) <= vdd.fraction(f2), f1 <= f2);
+        }
+
+        #[test]
+        fn prop_capacitance_add_commutes(a in 0.0f64..1e3, b in 0.0f64..1e3) {
+            let ca = Capacitance::from_femtofarads(a);
+            let cb = Capacitance::from_femtofarads(b);
+            prop_assert!(((ca + cb).as_farads() - (cb + ca).as_farads()).abs() < 1e-30);
+        }
+    }
+}

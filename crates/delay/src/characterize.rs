@@ -1,0 +1,341 @@
+//! Cell-library characterisation helpers.
+//!
+//! The paper obtains the degradation constants `A`, `B`, `C` (eq. 2–3) by
+//! fitting electrical-simulation measurements of a 0.6 µm CMOS library.  We
+//! do not have that library, but the fitting procedure itself is part of the
+//! published flow, so this module provides it:
+//!
+//! * [`fit_tau_coefficients`] — ordinary least squares of
+//!   `tau * Vdd = A + B * CL` over `(CL, tau)` samples,
+//! * [`fit_c_coefficient`] — least squares of
+//!   `T0 = (1/2 - C/Vdd) * tau_in` over `(tau_in, T0)` samples,
+//! * [`fit_propagation`] — least squares of the linear `tp0` model over
+//!   `(CL, tau_in, tp0)` samples.
+//!
+//! The `halotis-analog` crate can generate such samples from the reference
+//! electrical simulator, closing the loop the paper describes.
+
+use halotis_core::{Capacitance, TimeDelta, Voltage};
+
+use crate::coeffs::{DegradationCoeffs, PropagationCoeffs};
+
+/// Error returned when a fit cannot be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than unknowns.
+    NotEnoughSamples {
+        /// Samples provided.
+        provided: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// The design matrix is singular (e.g. all loads identical).
+    Degenerate,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughSamples { provided, required } => write!(
+                f,
+                "not enough samples for fit: {provided} provided, {required} required"
+            ),
+            FitError::Degenerate => write!(f, "degenerate sample set: cannot solve fit"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// One degradation-tau measurement: time constant observed at a given load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TauSample {
+    /// Output load during the measurement.
+    pub load: Capacitance,
+    /// Observed degradation time constant.
+    pub tau: TimeDelta,
+}
+
+/// One dead-band measurement: `T0` observed for a given input slew.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TZeroSample {
+    /// Input transition time during the measurement.
+    pub input_slew: TimeDelta,
+    /// Observed dead-band.
+    pub t_zero: TimeDelta,
+}
+
+/// One propagation-delay measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelaySample {
+    /// Output load during the measurement.
+    pub load: Capacitance,
+    /// Input transition time during the measurement.
+    pub input_slew: TimeDelta,
+    /// Observed propagation delay.
+    pub delay: TimeDelta,
+}
+
+/// Simple 2-parameter ordinary least squares: `y = a + b * x`.
+fn least_squares_line(points: &[(f64, f64)]) -> Result<(f64, f64), FitError> {
+    if points.len() < 2 {
+        return Err(FitError::NotEnoughSamples {
+            provided: points.len(),
+            required: 2,
+        });
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-30 {
+        return Err(FitError::Degenerate);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Ok((a, b))
+}
+
+/// Fits `A` and `B` of eq. 2 from `(load, tau)` measurements at a given supply.
+///
+/// # Errors
+///
+/// Returns [`FitError`] when fewer than two distinct loads are provided.
+pub fn fit_tau_coefficients(
+    samples: &[TauSample],
+    vdd: Voltage,
+) -> Result<(f64, f64), FitError> {
+    let points: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|s| (s.load.as_farads(), s.tau.as_ns() * 1e-9 * vdd.as_volts()))
+        .collect();
+    least_squares_line(&points)
+}
+
+/// Fits `C` of eq. 3 from `(input_slew, T0)` measurements at a given supply.
+///
+/// # Errors
+///
+/// Returns [`FitError`] when no sample has a non-zero input slew.
+pub fn fit_c_coefficient(samples: &[TZeroSample], vdd: Voltage) -> Result<f64, FitError> {
+    // T0 / tau_in = 1/2 - C/Vdd  =>  C = Vdd * (1/2 - mean(T0/tau_in))
+    let ratios: Vec<f64> = samples
+        .iter()
+        .filter(|s| !s.input_slew.is_zero())
+        .map(|s| s.t_zero.as_fs() as f64 / s.input_slew.as_fs() as f64)
+        .collect();
+    if ratios.is_empty() {
+        return Err(FitError::NotEnoughSamples {
+            provided: 0,
+            required: 1,
+        });
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    Ok(vdd.as_volts() * (0.5 - mean))
+}
+
+/// Fits the three-coefficient propagation model from delay measurements.
+///
+/// Uses two 1-D projections: the load slope is fitted on samples sharing the
+/// smallest slew, and the slew slope on samples sharing the smallest load.
+/// This matches how cell characterisation sweeps are normally run (one
+/// variable at a time) and avoids a full 3-D solve.
+///
+/// # Errors
+///
+/// Returns [`FitError`] when either projection has fewer than two points.
+pub fn fit_propagation(samples: &[DelaySample]) -> Result<PropagationCoeffs, FitError> {
+    if samples.len() < 3 {
+        return Err(FitError::NotEnoughSamples {
+            provided: samples.len(),
+            required: 3,
+        });
+    }
+    let min_slew = samples
+        .iter()
+        .map(|s| s.input_slew)
+        .min()
+        .expect("non-empty samples");
+    let min_load = samples
+        .iter()
+        .map(|s| s.load)
+        .fold(None::<Capacitance>, |acc, c| match acc {
+            None => Some(c),
+            Some(prev) if c < prev => Some(c),
+            Some(prev) => Some(prev),
+        })
+        .expect("non-empty samples");
+
+    let load_sweep: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.input_slew == min_slew)
+        .map(|s| (s.load.as_farads(), s.delay.as_ns() * 1e-9))
+        .collect();
+    let slew_sweep: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.load == min_load)
+        .map(|s| (s.input_slew.as_ns() * 1e-9, s.delay.as_ns() * 1e-9))
+        .collect();
+
+    let (_, r_load) = least_squares_line(&load_sweep)?;
+    let (intercept_slew, s_slew) = least_squares_line(&slew_sweep)?;
+    // Intrinsic delay: extrapolate the slew sweep to zero slew and remove the
+    // load contribution of the minimum load.
+    let intrinsic_seconds = intercept_slew - r_load * min_load.as_farads();
+    Ok(PropagationCoeffs {
+        t_intrinsic: TimeDelta::try_from_seconds(intrinsic_seconds).unwrap_or(TimeDelta::ZERO),
+        r_load_ohms: r_load,
+        s_slew,
+    })
+}
+
+/// Convenience: builds a full [`DegradationCoeffs`] from tau and T0 sample sets.
+///
+/// # Errors
+///
+/// Propagates the errors of [`fit_tau_coefficients`] and [`fit_c_coefficient`].
+pub fn fit_degradation(
+    tau_samples: &[TauSample],
+    t_zero_samples: &[TZeroSample],
+    vdd: Voltage,
+) -> Result<DegradationCoeffs, FitError> {
+    let (a, b) = fit_tau_coefficients(tau_samples, vdd)?;
+    let c = fit_c_coefficient(t_zero_samples, vdd)?;
+    Ok(DegradationCoeffs {
+        a_volt_seconds: a,
+        b_volt_per_farad_seconds: b,
+        c_volts: c,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_fit_recovers_known_coefficients() {
+        let vdd = Voltage::from_volts(5.0);
+        let truth = DegradationCoeffs {
+            a_volt_seconds: 1.0e-9,
+            b_volt_per_farad_seconds: 12.0e3,
+            c_volts: 0.0,
+        };
+        let samples: Vec<TauSample> = (0..8)
+            .map(|i| {
+                let load = Capacitance::from_femtofarads(10.0 * i as f64);
+                TauSample {
+                    load,
+                    tau: truth.tau(vdd, load),
+                }
+            })
+            .collect();
+        let (a, b) = fit_tau_coefficients(&samples, vdd).unwrap();
+        assert!((a - truth.a_volt_seconds).abs() / truth.a_volt_seconds < 1e-3);
+        assert!((b - truth.b_volt_per_farad_seconds).abs() / truth.b_volt_per_farad_seconds < 1e-3);
+    }
+
+    #[test]
+    fn c_fit_recovers_known_coefficient() {
+        let vdd = Voltage::from_volts(5.0);
+        let truth = DegradationCoeffs {
+            a_volt_seconds: 0.0,
+            b_volt_per_farad_seconds: 0.0,
+            c_volts: 1.4,
+        };
+        let samples: Vec<TZeroSample> = (1..6)
+            .map(|i| {
+                let slew = TimeDelta::from_ps(100.0 * i as f64);
+                TZeroSample {
+                    input_slew: slew,
+                    t_zero: truth.t_zero(vdd, slew),
+                }
+            })
+            .collect();
+        let c = fit_c_coefficient(&samples, vdd).unwrap();
+        assert!((c - 1.4).abs() < 0.01, "c = {c}");
+    }
+
+    #[test]
+    fn propagation_fit_recovers_known_coefficients() {
+        let truth = PropagationCoeffs {
+            t_intrinsic: TimeDelta::from_ps(120.0),
+            r_load_ohms: 2.5e3,
+            s_slew: 0.2,
+        };
+        let mut samples = Vec::new();
+        for load_ff in [0.0, 10.0, 20.0, 40.0, 80.0] {
+            for slew_ps in [50.0, 100.0, 200.0, 400.0] {
+                let load = Capacitance::from_femtofarads(load_ff);
+                let slew = TimeDelta::from_ps(slew_ps);
+                samples.push(DelaySample {
+                    load,
+                    input_slew: slew,
+                    delay: truth.nominal_delay(load, slew),
+                });
+            }
+        }
+        let fit = fit_propagation(&samples).unwrap();
+        assert!((fit.r_load_ohms - truth.r_load_ohms).abs() / truth.r_load_ohms < 0.02);
+        assert!((fit.s_slew - truth.s_slew).abs() < 0.02);
+        assert!((fit.t_intrinsic.as_ps() - 120.0).abs() < 15.0);
+    }
+
+    #[test]
+    fn full_degradation_fit() {
+        let vdd = Voltage::from_volts(5.0);
+        let truth = DegradationCoeffs {
+            a_volt_seconds: 0.8e-9,
+            b_volt_per_farad_seconds: 9.0e3,
+            c_volts: 1.1,
+        };
+        let tau_samples: Vec<TauSample> = (0..5)
+            .map(|i| {
+                let load = Capacitance::from_femtofarads(20.0 * i as f64);
+                TauSample {
+                    load,
+                    tau: truth.tau(vdd, load),
+                }
+            })
+            .collect();
+        let t0_samples: Vec<TZeroSample> = (1..5)
+            .map(|i| {
+                let slew = TimeDelta::from_ps(150.0 * i as f64);
+                TZeroSample {
+                    input_slew: slew,
+                    t_zero: truth.t_zero(vdd, slew),
+                }
+            })
+            .collect();
+        let fit = fit_degradation(&tau_samples, &t0_samples, vdd).unwrap();
+        assert!((fit.c_volts - truth.c_volts).abs() < 0.02);
+        assert!((fit.a_volt_seconds - truth.a_volt_seconds).abs() / truth.a_volt_seconds < 0.02);
+    }
+
+    #[test]
+    fn errors_on_insufficient_or_degenerate_data() {
+        let vdd = Voltage::from_volts(5.0);
+        assert!(matches!(
+            fit_tau_coefficients(&[], vdd),
+            Err(FitError::NotEnoughSamples { .. })
+        ));
+        let same_load: Vec<TauSample> = (0..3)
+            .map(|_| TauSample {
+                load: Capacitance::from_femtofarads(10.0),
+                tau: TimeDelta::from_ps(100.0),
+            })
+            .collect();
+        assert_eq!(fit_tau_coefficients(&same_load, vdd), Err(FitError::Degenerate));
+        assert!(fit_c_coefficient(&[], vdd).is_err());
+        assert!(fit_propagation(&[]).is_err());
+        let err = FitError::NotEnoughSamples {
+            provided: 1,
+            required: 3,
+        };
+        assert_eq!(
+            err.to_string(),
+            "not enough samples for fit: 1 provided, 3 required"
+        );
+    }
+}

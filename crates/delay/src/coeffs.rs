@@ -1,0 +1,358 @@
+//! Characterisation coefficients stored per cell, per input pin and per
+//! output edge.
+//!
+//! A standard-cell timing arc in this workspace is the pair
+//! *(input pin, output edge)*: switching input `i` so that the output makes a
+//! rising (or falling) transition.  Each arc carries three coefficient
+//! groups:
+//!
+//! * [`PropagationCoeffs`] — the nominal (non-degraded) propagation delay
+//!   `tp0 = t_intrinsic + r_load * CL + s_slew * tau_in`,
+//! * [`SlewCoeffs`] — the output transition time
+//!   `tau_out = base + load_factor * CL`,
+//! * [`DegradationCoeffs`] — the `A`, `B`, `C` constants of paper
+//!   eq. 2 and eq. 3 that turn into the degradation time constant `tau` and
+//!   dead-band `T0`.
+
+use halotis_core::{Capacitance, TimeDelta, Voltage};
+
+/// Coefficients of the nominal propagation-delay model
+/// `tp0 = t_intrinsic + r_load * CL + s_slew * tau_in`.
+///
+/// `t_intrinsic` is the unloaded step-input delay; `r_load` converts load
+/// capacitance into delay (an effective drive resistance); `s_slew` is the
+/// dimensionless sensitivity to the input transition time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PropagationCoeffs {
+    /// Unloaded, step-input propagation delay.
+    pub t_intrinsic: TimeDelta,
+    /// Delay per farad of load (seconds / farad = ohms, an effective drive resistance).
+    pub r_load_ohms: f64,
+    /// Dimensionless sensitivity of the delay to the input transition time.
+    pub s_slew: f64,
+}
+
+/// Coefficients of the output-slew model `tau_out = base + load_factor * CL`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlewCoeffs {
+    /// Output transition time with zero external load.
+    pub base: TimeDelta,
+    /// Additional transition time per farad of load (ohms).
+    pub load_factor_ohms: f64,
+}
+
+/// The `A`, `B`, `C` degradation constants of paper eq. 2 and eq. 3.
+///
+/// * eq. 2: `tau * Vdd = A + B * CL`  →  `tau = (A + B * CL) / Vdd`
+/// * eq. 3: `T0 = (1/2 - C / Vdd) * tau_in`
+///
+/// `A` has units of volt·seconds, `B` volt·seconds per farad (volt·ohms) and
+/// `C` volts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationCoeffs {
+    /// Volt·seconds: load-independent part of `tau * Vdd`.
+    pub a_volt_seconds: f64,
+    /// Volt·ohms: load-dependent part of `tau * Vdd` (multiplied by `CL`).
+    pub b_volt_per_farad_seconds: f64,
+    /// Volts: shifts the dead-band `T0` relative to half the input slew.
+    pub c_volts: f64,
+}
+
+/// Full characterisation of one timing arc (input pin, output edge).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeTiming {
+    /// Nominal propagation-delay coefficients.
+    pub propagation: PropagationCoeffs,
+    /// Output-slew coefficients.
+    pub output_slew: SlewCoeffs,
+    /// Degradation coefficients (paper eq. 2–3).
+    pub degradation: DegradationCoeffs,
+}
+
+/// The pair of timing arcs of one input pin: one for a rising output edge,
+/// one for a falling output edge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PinTiming {
+    /// Arc used when the output edge is a rise.
+    pub rise: EdgeTiming,
+    /// Arc used when the output edge is a fall.
+    pub fall: EdgeTiming,
+}
+
+impl PropagationCoeffs {
+    /// Nominal propagation delay for a given load and input transition time.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use halotis_core::{Capacitance, TimeDelta};
+    /// use halotis_delay::PropagationCoeffs;
+    /// let coeffs = PropagationCoeffs {
+    ///     t_intrinsic: TimeDelta::from_ps(100.0),
+    ///     r_load_ohms: 2.0e3, // 2 ps per fF (2 kOhm effective drive)
+    ///     s_slew: 0.1,
+    /// };
+    /// let tp0 = coeffs.nominal_delay(
+    ///     Capacitance::from_femtofarads(10.0),
+    ///     TimeDelta::from_ps(100.0),
+    /// );
+    /// assert_eq!(tp0, TimeDelta::from_ps(100.0 + 20.0 + 10.0));
+    /// ```
+    pub fn nominal_delay(&self, load: Capacitance, input_slew: TimeDelta) -> TimeDelta {
+        let load_term = TimeDelta::try_from_seconds(self.r_load_ohms * load.as_farads())
+            .unwrap_or(TimeDelta::MAX);
+        let slew_term = input_slew.scale(self.s_slew);
+        (self.t_intrinsic + load_term + slew_term).max(TimeDelta::ZERO)
+    }
+}
+
+impl SlewCoeffs {
+    /// Output transition time (0 → Vdd ramp duration) for a given load.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use halotis_core::{Capacitance, TimeDelta};
+    /// use halotis_delay::SlewCoeffs;
+    /// let coeffs = SlewCoeffs { base: TimeDelta::from_ps(150.0), load_factor_ohms: 3.0e3 };
+    /// let tau = coeffs.output_slew(Capacitance::from_femtofarads(10.0));
+    /// assert_eq!(tau, TimeDelta::from_ps(180.0));
+    /// ```
+    pub fn output_slew(&self, load: Capacitance) -> TimeDelta {
+        let load_term = TimeDelta::try_from_seconds(self.load_factor_ohms * load.as_farads())
+            .unwrap_or(TimeDelta::MAX);
+        (self.base + load_term).max(TimeDelta::from_fs(1))
+    }
+}
+
+impl DegradationCoeffs {
+    /// The degradation time constant `tau = (A + B * CL) / Vdd` (paper eq. 2).
+    pub fn tau(&self, vdd: Voltage, load: Capacitance) -> TimeDelta {
+        let seconds =
+            (self.a_volt_seconds + self.b_volt_per_farad_seconds * load.as_farads()) / vdd.as_volts();
+        TimeDelta::try_from_seconds(seconds.max(0.0)).unwrap_or(TimeDelta::MAX)
+    }
+
+    /// The degradation dead-band `T0 = (1/2 - C / Vdd) * tau_in` (paper eq. 3).
+    ///
+    /// Output transitions that follow the previous one by less than `T0`
+    /// produce (in the limit) zero additional delay budget: the model treats
+    /// the pulse as fully collapsed.
+    pub fn t_zero(&self, vdd: Voltage, input_slew: TimeDelta) -> TimeDelta {
+        let factor = 0.5 - self.c_volts / vdd.as_volts();
+        input_slew.scale(factor.max(0.0))
+    }
+
+    /// Coefficients with a zero time constant (`tau == 0`).
+    ///
+    /// With `tau == 0` the exponential of eq. 1 becomes an abrupt step at
+    /// `T0 = tau_in / 2`: the classical, discontinuous filtering behaviour
+    /// the paper contrasts against.  Useful in tests and ablations; to fully
+    /// disable degradation use
+    /// [`DelayModelKind::Conventional`](crate::DelayModelKind::Conventional)
+    /// instead.
+    pub const fn disabled() -> Self {
+        DegradationCoeffs {
+            a_volt_seconds: 0.0,
+            b_volt_per_farad_seconds: 0.0,
+            c_volts: 0.0,
+        }
+    }
+}
+
+impl EdgeTiming {
+    /// A representative 0.6 µm-flavoured arc used in documentation examples
+    /// and unit tests: ~150 ps intrinsic delay, a few ps per fF, degradation
+    /// constants on the order of the gate delay.
+    pub fn example() -> Self {
+        EdgeTiming {
+            propagation: PropagationCoeffs {
+                t_intrinsic: TimeDelta::from_ps(150.0),
+                r_load_ohms: 3.0e3,
+                s_slew: 0.15,
+            },
+            output_slew: SlewCoeffs {
+                base: TimeDelta::from_ps(200.0),
+                load_factor_ohms: 4.0e3,
+            },
+            degradation: DegradationCoeffs {
+                a_volt_seconds: 1.0e-9,  // 200 ps * 5 V
+                b_volt_per_farad_seconds: 15.0e3, // 3 ps/fF * 5 V
+                c_volts: 1.25,
+            },
+        }
+    }
+}
+
+impl PinTiming {
+    /// Returns the arc for the requested output edge.
+    pub fn for_edge(&self, edge: halotis_core::Edge) -> &EdgeTiming {
+        match edge {
+            halotis_core::Edge::Rise => &self.rise,
+            halotis_core::Edge::Fall => &self.fall,
+        }
+    }
+
+    /// Symmetric timing: the same arc for rising and falling output edges.
+    pub fn symmetric(arc: EdgeTiming) -> Self {
+        PinTiming {
+            rise: arc,
+            fall: arc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::Edge;
+    use proptest::prelude::*;
+
+    fn example_coeffs() -> PropagationCoeffs {
+        PropagationCoeffs {
+            t_intrinsic: TimeDelta::from_ps(100.0),
+            r_load_ohms: 2.0e3,
+            s_slew: 0.2,
+        }
+    }
+
+    #[test]
+    fn nominal_delay_combines_three_terms() {
+        let c = example_coeffs();
+        let d = c.nominal_delay(Capacitance::from_femtofarads(25.0), TimeDelta::from_ps(100.0));
+        // 100 ps intrinsic + 2 ps/fF * 25 fF + 0.2 * 100 ps = 170 ps
+        assert_eq!(d, TimeDelta::from_ps(170.0));
+    }
+
+    #[test]
+    fn nominal_delay_is_clamped_non_negative() {
+        let c = PropagationCoeffs {
+            t_intrinsic: TimeDelta::from_ps(-500.0),
+            r_load_ohms: 0.0,
+            s_slew: 0.0,
+        };
+        assert_eq!(
+            c.nominal_delay(Capacitance::ZERO, TimeDelta::ZERO),
+            TimeDelta::ZERO
+        );
+    }
+
+    #[test]
+    fn output_slew_grows_with_load_and_never_zero() {
+        let s = SlewCoeffs {
+            base: TimeDelta::ZERO,
+            load_factor_ohms: 1.0e3,
+        };
+        assert_eq!(s.output_slew(Capacitance::ZERO), TimeDelta::from_fs(1));
+        assert_eq!(
+            s.output_slew(Capacitance::from_femtofarads(50.0)),
+            TimeDelta::from_ps(50.0)
+        );
+    }
+
+    #[test]
+    fn tau_matches_eq2() {
+        let d = DegradationCoeffs {
+            a_volt_seconds: 1.0e-9,
+            b_volt_per_farad_seconds: 10.0e3,
+            c_volts: 0.0,
+        };
+        let vdd = Voltage::from_volts(5.0);
+        // (1e-9 + 1e4 * 50e-15) / 5 = (1e-9 + 5e-10)/5 = 3e-10 s = 300 ps
+        assert_eq!(
+            d.tau(vdd, Capacitance::from_femtofarads(50.0)),
+            TimeDelta::from_ps(300.0)
+        );
+    }
+
+    #[test]
+    fn t_zero_matches_eq3() {
+        let d = DegradationCoeffs {
+            a_volt_seconds: 0.0,
+            b_volt_per_farad_seconds: 0.0,
+            c_volts: 1.25,
+        };
+        let vdd = Voltage::from_volts(5.0);
+        // (0.5 - 1.25/5) * 400 ps = 0.25 * 400 = 100 ps
+        assert_eq!(
+            d.t_zero(vdd, TimeDelta::from_ps(400.0)),
+            TimeDelta::from_ps(100.0)
+        );
+    }
+
+    #[test]
+    fn t_zero_clamped_when_c_exceeds_half_vdd() {
+        let d = DegradationCoeffs {
+            a_volt_seconds: 0.0,
+            b_volt_per_farad_seconds: 0.0,
+            c_volts: 4.0,
+        };
+        assert_eq!(
+            d.t_zero(Voltage::from_volts(5.0), TimeDelta::from_ps(400.0)),
+            TimeDelta::ZERO
+        );
+    }
+
+    #[test]
+    fn disabled_degradation_has_zero_tau_and_abrupt_dead_band() {
+        let d = DegradationCoeffs::disabled();
+        assert_eq!(
+            d.tau(Voltage::from_volts(5.0), Capacitance::from_femtofarads(100.0)),
+            TimeDelta::ZERO
+        );
+        // With C == 0 the dead band is half the input slew (eq. 3).
+        assert_eq!(
+            d.t_zero(Voltage::from_volts(5.0), TimeDelta::from_ps(500.0)),
+            TimeDelta::from_ps(250.0)
+        );
+    }
+
+    #[test]
+    fn pin_timing_selects_edge() {
+        let mut rise = EdgeTiming::example();
+        rise.propagation.t_intrinsic = TimeDelta::from_ps(111.0);
+        let fall = EdgeTiming::example();
+        let pin = PinTiming { rise, fall };
+        assert_eq!(
+            pin.for_edge(Edge::Rise).propagation.t_intrinsic,
+            TimeDelta::from_ps(111.0)
+        );
+        assert_eq!(
+            pin.for_edge(Edge::Fall).propagation.t_intrinsic,
+            TimeDelta::from_ps(150.0)
+        );
+        let sym = PinTiming::symmetric(EdgeTiming::example());
+        assert_eq!(sym.rise, sym.fall);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nominal_delay_monotone_in_load(load_a in 0.0f64..500.0, load_b in 0.0f64..500.0) {
+            let c = example_coeffs();
+            let slew = TimeDelta::from_ps(100.0);
+            let da = c.nominal_delay(Capacitance::from_femtofarads(load_a), slew);
+            let db = c.nominal_delay(Capacitance::from_femtofarads(load_b), slew);
+            prop_assert_eq!(da <= db, load_a <= load_b || (da == db));
+        }
+
+        #[test]
+        fn prop_tau_monotone_in_load(load_a in 0.0f64..500.0, load_b in 0.0f64..500.0) {
+            let d = EdgeTiming::example().degradation;
+            let vdd = Voltage::from_volts(5.0);
+            let ta = d.tau(vdd, Capacitance::from_femtofarads(load_a));
+            let tb = d.tau(vdd, Capacitance::from_femtofarads(load_b));
+            if load_a <= load_b {
+                prop_assert!(ta <= tb);
+            }
+        }
+
+        #[test]
+        fn prop_t_zero_scales_with_input_slew(slew in 1.0f64..2000.0) {
+            let d = EdgeTiming::example().degradation;
+            let vdd = Voltage::from_volts(5.0);
+            let t0 = d.t_zero(vdd, TimeDelta::from_ps(slew));
+            // factor is (0.5 - 1.25/5) = 0.25
+            prop_assert!((t0.as_ps() - slew * 0.25).abs() < 0.01);
+        }
+    }
+}

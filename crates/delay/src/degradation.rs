@@ -1,0 +1,264 @@
+//! The degradation delay model (DDM) — paper eq. 1.
+//!
+//! When a gate output switches again a short time `T` after its previous
+//! output transition, the new transition starts from an output node that has
+//! not completed its full excursion, so the *effective* propagation delay is
+//! smaller than the nominal `tp0`.  The paper models this collapse as an
+//! exponential:
+//!
+//! ```text
+//! tp = tp0 * (1 - exp(-(T - T0) / tau))          (eq. 1)
+//! ```
+//!
+//! with `tau` and `T0` given by eq. 2 and eq. 3 (see
+//! [`DegradationCoeffs`](crate::DegradationCoeffs)).  For `T <= T0` the delay
+//! is fully collapsed (clamped at zero); for `T >> tau` it converges to the
+//! nominal delay, which is what makes the model *continuous* between the
+//! "pulse filtered" and "pulse propagated normally" regimes.
+
+use halotis_core::{Capacitance, TimeDelta, Voltage};
+
+use crate::coeffs::DegradationCoeffs;
+
+/// The result of evaluating eq. 1 for one output transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationEvaluation {
+    /// The degraded propagation delay `tp`.
+    pub delay: TimeDelta,
+    /// The attenuation factor `tp / tp0` in `[0, 1]`.
+    pub factor: f64,
+    /// The time constant `tau` used (eq. 2).
+    pub tau: TimeDelta,
+    /// The dead-band `T0` used (eq. 3).
+    pub t_zero: TimeDelta,
+}
+
+impl DegradationEvaluation {
+    /// `true` when the transition is completely collapsed (`tp == 0`), i.e.
+    /// the gate could not respond at all to this excitation.
+    pub fn is_fully_collapsed(&self) -> bool {
+        self.delay == TimeDelta::ZERO
+    }
+
+    /// `true` when no degradation was applied (`tp == tp0`).
+    pub fn is_undegraded(&self) -> bool {
+        (self.factor - 1.0).abs() < 1e-12
+    }
+}
+
+/// Evaluates paper eq. 1.
+///
+/// * `nominal_delay` — `tp0`, from the conventional delay model.
+/// * `coeffs` — the `A`, `B`, `C` degradation constants of this timing arc.
+/// * `vdd` — supply voltage.
+/// * `load` — output load capacitance `CL`.
+/// * `input_slew` — the input transition time `tau_in` that triggered the
+///   output transition (enters `T0`, eq. 3).
+/// * `time_since_last_output` — `T`, the time elapsed since the previous
+///   output transition of the same gate; `None` means the gate has been
+///   quiet "forever" and no degradation applies.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Capacitance, TimeDelta, Voltage};
+/// use halotis_delay::{degradation, DegradationCoeffs};
+///
+/// let coeffs = DegradationCoeffs {
+///     a_volt_seconds: 1.0e-9,
+///     b_volt_per_farad_seconds: 0.0,
+///     c_volts: 0.0,
+/// };
+/// let tp0 = TimeDelta::from_ps(200.0);
+/// let vdd = Voltage::from_volts(5.0);
+/// let load = Capacitance::from_femtofarads(10.0);
+/// let slew = TimeDelta::from_ps(100.0);
+///
+/// // Quiet gate: no degradation.
+/// let fresh = degradation::evaluate(tp0, &coeffs, vdd, load, slew, None);
+/// assert_eq!(fresh.delay, tp0);
+///
+/// // Re-excited immediately: fully collapsed.
+/// let collapsed = degradation::evaluate(tp0, &coeffs, vdd, load, slew, Some(TimeDelta::ZERO));
+/// assert!(collapsed.is_fully_collapsed());
+/// ```
+pub fn evaluate(
+    nominal_delay: TimeDelta,
+    coeffs: &DegradationCoeffs,
+    vdd: Voltage,
+    load: Capacitance,
+    input_slew: TimeDelta,
+    time_since_last_output: Option<TimeDelta>,
+) -> DegradationEvaluation {
+    let tau = coeffs.tau(vdd, load);
+    let t_zero = coeffs.t_zero(vdd, input_slew);
+
+    let factor = match time_since_last_output {
+        None => 1.0,
+        Some(t) => degradation_factor(t, t_zero, tau),
+    };
+
+    DegradationEvaluation {
+        delay: nominal_delay.scale(factor),
+        factor,
+        tau,
+        t_zero,
+    }
+}
+
+/// The bare attenuation factor `1 - exp(-(T - T0)/tau)`, clamped to `[0, 1]`.
+///
+/// A zero (or negative) `tau` means degradation is disabled and the factor is
+/// `1` for any `T > T0` and `0` otherwise (the classical abrupt behaviour).
+pub fn degradation_factor(elapsed: TimeDelta, t_zero: TimeDelta, tau: TimeDelta) -> f64 {
+    let t_minus_t0 = elapsed - t_zero;
+    if t_minus_t0 <= TimeDelta::ZERO {
+        return 0.0;
+    }
+    if tau <= TimeDelta::ZERO {
+        return 1.0;
+    }
+    let ratio = t_minus_t0.as_fs() as f64 / tau.as_fs() as f64;
+    let factor = 1.0 - (-ratio).exp();
+    factor.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn coeffs() -> DegradationCoeffs {
+        DegradationCoeffs {
+            a_volt_seconds: 1.0e-9, // tau = 200 ps at 5 V, no load term
+            b_volt_per_farad_seconds: 0.0,
+            c_volts: 1.25, // T0 = 0.25 * tau_in
+        }
+    }
+
+    fn eval(elapsed_ps: Option<f64>) -> DegradationEvaluation {
+        evaluate(
+            TimeDelta::from_ps(200.0),
+            &coeffs(),
+            Voltage::from_volts(5.0),
+            Capacitance::from_femtofarads(10.0),
+            TimeDelta::from_ps(100.0),
+            elapsed_ps.map(TimeDelta::from_ps),
+        )
+    }
+
+    #[test]
+    fn quiet_gate_has_no_degradation() {
+        let e = eval(None);
+        assert!(e.is_undegraded());
+        assert_eq!(e.delay, TimeDelta::from_ps(200.0));
+    }
+
+    #[test]
+    fn within_dead_band_fully_collapses() {
+        // T0 = 25 ps here.
+        let e = eval(Some(10.0));
+        assert!(e.is_fully_collapsed());
+        assert_eq!(e.factor, 0.0);
+    }
+
+    #[test]
+    fn long_elapsed_time_converges_to_nominal() {
+        let e = eval(Some(100_000.0));
+        assert!((e.factor - 1.0).abs() < 1e-9);
+        assert_eq!(e.delay, TimeDelta::from_ps(200.0));
+    }
+
+    #[test]
+    fn one_tau_after_dead_band_gives_expected_factor() {
+        // T = T0 + tau = 25 + 200 = 225 ps -> factor = 1 - e^-1
+        let e = eval(Some(225.0));
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((e.factor - expected).abs() < 1e-6, "factor={}", e.factor);
+        assert!(e.delay < TimeDelta::from_ps(200.0));
+        assert!(e.delay > TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn reports_tau_and_t0_from_eq2_eq3() {
+        let e = eval(Some(50.0));
+        assert_eq!(e.tau, TimeDelta::from_ps(200.0));
+        assert_eq!(e.t_zero, TimeDelta::from_ps(25.0));
+    }
+
+    #[test]
+    fn zero_tau_reproduces_abrupt_classical_behaviour() {
+        let f_before = degradation_factor(
+            TimeDelta::from_ps(10.0),
+            TimeDelta::from_ps(25.0),
+            TimeDelta::ZERO,
+        );
+        let f_after = degradation_factor(
+            TimeDelta::from_ps(30.0),
+            TimeDelta::from_ps(25.0),
+            TimeDelta::ZERO,
+        );
+        assert_eq!(f_before, 0.0);
+        assert_eq!(f_after, 1.0);
+    }
+
+    #[test]
+    fn load_increases_tau_and_slows_recovery() {
+        let c = DegradationCoeffs {
+            a_volt_seconds: 1.0e-9,
+            b_volt_per_farad_seconds: 20.0e3,
+            c_volts: 0.0,
+        };
+        let vdd = Voltage::from_volts(5.0);
+        let slew = TimeDelta::from_ps(100.0);
+        let t = Some(TimeDelta::from_ps(300.0));
+        let light = evaluate(TimeDelta::from_ps(200.0), &c, vdd, Capacitance::ZERO, slew, t);
+        let heavy = evaluate(
+            TimeDelta::from_ps(200.0),
+            &c,
+            vdd,
+            Capacitance::from_femtofarads(200.0),
+            slew,
+            t,
+        );
+        assert!(heavy.tau > light.tau);
+        assert!(heavy.factor < light.factor);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_factor_is_bounded(elapsed in 0.0f64..1e6, t0 in 0.0f64..1e3, tau in 0.0f64..1e4) {
+            let f = degradation_factor(
+                TimeDelta::from_ps(elapsed),
+                TimeDelta::from_ps(t0),
+                TimeDelta::from_ps(tau),
+            );
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_factor_monotone_in_elapsed(a in 0.0f64..1e5, b in 0.0f64..1e5) {
+            let t0 = TimeDelta::from_ps(50.0);
+            let tau = TimeDelta::from_ps(300.0);
+            let fa = degradation_factor(TimeDelta::from_ps(a), t0, tau);
+            let fb = degradation_factor(TimeDelta::from_ps(b), t0, tau);
+            if a <= b {
+                prop_assert!(fa <= fb + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_degraded_delay_never_exceeds_nominal(elapsed in 0.0f64..1e6) {
+            let e = evaluate(
+                TimeDelta::from_ps(200.0),
+                &coeffs(),
+                Voltage::from_volts(5.0),
+                Capacitance::from_femtofarads(25.0),
+                TimeDelta::from_ps(150.0),
+                Some(TimeDelta::from_ps(elapsed)),
+            );
+            prop_assert!(e.delay <= TimeDelta::from_ps(200.0));
+            prop_assert!(e.delay >= TimeDelta::ZERO);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The classical inertial-delay filtering rule.
+//!
+//! Conventional event-driven simulators (the VHDL/Verilog semantics the
+//! paper argues against) filter pulses *at the driving gate output*: a pulse
+//! whose width is smaller than the gate's inertial delay (usually the
+//! propagation delay itself) is deleted for **all** fanout gates.  The paper's
+//! Fig. 1 shows how this single, output-side decision produces wrong results
+//! when fanout gates have different input thresholds.
+//!
+//! This module implements that classical rule so the baseline simulator
+//! (`halotis-sim::classical`) can reproduce the erroneous behaviour for
+//! comparison, and so ablation benches can quantify the difference.
+
+use halotis_core::TimeDelta;
+
+/// The decision taken by the classical inertial filter for a scheduled
+/// output pulse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InertialDecision {
+    /// The pulse is wide enough: both edges are kept.
+    Propagate,
+    /// The pulse is narrower than the inertial delay: both edges are
+    /// cancelled at the gate output (for every fanout).
+    Filter,
+}
+
+impl InertialDecision {
+    /// `true` if the pulse survives.
+    pub const fn propagates(self) -> bool {
+        matches!(self, InertialDecision::Propagate)
+    }
+}
+
+/// Applies the classical inertial-delay rule.
+///
+/// `pulse_width` is the separation between the two scheduled output edges
+/// forming the pulse; `inertial_delay` is the filtering threshold (by
+/// convention the gate propagation delay).
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::TimeDelta;
+/// use halotis_delay::inertial::{decide, InertialDecision};
+///
+/// let delay = TimeDelta::from_ps(200.0);
+/// assert_eq!(decide(TimeDelta::from_ps(500.0), delay), InertialDecision::Propagate);
+/// assert_eq!(decide(TimeDelta::from_ps(100.0), delay), InertialDecision::Filter);
+/// ```
+pub fn decide(pulse_width: TimeDelta, inertial_delay: TimeDelta) -> InertialDecision {
+    if pulse_width >= inertial_delay {
+        InertialDecision::Propagate
+    } else {
+        InertialDecision::Filter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wide_pulses_propagate() {
+        assert!(decide(TimeDelta::from_ps(300.0), TimeDelta::from_ps(100.0)).propagates());
+    }
+
+    #[test]
+    fn narrow_pulses_are_filtered() {
+        assert!(!decide(TimeDelta::from_ps(50.0), TimeDelta::from_ps(100.0)).propagates());
+    }
+
+    #[test]
+    fn equal_width_propagates_by_convention() {
+        assert_eq!(
+            decide(TimeDelta::from_ps(100.0), TimeDelta::from_ps(100.0)),
+            InertialDecision::Propagate
+        );
+    }
+
+    #[test]
+    fn zero_inertial_delay_never_filters() {
+        assert!(decide(TimeDelta::ZERO, TimeDelta::ZERO).propagates());
+        assert!(decide(TimeDelta::from_ps(1.0), TimeDelta::ZERO).propagates());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decision_is_abrupt_step(width in 0.0f64..1e4, delay in 0.0f64..1e4) {
+            let d = decide(TimeDelta::from_ps(width), TimeDelta::from_ps(delay));
+            // The classical rule is a hard step: exactly one of the two outcomes,
+            // decided purely by the comparison.
+            prop_assert_eq!(d.propagates(), TimeDelta::from_ps(width) >= TimeDelta::from_ps(delay));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Gate delay models for the HALOTIS timing simulator.
+//!
+//! This crate implements the analytical models of the paper
+//! *"HALOTIS: High Accuracy LOgic TIming Simulator with inertial and
+//! degradation delay model"* (DATE 2001):
+//!
+//! * the **conventional delay model** (CDM): a load- and slew-dependent
+//!   linear propagation-delay and output-slew model ([`nominal`]),
+//! * the **degradation delay model** (DDM): the exponential collapse of the
+//!   propagation delay when a gate switches again shortly after its previous
+//!   output transition — paper eq. 1–3 ([`degradation`]),
+//! * the **classical inertial filtering rule** used by conventional
+//!   simulators, needed as a baseline ([`inertial`]),
+//! * a small **characterisation** module that fits degradation coefficients
+//!   from measurement points, as a cell-library bring-up aid
+//!   ([`characterize`]).
+//!
+//! The cell library (in `halotis-netlist`) stores one [`EdgeTiming`] per
+//! (input pin, output edge) pair; the simulator evaluates it through
+//! [`model::evaluate`].
+//!
+//! # Example
+//!
+//! ```
+//! use halotis_core::{Capacitance, TimeDelta, Voltage};
+//! use halotis_delay::{DelayContext, DelayModelKind, EdgeTiming, model};
+//!
+//! let timing = EdgeTiming::example();
+//! let ctx = DelayContext {
+//!     vdd: Voltage::from_volts(5.0),
+//!     load: Capacitance::from_femtofarads(30.0),
+//!     input_slew: TimeDelta::from_ps(200.0),
+//!     time_since_last_output: None,
+//! };
+//! let fresh = model::evaluate(&timing, DelayModelKind::Degradation, &ctx);
+//! // A gate that has been quiet for a long time sees no degradation.
+//! assert_eq!(fresh.delay, fresh.nominal_delay);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod coeffs;
+pub mod degradation;
+pub mod inertial;
+pub mod model;
+pub mod nominal;
+
+pub use coeffs::{DegradationCoeffs, EdgeTiming, PinTiming, PropagationCoeffs, SlewCoeffs};
+pub use degradation::DegradationEvaluation;
+pub use model::{DelayContext, DelayModelKind, DelayOutcome};

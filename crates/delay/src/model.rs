@@ -1,0 +1,227 @@
+//! The unified delay-model entry point used by the simulation engines.
+//!
+//! A simulator evaluates one timing arc per output transition.  The
+//! [`DelayModelKind`] selects between:
+//!
+//! * [`DelayModelKind::Conventional`] — nominal delay only (the paper's
+//!   "HALOTIS-CDM" configuration),
+//! * [`DelayModelKind::Degradation`] — nominal delay attenuated by paper
+//!   eq. 1 (the paper's "HALOTIS-DDM" configuration).
+
+use std::fmt;
+
+use halotis_core::{Capacitance, TimeDelta, Voltage};
+
+use crate::coeffs::EdgeTiming;
+use crate::degradation;
+use crate::nominal;
+
+/// Which delay model the simulation engine applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum DelayModelKind {
+    /// Conventional delay model: `tp = tp0`, no degradation (HALOTIS-CDM).
+    Conventional,
+    /// Inertial and degradation delay model: `tp` follows paper eq. 1
+    /// (HALOTIS-DDM).
+    #[default]
+    Degradation,
+}
+
+impl DelayModelKind {
+    /// Short label used in reports and benchmark output
+    /// (`"CDM"` / `"DDM"`), matching the paper's terminology.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DelayModelKind::Conventional => "CDM",
+            DelayModelKind::Degradation => "DDM",
+        }
+    }
+
+    /// Both model kinds, convenient for comparison sweeps.
+    pub const fn both() -> [DelayModelKind; 2] {
+        [DelayModelKind::Degradation, DelayModelKind::Conventional]
+    }
+}
+
+impl fmt::Display for DelayModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything the delay model needs to know about the switching situation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayContext {
+    /// Supply voltage.
+    pub vdd: Voltage,
+    /// Output load capacitance `CL` (fanout input capacitance plus wire).
+    pub load: Capacitance,
+    /// Transition time of the input ramp that triggered this evaluation.
+    pub input_slew: TimeDelta,
+    /// `T`: time elapsed since the gate's previous output transition, or
+    /// `None` when the output has never switched (no degradation possible).
+    pub time_since_last_output: Option<TimeDelta>,
+}
+
+/// The evaluated timing of one output transition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayOutcome {
+    /// Effective propagation delay actually applied (degraded if DDM).
+    pub delay: TimeDelta,
+    /// Nominal (undegraded) propagation delay `tp0`.
+    pub nominal_delay: TimeDelta,
+    /// Output transition time of the generated ramp.
+    pub output_slew: TimeDelta,
+    /// Degradation attenuation factor `tp / tp0` in `[0, 1]` (always `1` for
+    /// the conventional model).
+    pub degradation_factor: f64,
+}
+
+impl DelayOutcome {
+    /// `true` when degradation reduced the delay for this transition.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation_factor < 1.0 - 1e-12
+    }
+
+    /// `true` when the transition was completely collapsed (zero delay
+    /// budget); the engine treats such output excitations as producing an
+    /// immediate (and typically immediately cancelled) transition.
+    pub fn is_fully_collapsed(&self) -> bool {
+        self.delay == TimeDelta::ZERO && self.nominal_delay > TimeDelta::ZERO
+    }
+}
+
+/// Evaluates one timing arc under the selected delay model.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Capacitance, TimeDelta, Voltage};
+/// use halotis_delay::{model, DelayContext, DelayModelKind, EdgeTiming};
+///
+/// let arc = EdgeTiming::example();
+/// let ctx = DelayContext {
+///     vdd: Voltage::from_volts(5.0),
+///     load: Capacitance::from_femtofarads(15.0),
+///     input_slew: TimeDelta::from_ps(150.0),
+///     time_since_last_output: Some(TimeDelta::from_ps(80.0)),
+/// };
+/// let ddm = model::evaluate(&arc, DelayModelKind::Degradation, &ctx);
+/// let cdm = model::evaluate(&arc, DelayModelKind::Conventional, &ctx);
+/// assert!(ddm.delay <= cdm.delay);
+/// assert_eq!(cdm.degradation_factor, 1.0);
+/// ```
+pub fn evaluate(arc: &EdgeTiming, kind: DelayModelKind, ctx: &DelayContext) -> DelayOutcome {
+    let nominal = nominal::timing(arc, ctx.load, ctx.input_slew);
+    match kind {
+        DelayModelKind::Conventional => DelayOutcome {
+            delay: nominal.delay,
+            nominal_delay: nominal.delay,
+            output_slew: nominal.output_slew,
+            degradation_factor: 1.0,
+        },
+        DelayModelKind::Degradation => {
+            let eval = degradation::evaluate(
+                nominal.delay,
+                &arc.degradation,
+                ctx.vdd,
+                ctx.load,
+                ctx.input_slew,
+                ctx.time_since_last_output,
+            );
+            DelayOutcome {
+                delay: eval.delay,
+                nominal_delay: nominal.delay,
+                // The output ramp itself also shrinks with the same factor:
+                // a degraded (partial-swing) excitation produces a weaker,
+                // but *faster to describe*, ramp.  Keeping the slew at its
+                // nominal value is also defensible; scaling it keeps narrow
+                // pulses narrow after propagation, which is the behaviour the
+                // paper's HSPICE traces show.  Never below 1 fs.
+                output_slew: nominal
+                    .output_slew
+                    .scale(eval.factor.max(0.05))
+                    .max(TimeDelta::from_fs(1)),
+                degradation_factor: eval.factor,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ctx(elapsed_ps: Option<f64>) -> DelayContext {
+        DelayContext {
+            vdd: Voltage::from_volts(5.0),
+            load: Capacitance::from_femtofarads(20.0),
+            input_slew: TimeDelta::from_ps(150.0),
+            time_since_last_output: elapsed_ps.map(TimeDelta::from_ps),
+        }
+    }
+
+    #[test]
+    fn conventional_ignores_history() {
+        let arc = EdgeTiming::example();
+        let quiet = evaluate(&arc, DelayModelKind::Conventional, &ctx(None));
+        let busy = evaluate(&arc, DelayModelKind::Conventional, &ctx(Some(5.0)));
+        assert_eq!(quiet, busy);
+        assert_eq!(quiet.degradation_factor, 1.0);
+        assert!(!quiet.is_degraded());
+    }
+
+    #[test]
+    fn degradation_reduces_delay_for_recent_activity() {
+        let arc = EdgeTiming::example();
+        let quiet = evaluate(&arc, DelayModelKind::Degradation, &ctx(None));
+        let busy = evaluate(&arc, DelayModelKind::Degradation, &ctx(Some(50.0)));
+        assert_eq!(quiet.delay, quiet.nominal_delay);
+        assert!(busy.delay < quiet.delay);
+        assert!(busy.is_degraded());
+    }
+
+    #[test]
+    fn fully_collapsed_is_detected() {
+        let arc = EdgeTiming::example();
+        let collapsed = evaluate(&arc, DelayModelKind::Degradation, &ctx(Some(0.0)));
+        assert!(collapsed.is_fully_collapsed());
+        // Output slew stays strictly positive even when fully collapsed.
+        assert!(collapsed.output_slew > TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(DelayModelKind::Conventional.label(), "CDM");
+        assert_eq!(DelayModelKind::Degradation.label(), "DDM");
+        assert_eq!(DelayModelKind::default(), DelayModelKind::Degradation);
+        assert_eq!(format!("{}", DelayModelKind::Conventional), "CDM");
+        assert_eq!(DelayModelKind::both().len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ddm_never_slower_than_cdm(elapsed in 0.0f64..1e5, load in 1.0f64..200.0, slew in 10.0f64..800.0) {
+            let arc = EdgeTiming::example();
+            let ctx = DelayContext {
+                vdd: Voltage::from_volts(5.0),
+                load: Capacitance::from_femtofarads(load),
+                input_slew: TimeDelta::from_ps(slew),
+                time_since_last_output: Some(TimeDelta::from_ps(elapsed)),
+            };
+            let ddm = evaluate(&arc, DelayModelKind::Degradation, &ctx);
+            let cdm = evaluate(&arc, DelayModelKind::Conventional, &ctx);
+            prop_assert!(ddm.delay <= cdm.delay);
+            prop_assert_eq!(ddm.nominal_delay, cdm.delay);
+            prop_assert!(ddm.output_slew <= cdm.output_slew);
+        }
+
+        #[test]
+        fn prop_factor_in_unit_interval(elapsed in 0.0f64..1e6) {
+            let arc = EdgeTiming::example();
+            let out = evaluate(&arc, DelayModelKind::Degradation, &ctx(Some(elapsed)));
+            prop_assert!((0.0..=1.0).contains(&out.degradation_factor));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The conventional (non-degraded) delay model.
+//!
+//! This is the "CDM" of the paper: a first-order load- and slew-dependent
+//! linear model that provides the nominal propagation delay `tp0` and the
+//! output transition time `tau_out`.  It is intentionally simple — the paper
+//! cites more elaborate analytical models for `tp0` ([1], [2] in the paper)
+//! but its contribution is orthogonal to how `tp0` itself is obtained.
+
+use halotis_core::{Capacitance, TimeDelta};
+
+use crate::coeffs::EdgeTiming;
+
+/// Nominal (undegraded) timing of one output transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NominalTiming {
+    /// Propagation delay `tp0` from the triggering input event to the output
+    /// half-swing crossing.
+    pub delay: TimeDelta,
+    /// Output transition time (full-swing ramp duration).
+    pub output_slew: TimeDelta,
+}
+
+/// Computes the nominal delay and output slew of a timing arc.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Capacitance, TimeDelta};
+/// use halotis_delay::{nominal, EdgeTiming};
+///
+/// let arc = EdgeTiming::example();
+/// let t = nominal::timing(&arc, Capacitance::from_femtofarads(20.0), TimeDelta::from_ps(100.0));
+/// assert!(t.delay > TimeDelta::ZERO);
+/// assert!(t.output_slew > TimeDelta::ZERO);
+/// ```
+pub fn timing(arc: &EdgeTiming, load: Capacitance, input_slew: TimeDelta) -> NominalTiming {
+    NominalTiming {
+        delay: arc.propagation.nominal_delay(load, input_slew),
+        output_slew: arc.output_slew.output_slew(load),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::TimeDelta;
+
+    #[test]
+    fn timing_uses_both_coefficient_groups() {
+        let arc = EdgeTiming::example();
+        let load = Capacitance::from_femtofarads(10.0);
+        let slew = TimeDelta::from_ps(200.0);
+        let t = timing(&arc, load, slew);
+        assert_eq!(t.delay, arc.propagation.nominal_delay(load, slew));
+        assert_eq!(t.output_slew, arc.output_slew.output_slew(load));
+    }
+
+    #[test]
+    fn heavier_load_is_slower_and_slewier() {
+        let arc = EdgeTiming::example();
+        let slew = TimeDelta::from_ps(100.0);
+        let light = timing(&arc, Capacitance::from_femtofarads(5.0), slew);
+        let heavy = timing(&arc, Capacitance::from_femtofarads(100.0), slew);
+        assert!(heavy.delay > light.delay);
+        assert!(heavy.output_slew > light.output_slew);
+    }
+
+    #[test]
+    fn slower_input_means_longer_delay() {
+        let arc = EdgeTiming::example();
+        let load = Capacitance::from_femtofarads(20.0);
+        let fast = timing(&arc, load, TimeDelta::from_ps(50.0));
+        let slow = timing(&arc, load, TimeDelta::from_ps(500.0));
+        assert!(slow.delay > fast.delay);
+    }
+}

@@ -1,0 +1,288 @@
+//! Combinational cell kinds and their boolean behaviour.
+
+use std::fmt;
+use std::str::FromStr;
+
+use halotis_core::LogicLevel;
+
+/// The combinational cells understood by the simulator.
+///
+/// The set covers what the paper's circuits need (inverters, buffers, the
+/// AND/OR/XOR family in 2- and 3-input flavours and NAND/NOR) — enough to
+/// express the Fig. 5 multiplier, full adders and the ISCAS-style test
+/// circuits used by the benches.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::LogicLevel::{High, Low};
+/// use halotis_netlist::CellKind;
+///
+/// assert_eq!(CellKind::Nand2.evaluate(&[High, High]), Low);
+/// assert_eq!(CellKind::Xor2.evaluate(&[High, Low]), High);
+/// assert_eq!(CellKind::Inv.input_count(), 1);
+/// assert_eq!("nand2".parse::<CellKind>().unwrap(), CellKind::Nand2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 3-input AND.
+    And3,
+    /// 3-input OR.
+    Or3,
+    /// 3-input NAND.
+    Nand3,
+    /// 3-input NOR.
+    Nor3,
+}
+
+impl CellKind {
+    /// All supported cell kinds.
+    pub const ALL: [CellKind; 12] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::And3,
+        CellKind::Or3,
+        CellKind::Nand3,
+        CellKind::Nor3,
+    ];
+
+    /// Number of input pins.
+    pub const fn input_count(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::And3 | CellKind::Or3 | CellKind::Nand3 | CellKind::Nor3 => 3,
+        }
+    }
+
+    /// `true` for cells whose output is the complement of the underlying
+    /// AND/OR/identity function (inverting cells are a transistor stage
+    /// cheaper in CMOS and get slightly different default characterisation).
+    pub const fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            CellKind::Inv
+                | CellKind::Nand2
+                | CellKind::Nor2
+                | CellKind::Xnor2
+                | CellKind::Nand3
+                | CellKind::Nor3
+        )
+    }
+
+    /// The canonical lower-case name used by the netlist text format.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "inv",
+            CellKind::Buf => "buf",
+            CellKind::And2 => "and2",
+            CellKind::Or2 => "or2",
+            CellKind::Nand2 => "nand2",
+            CellKind::Nor2 => "nor2",
+            CellKind::Xor2 => "xor2",
+            CellKind::Xnor2 => "xnor2",
+            CellKind::And3 => "and3",
+            CellKind::Or3 => "or3",
+            CellKind::Nand3 => "nand3",
+            CellKind::Nor3 => "nor3",
+        }
+    }
+
+    /// Evaluates the cell on the given input levels.
+    ///
+    /// Any [`LogicLevel::Unknown`] input makes the output unknown unless the
+    /// defined inputs already force the output (e.g. a low input of an AND
+    /// gate forces a low output) — the usual three-valued gate semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`input_count`](Self::input_count).
+    pub fn evaluate(self, inputs: &[LogicLevel]) -> LogicLevel {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "cell {self} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        use LogicLevel::{High, Low, Unknown};
+        let and_all = |inputs: &[LogicLevel]| -> LogicLevel {
+            if inputs.iter().any(|&l| l == Low) {
+                Low
+            } else if inputs.iter().all(|&l| l == High) {
+                High
+            } else {
+                Unknown
+            }
+        };
+        let or_all = |inputs: &[LogicLevel]| -> LogicLevel {
+            if inputs.iter().any(|&l| l == High) {
+                High
+            } else if inputs.iter().all(|&l| l == Low) {
+                Low
+            } else {
+                Unknown
+            }
+        };
+        let xor_all = |inputs: &[LogicLevel]| -> LogicLevel {
+            let mut acc = Low;
+            for &l in inputs {
+                acc = match (acc, l) {
+                    (Unknown, _) | (_, Unknown) => return Unknown,
+                    (a, b) => {
+                        if a != b {
+                            High
+                        } else {
+                            Low
+                        }
+                    }
+                };
+            }
+            acc
+        };
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And2 | CellKind::And3 => and_all(inputs),
+            CellKind::Nand2 | CellKind::Nand3 => !and_all(inputs),
+            CellKind::Or2 | CellKind::Or3 => or_all(inputs),
+            CellKind::Nor2 | CellKind::Nor3 => !or_all(inputs),
+            CellKind::Xor2 => xor_all(inputs),
+            CellKind::Xnor2 => !xor_all(inputs),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown cell name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCellKindError {
+    name: String,
+}
+
+impl fmt::Display for ParseCellKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cell kind: {}", self.name)
+    }
+}
+
+impl std::error::Error for ParseCellKindError {}
+
+impl FromStr for CellKind {
+    type Err = ParseCellKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CellKind::ALL
+            .into_iter()
+            .find(|kind| kind.name() == s)
+            .ok_or_else(|| ParseCellKindError {
+                name: s.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::LogicLevel::{High, Low, Unknown};
+
+    #[test]
+    fn truth_tables_of_two_input_cells() {
+        let cases = [
+            (CellKind::And2, [Low, Low, Low, High]),
+            (CellKind::Or2, [Low, High, High, High]),
+            (CellKind::Nand2, [High, High, High, Low]),
+            (CellKind::Nor2, [High, Low, Low, Low]),
+            (CellKind::Xor2, [Low, High, High, Low]),
+            (CellKind::Xnor2, [High, Low, Low, High]),
+        ];
+        let inputs = [[Low, Low], [Low, High], [High, Low], [High, High]];
+        for (kind, expected) in cases {
+            for (pattern, want) in inputs.iter().zip(expected) {
+                assert_eq!(kind.evaluate(pattern), want, "{kind} on {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_and_buffer() {
+        assert_eq!(CellKind::Inv.evaluate(&[Low]), High);
+        assert_eq!(CellKind::Inv.evaluate(&[High]), Low);
+        assert_eq!(CellKind::Buf.evaluate(&[High]), High);
+        assert_eq!(CellKind::Inv.evaluate(&[Unknown]), Unknown);
+    }
+
+    #[test]
+    fn three_input_cells() {
+        assert_eq!(CellKind::And3.evaluate(&[High, High, High]), High);
+        assert_eq!(CellKind::And3.evaluate(&[High, Low, High]), Low);
+        assert_eq!(CellKind::Nand3.evaluate(&[High, High, High]), Low);
+        assert_eq!(CellKind::Or3.evaluate(&[Low, Low, Low]), Low);
+        assert_eq!(CellKind::Nor3.evaluate(&[Low, Low, High]), Low);
+    }
+
+    #[test]
+    fn unknown_propagation_respects_controlling_values() {
+        assert_eq!(CellKind::And2.evaluate(&[Low, Unknown]), Low);
+        assert_eq!(CellKind::And2.evaluate(&[High, Unknown]), Unknown);
+        assert_eq!(CellKind::Or2.evaluate(&[High, Unknown]), High);
+        assert_eq!(CellKind::Or2.evaluate(&[Low, Unknown]), Unknown);
+        assert_eq!(CellKind::Xor2.evaluate(&[High, Unknown]), Unknown);
+    }
+
+    #[test]
+    fn names_round_trip_through_parsing() {
+        for kind in CellKind::ALL {
+            assert_eq!(kind.name().parse::<CellKind>().unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        let err = "nand9".parse::<CellKind>().unwrap_err();
+        assert_eq!(err.to_string(), "unknown cell kind: nand9");
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(CellKind::Inv.is_inverting());
+        assert!(CellKind::Nand2.is_inverting());
+        assert!(!CellKind::And2.is_inverting());
+        assert!(!CellKind::Buf.is_inverting());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        CellKind::And2.evaluate(&[High]);
+    }
+}

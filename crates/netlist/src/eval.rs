@@ -1,0 +1,152 @@
+//! Zero-delay functional evaluation.
+//!
+//! Timing simulators need a functional reference: the logic value every net
+//! settles to, ignoring delays.  This module evaluates a netlist statically
+//! given the primary-input levels, using the levelized gate order.  It is
+//! used to initialise the event-driven engines (the state of every net
+//! before the first stimulus edge) and by tests that check generated
+//! circuits (adders, multipliers) against integer arithmetic.
+
+use halotis_core::{LogicLevel, NetId};
+
+use crate::levelize;
+use crate::netlist::Netlist;
+
+/// Evaluates every net of `netlist` for the given primary-input levels.
+///
+/// Unassigned primary inputs evaluate as [`LogicLevel::Unknown`]; unknowns
+/// propagate through gates using three-valued logic.
+///
+/// The result is indexed by [`NetId`].
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::LogicLevel;
+/// use halotis_netlist::{eval, generators};
+///
+/// let netlist = generators::multiplier(2, 2);
+/// let a = [netlist.net_id("a0").unwrap(), netlist.net_id("a1").unwrap()];
+/// let b = [netlist.net_id("b0").unwrap(), netlist.net_id("b1").unwrap()];
+/// // 3 x 2 = 6 = 0b0110
+/// let levels = eval::evaluate(
+///     &netlist,
+///     &[
+///         (a[0], LogicLevel::High),
+///         (a[1], LogicLevel::High),
+///         (b[0], LogicLevel::Low),
+///         (b[1], LogicLevel::High),
+///     ],
+/// );
+/// let s1 = netlist.net_id("s1").unwrap();
+/// let s2 = netlist.net_id("s2").unwrap();
+/// assert_eq!(levels[s1.index()], LogicLevel::High);
+/// assert_eq!(levels[s2.index()], LogicLevel::High);
+/// ```
+pub fn evaluate(netlist: &Netlist, assignments: &[(NetId, LogicLevel)]) -> Vec<LogicLevel> {
+    let mut levels = vec![LogicLevel::Unknown; netlist.net_count()];
+    for &(net, level) in assignments {
+        levels[net.index()] = level;
+    }
+    let order = levelize::levelize(netlist);
+    let mut inputs_scratch = Vec::with_capacity(3);
+    for gate_id in order.topological_order() {
+        let gate = netlist.gate(gate_id);
+        inputs_scratch.clear();
+        inputs_scratch.extend(gate.inputs().iter().map(|&net| levels[net.index()]));
+        levels[gate.output().index()] = gate.kind().evaluate(&inputs_scratch);
+    }
+    levels
+}
+
+/// Convenience wrapper: evaluates the circuit and reads back a bus of output
+/// nets (LSB first) as an integer.  Returns `None` when any requested bit is
+/// unknown.
+pub fn evaluate_bus(
+    netlist: &Netlist,
+    assignments: &[(NetId, LogicLevel)],
+    bus: &[NetId],
+) -> Option<u64> {
+    let levels = evaluate(netlist, assignments);
+    let mut value = 0u64;
+    for (position, net) in bus.iter().enumerate() {
+        match levels[net.index()] {
+            LogicLevel::High => value |= 1 << position,
+            LogicLevel::Low => {}
+            LogicLevel::Unknown => return None,
+        }
+    }
+    Some(value)
+}
+
+/// Builds the assignment list that drives a bus of input nets (LSB first)
+/// with the binary representation of `value`.
+pub fn bus_assignment(bus: &[NetId], value: u64) -> Vec<(NetId, LogicLevel)> {
+    bus.iter()
+        .enumerate()
+        .map(|(position, &net)| (net, LogicLevel::from_bool((value >> position) & 1 == 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn xor_tree() -> Netlist {
+        let mut builder = NetlistBuilder::new("xor_tree");
+        let a = builder.add_input("a");
+        let b = builder.add_input("b");
+        let c = builder.add_input("c");
+        let ab = builder.add_net("ab");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Xor2, "g1", &[a, b], ab).unwrap();
+        builder.add_gate(CellKind::Xor2, "g2", &[ab, c], y).unwrap();
+        builder.mark_output(y);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn evaluates_parity() {
+        let netlist = xor_tree();
+        let nets: Vec<NetId> = ["a", "b", "c"]
+            .iter()
+            .map(|n| netlist.net_id(n).unwrap())
+            .collect();
+        let y = netlist.net_id("y").unwrap();
+        for value in 0..8u64 {
+            let assignment = bus_assignment(&nets, value);
+            let levels = evaluate(&netlist, &assignment);
+            let expected = LogicLevel::from_bool(value.count_ones() % 2 == 1);
+            assert_eq!(levels[y.index()], expected, "value {value}");
+        }
+    }
+
+    #[test]
+    fn unknown_inputs_propagate() {
+        let netlist = xor_tree();
+        let a = netlist.net_id("a").unwrap();
+        let y = netlist.net_id("y").unwrap();
+        let levels = evaluate(&netlist, &[(a, LogicLevel::High)]);
+        assert_eq!(levels[y.index()], LogicLevel::Unknown);
+        assert_eq!(
+            evaluate_bus(&netlist, &[(a, LogicLevel::High)], &[y]),
+            None
+        );
+    }
+
+    #[test]
+    fn evaluate_bus_reads_integers() {
+        let netlist = xor_tree();
+        let nets: Vec<NetId> = ["a", "b", "c"]
+            .iter()
+            .map(|n| netlist.net_id(n).unwrap())
+            .collect();
+        let y = netlist.net_id("y").unwrap();
+        let value = evaluate_bus(&netlist, &bus_assignment(&nets, 0b011), &[y]);
+        assert_eq!(value, Some(0));
+        let value = evaluate_bus(&netlist, &bus_assignment(&nets, 0b111), &[y]);
+        assert_eq!(value, Some(1));
+    }
+}

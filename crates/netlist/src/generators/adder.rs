@@ -1,0 +1,189 @@
+//! Full-adder and ripple-carry-adder generators.
+
+use halotis_core::NetId;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Instantiates a full-adder cell (`sum = a ^ b ^ cin`,
+/// `cout = a·b + (a^b)·cin`) into an existing builder using XOR/AND/OR
+/// gates, writing the results onto the caller-provided `sum` and `cout`
+/// nets.
+///
+/// When `cin` is `None` the cell degenerates into a half adder (2 gates
+/// instead of 5).  Internal nets and gate names are prefixed with `prefix`.
+///
+/// # Panics
+///
+/// Panics if `sum` or `cout` already have a driver (the builder reports it
+/// as a multiple-driver error, which generators treat as a programming
+/// mistake).
+pub fn full_adder_cell(
+    builder: &mut NetlistBuilder,
+    prefix: &str,
+    a: NetId,
+    b: NetId,
+    cin: Option<NetId>,
+    sum: NetId,
+    cout: NetId,
+) {
+    match cin {
+        None => {
+            builder
+                .add_gate(CellKind::Xor2, format!("{prefix}_xor"), &[a, b], sum)
+                .expect("half adder sum net must be undriven");
+            builder
+                .add_gate(CellKind::And2, format!("{prefix}_and"), &[a, b], cout)
+                .expect("half adder carry net must be undriven");
+        }
+        Some(cin) => {
+            let axb = builder.add_net(format!("{prefix}_axb"));
+            let and1 = builder.add_net(format!("{prefix}_ab"));
+            let and2 = builder.add_net(format!("{prefix}_axbc"));
+            builder
+                .add_gate(CellKind::Xor2, format!("{prefix}_xor1"), &[a, b], axb)
+                .expect("full adder internal net must be undriven");
+            builder
+                .add_gate(CellKind::Xor2, format!("{prefix}_xor2"), &[axb, cin], sum)
+                .expect("full adder sum net must be undriven");
+            builder
+                .add_gate(CellKind::And2, format!("{prefix}_and1"), &[a, b], and1)
+                .expect("full adder internal net must be undriven");
+            builder
+                .add_gate(CellKind::And2, format!("{prefix}_and2"), &[axb, cin], and2)
+                .expect("full adder internal net must be undriven");
+            builder
+                .add_gate(CellKind::Or2, format!("{prefix}_or"), &[and1, and2], cout)
+                .expect("full adder carry net must be undriven");
+        }
+    }
+}
+
+/// Builds an `n`-bit ripple-carry adder with primary inputs `a0..`, `b0..`
+/// and `cin`, and primary outputs `s0..` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let adder = generators::ripple_carry_adder(4);
+/// assert_eq!(adder.primary_inputs().len(), 9); // a0..a3, b0..b3, cin
+/// assert_eq!(adder.primary_outputs().len(), 5); // s0..s3, cout
+/// assert!(adder.net_id("s2").is_some());
+/// ```
+pub fn ripple_carry_adder(bits: usize) -> Netlist {
+    assert!(bits > 0, "an adder needs at least one bit");
+    let mut builder = NetlistBuilder::new(format!("rca{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| builder.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..bits).map(|i| builder.add_input(format!("b{i}"))).collect();
+    let cin = builder.add_input("cin");
+
+    let mut carry = cin;
+    for bit in 0..bits {
+        let sum = builder.add_net(format!("s{bit}"));
+        let cout = if bit + 1 == bits {
+            builder.add_net("cout")
+        } else {
+            builder.add_net(format!("c{}", bit + 1))
+        };
+        full_adder_cell(
+            &mut builder,
+            &format!("fa{bit}"),
+            a[bit],
+            b[bit],
+            Some(carry),
+            sum,
+            cout,
+        );
+        builder.mark_output(sum);
+        carry = cout;
+    }
+    builder.mark_output(carry);
+    builder
+        .build()
+        .expect("ripple-carry adder is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+
+    #[test]
+    fn four_bit_adder_matches_integer_addition() {
+        let bits = 4;
+        let adder = ripple_carry_adder(bits);
+        let a: Vec<NetId> = (0..bits)
+            .map(|i| adder.net_id(&format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..bits)
+            .map(|i| adder.net_id(&format!("b{i}")).unwrap())
+            .collect();
+        let cin = adder.net_id("cin").unwrap();
+        let mut outputs: Vec<NetId> = (0..bits)
+            .map(|i| adder.net_id(&format!("s{i}")).unwrap())
+            .collect();
+        outputs.push(adder.net_id("cout").unwrap());
+        for av in 0..(1u64 << bits) {
+            for bv in [0u64, 1, 5, 9, 15] {
+                for c in 0..2u64 {
+                    let mut assignment = eval::bus_assignment(&a, av);
+                    assignment.extend(eval::bus_assignment(&b, bv));
+                    assignment.extend(eval::bus_assignment(&[cin], c));
+                    let result = eval::evaluate_bus(&adder, &assignment, &outputs).unwrap();
+                    assert_eq!(result, av + bv + c, "{av} + {bv} + {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_adder_cell_uses_two_gates() {
+        let mut builder = NetlistBuilder::new("ha");
+        let a = builder.add_input("a");
+        let b = builder.add_input("b");
+        let sum = builder.add_net("sum");
+        let cout = builder.add_net("cout");
+        full_adder_cell(&mut builder, "ha0", a, b, None, sum, cout);
+        builder.mark_output(sum);
+        builder.mark_output(cout);
+        let netlist = builder.build().unwrap();
+        assert_eq!(netlist.gate_count(), 2);
+        for pattern in 0..4u64 {
+            let assignment = eval::bus_assignment(&[a, b], pattern);
+            let value = eval::evaluate_bus(&netlist, &assignment, &[sum, cout]).unwrap();
+            assert_eq!(value, pattern.count_ones() as u64);
+        }
+    }
+
+    #[test]
+    fn full_adder_cell_uses_five_gates() {
+        let mut builder = NetlistBuilder::new("fa");
+        let a = builder.add_input("a");
+        let b = builder.add_input("b");
+        let c = builder.add_input("c");
+        let sum = builder.add_net("sum");
+        let cout = builder.add_net("cout");
+        full_adder_cell(&mut builder, "fa0", a, b, Some(c), sum, cout);
+        builder.mark_output(sum);
+        builder.mark_output(cout);
+        let netlist = builder.build().unwrap();
+        assert_eq!(netlist.gate_count(), 5);
+        for pattern in 0..8u64 {
+            let assignment = eval::bus_assignment(&[a, b, c], pattern);
+            let value = eval::evaluate_bus(&netlist, &assignment, &[sum, cout]).unwrap();
+            let ones = pattern.count_ones() as u64;
+            assert_eq!(value, ones, "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bit_adder_panics() {
+        ripple_carry_adder(0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Chain and tree generators: inverter chains and buffer fanout trees.
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Builds an `n`-stage inverter chain: `in -> inv g0 -> n1 -> inv g1 -> ... -> out`.
+///
+/// The output of the last stage is the primary output `out`; intermediate
+/// nets are called `n1`, `n2`, ....
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let chain = generators::inverter_chain(5);
+/// assert_eq!(chain.gate_count(), 5);
+/// assert_eq!(chain.primary_outputs().len(), 1);
+/// ```
+pub fn inverter_chain(stages: usize) -> Netlist {
+    assert!(stages > 0, "an inverter chain needs at least one stage");
+    let mut builder = NetlistBuilder::new(format!("inv_chain_{stages}"));
+    let mut current = builder.add_input("in");
+    for stage in 0..stages {
+        let next = if stage + 1 == stages {
+            builder.add_net("out")
+        } else {
+            builder.add_net(format!("n{}", stage + 1))
+        };
+        builder
+            .add_gate(CellKind::Inv, format!("g{stage}"), &[current], next)
+            .expect("chain gates are always valid");
+        current = next;
+    }
+    builder.mark_output(current);
+    builder.build().expect("inverter chain is a valid netlist")
+}
+
+/// Builds a buffer tree: one input driving `leaves` buffers through a
+/// binary tree of buffers of the given `depth`.  Used to study load and
+/// fanout effects on the delay models.
+///
+/// The leaf outputs are named `leaf0, leaf1, ...` and are all primary
+/// outputs.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn buffer_fanout_tree(depth: usize) -> Netlist {
+    assert!(depth > 0, "a fanout tree needs depth >= 1");
+    let mut builder = NetlistBuilder::new(format!("buf_tree_{depth}"));
+    let root = builder.add_input("in");
+    let mut frontier = vec![root];
+    let mut gate_index = 0usize;
+    for level in 0..depth {
+        let mut next_frontier = Vec::with_capacity(frontier.len() * 2);
+        for &net in &frontier {
+            for branch in 0..2 {
+                let is_leaf_level = level + 1 == depth;
+                let name = if is_leaf_level {
+                    format!("leaf{}", next_frontier.len())
+                } else {
+                    format!("t{}_{}", level + 1, next_frontier.len())
+                };
+                let out = builder.add_net(name);
+                builder
+                    .add_gate(
+                        CellKind::Buf,
+                        format!("b{gate_index}_{branch}"),
+                        &[net],
+                        out,
+                    )
+                    .expect("tree gates are always valid");
+                gate_index += 1;
+                next_frontier.push(out);
+            }
+        }
+        frontier = next_frontier;
+    }
+    for &leaf in &frontier {
+        builder.mark_output(leaf);
+    }
+    builder.build().expect("fanout tree is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::levelize;
+    use halotis_core::LogicLevel;
+
+    #[test]
+    fn chain_parity_follows_stage_count() {
+        for stages in 1..6 {
+            let chain = inverter_chain(stages);
+            let input = chain.net_id("in").unwrap();
+            let out = chain.net_id("out").unwrap();
+            let levels = eval::evaluate(&chain, &[(input, LogicLevel::Low)]);
+            let expected = LogicLevel::from_bool(stages % 2 == 1);
+            assert_eq!(levels[out.index()], expected, "stages = {stages}");
+            assert_eq!(levelize::levelize(&chain).depth(), stages);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_chain_panics() {
+        inverter_chain(0);
+    }
+
+    #[test]
+    fn fanout_tree_has_power_of_two_leaves() {
+        let tree = buffer_fanout_tree(3);
+        assert_eq!(tree.primary_outputs().len(), 8);
+        assert_eq!(tree.gate_count(), 2 + 4 + 8);
+        // All leaves follow the input.
+        let input = tree.net_id("in").unwrap();
+        let levels = eval::evaluate(&tree, &[(input, LogicLevel::High)]);
+        for &out in tree.primary_outputs() {
+            assert_eq!(levels[out.index()], LogicLevel::High);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Circuit generators for the paper's experiments and the extension studies.
+//!
+//! * [`inverter_chain`] — the simplest delay-line circuit, used in unit
+//!   tests and the degradation pulse-width sweeps,
+//! * [`figure1`] — the paper's Fig. 1 circuit: one pulse-shaping inverter
+//!   chain fanning out to two inverters with deliberately different input
+//!   thresholds, which exposes the error of classical inertial filtering,
+//! * [`ripple_carry_adder`] — an n-bit adder built from XOR/AND/OR full
+//!   adders,
+//! * [`multiplier`] — the paper's Fig. 5 array multiplier (parametric in
+//!   both operand widths; the paper uses 4×4),
+//! * [`c17`] — the tiny ISCAS-85 C17 benchmark, a convenient NAND-only test
+//!   circuit,
+//! * [`random_logic`] — a seeded random DAG generator for scaling studies.
+
+mod adder;
+mod chains;
+mod figure1;
+mod multiplier;
+mod random;
+
+pub use adder::{full_adder_cell, ripple_carry_adder};
+pub use chains::{buffer_fanout_tree, inverter_chain};
+pub use figure1::{figure1, figure1_default, Figure1Nets, FIGURE1_HIGH_VT, FIGURE1_LOW_VT};
+pub use multiplier::{multiplier, MultiplierPorts};
+pub use random::random_logic;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// The ISCAS-85 C17 benchmark: six 2-input NAND gates, five inputs
+/// (`i1, i2, i3, i6, i7`), two outputs (`o22, o23`).
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let c17 = generators::c17();
+/// assert_eq!(c17.gate_count(), 6);
+/// assert_eq!(c17.primary_outputs().len(), 2);
+/// ```
+pub fn c17() -> Netlist {
+    let mut builder = NetlistBuilder::new("c17");
+    let i1 = builder.add_input("i1");
+    let i2 = builder.add_input("i2");
+    let i3 = builder.add_input("i3");
+    let i6 = builder.add_input("i6");
+    let i7 = builder.add_input("i7");
+    let n10 = builder.add_net("n10");
+    let n11 = builder.add_net("n11");
+    let n16 = builder.add_net("n16");
+    let n19 = builder.add_net("n19");
+    let o22 = builder.add_net("o22");
+    let o23 = builder.add_net("o23");
+    builder
+        .add_gate(CellKind::Nand2, "g10", &[i1, i3], n10)
+        .expect("valid c17 gate");
+    builder
+        .add_gate(CellKind::Nand2, "g11", &[i3, i6], n11)
+        .expect("valid c17 gate");
+    builder
+        .add_gate(CellKind::Nand2, "g16", &[i2, n11], n16)
+        .expect("valid c17 gate");
+    builder
+        .add_gate(CellKind::Nand2, "g19", &[n11, i7], n19)
+        .expect("valid c17 gate");
+    builder
+        .add_gate(CellKind::Nand2, "g22", &[n10, n16], o22)
+        .expect("valid c17 gate");
+    builder
+        .add_gate(CellKind::Nand2, "g23", &[n16, n19], o23)
+        .expect("valid c17 gate");
+    builder.mark_output(o22);
+    builder.mark_output(o23);
+    builder.build().expect("c17 is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use halotis_core::LogicLevel;
+
+    #[test]
+    fn c17_matches_reference_function() {
+        let netlist = c17();
+        let inputs: Vec<_> = ["i1", "i2", "i3", "i6", "i7"]
+            .iter()
+            .map(|n| netlist.net_id(n).unwrap())
+            .collect();
+        let o22 = netlist.net_id("o22").unwrap();
+        let o23 = netlist.net_id("o23").unwrap();
+        for pattern in 0..32u64 {
+            let assignment = eval::bus_assignment(&inputs, pattern);
+            let levels = eval::evaluate(&netlist, &assignment);
+            let bit = |i: usize| (pattern >> i) & 1 == 1;
+            let (i1, i2, i3, i6, i7) = (bit(0), bit(1), bit(2), bit(3), bit(4));
+            let n10 = !(i1 && i3);
+            let n11 = !(i3 && i6);
+            let n16 = !(i2 && n11);
+            let n19 = !(n11 && i7);
+            let expected22 = !(n10 && n16);
+            let expected23 = !(n16 && n19);
+            assert_eq!(levels[o22.index()], LogicLevel::from_bool(expected22));
+            assert_eq!(levels[o23.index()], LogicLevel::from_bool(expected23));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The array multiplier of the paper's Fig. 5.
+//!
+//! The circuit multiplies an `n`-bit operand `a` by an `m`-bit operand `b`:
+//! AND gates form the partial products `pp[i][j] = a[j] & b[i]`, and rows of
+//! full adders accumulate them exactly as in the figure.  Where the figure
+//! feeds constant zeroes into the first row, this generator instead
+//! instantiates half adders (the constant-propagation-simplified version of
+//! the same array), which keeps the netlist free of constant nets without
+//! changing the logic function or the glitching structure of the deeper
+//! rows.
+//!
+//! Primary inputs are `a0..a{n-1}`, `b0..b{m-1}`; primary outputs are
+//! `s0..s{n+m-1}` (the paper's `s0..s7` for the 4×4 instance).
+
+use halotis_core::NetId;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+use super::adder::full_adder_cell;
+
+/// The named ports of a generated multiplier, for convenient stimulus
+/// construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiplierPorts {
+    /// Operand `a` input names, LSB first (`a0, a1, ...`).
+    pub a: Vec<String>,
+    /// Operand `b` input names, LSB first (`b0, b1, ...`).
+    pub b: Vec<String>,
+    /// Product output names, LSB first (`s0, s1, ...`).
+    pub s: Vec<String>,
+}
+
+impl MultiplierPorts {
+    /// The port names of an `a_bits` × `b_bits` multiplier.
+    ///
+    /// The product has `a_bits + b_bits` bits when both operands are at
+    /// least 2 bits wide; when either operand is a single bit the top bit is
+    /// identically zero and the generator omits it, so only
+    /// `a_bits + b_bits - 1` outputs exist.
+    pub fn new(a_bits: usize, b_bits: usize) -> Self {
+        let product_bits = if a_bits == 1 || b_bits == 1 {
+            a_bits + b_bits - 1
+        } else {
+            a_bits + b_bits
+        };
+        MultiplierPorts {
+            a: (0..a_bits).map(|i| format!("a{i}")).collect(),
+            b: (0..b_bits).map(|i| format!("b{i}")).collect(),
+            s: (0..product_bits).map(|i| format!("s{i}")).collect(),
+        }
+    }
+
+    /// The `a` port names as `&str` slices (handy for the stimulus helpers).
+    pub fn a_refs(&self) -> Vec<&str> {
+        self.a.iter().map(String::as_str).collect()
+    }
+
+    /// The `b` port names as `&str` slices.
+    pub fn b_refs(&self) -> Vec<&str> {
+        self.b.iter().map(String::as_str).collect()
+    }
+
+    /// The `s` port names as `&str` slices.
+    pub fn s_refs(&self) -> Vec<&str> {
+        self.s.iter().map(String::as_str).collect()
+    }
+}
+
+/// Builds an `a_bits` × `b_bits` unsigned array multiplier
+/// (the paper uses 4 × 4).
+///
+/// # Panics
+///
+/// Panics if either width is zero or if the product would exceed 63 bits
+/// (the functional tests compare against `u64` arithmetic).
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let multiplier = generators::multiplier(4, 4);
+/// assert_eq!(multiplier.primary_inputs().len(), 8);
+/// assert_eq!(multiplier.primary_outputs().len(), 8);
+/// ```
+pub fn multiplier(a_bits: usize, b_bits: usize) -> Netlist {
+    assert!(a_bits > 0 && b_bits > 0, "multiplier widths must be non-zero");
+    assert!(
+        a_bits + b_bits <= 63,
+        "multiplier product width must fit in u64 arithmetic"
+    );
+    let ports = MultiplierPorts::new(a_bits, b_bits);
+    let mut builder = NetlistBuilder::new(format!("mult{a_bits}x{b_bits}"));
+    let a: Vec<NetId> = ports.a.iter().map(|n| builder.add_input(n)).collect();
+    let b: Vec<NetId> = ports.b.iter().map(|n| builder.add_input(n)).collect();
+
+    // Partial products.
+    let mut pp = vec![vec![NetId::new(0); a_bits]; b_bits];
+    for (i, &bi) in b.iter().enumerate() {
+        for (j, &aj) in a.iter().enumerate() {
+            let net = builder.add_net(format!("pp{i}_{j}"));
+            builder
+                .add_gate(CellKind::And2, format!("and{i}_{j}"), &[aj, bi], net)
+                .expect("partial-product gates are valid");
+            pp[i][j] = net;
+        }
+    }
+
+    let mut product: Vec<NetId> = Vec::with_capacity(a_bits + b_bits);
+
+    if b_bits == 1 {
+        // Degenerate case: the product is just the partial-product row.
+        product.extend(pp[0].iter().copied());
+    } else {
+        // Row-by-row accumulation.  Invariant before processing row `i`
+        // (1-based over partial-product rows): `acc[j]` carries weight
+        // `(i - 1) + j` and `high` (if present) carries weight `(i - 1) + a_bits`.
+        let mut acc: Vec<NetId> = pp[0].clone();
+        let mut high: Option<NetId> = None;
+        for i in 1..b_bits {
+            product.push(acc[0]);
+            let mut carry: Option<NetId> = None;
+            let mut next_acc: Vec<NetId> = Vec::with_capacity(a_bits);
+            for j in 0..a_bits {
+                let addend = pp[i][j];
+                let from_previous = if j + 1 < a_bits {
+                    Some(acc[j + 1])
+                } else {
+                    high
+                };
+                let prefix = format!("fa{i}_{j}");
+                let (sum, cout) = match (from_previous, carry) {
+                    (None, None) => {
+                        // Nothing to add: the partial product passes through.
+                        (addend, None)
+                    }
+                    (Some(x), None) | (None, Some(x)) => {
+                        let sum = builder.add_net(format!("{prefix}_s"));
+                        let cout = builder.add_net(format!("{prefix}_c"));
+                        full_adder_cell(&mut builder, &prefix, addend, x, None, sum, cout);
+                        (sum, Some(cout))
+                    }
+                    (Some(x), Some(c)) => {
+                        let sum = builder.add_net(format!("{prefix}_s"));
+                        let cout = builder.add_net(format!("{prefix}_c"));
+                        full_adder_cell(&mut builder, &prefix, addend, x, Some(c), sum, cout);
+                        (sum, Some(cout))
+                    }
+                };
+                next_acc.push(sum);
+                carry = cout;
+            }
+            acc = next_acc;
+            high = carry;
+        }
+        product.extend(acc);
+        if let Some(high) = high {
+            product.push(high);
+        }
+    }
+
+    // Name and expose the product bits.  Low-order bits come straight out of
+    // partial-product or adder nets; a buffer per output gives every `s<k>`
+    // net its conventional name and a uniform output load, as a pad driver
+    // would in the real design.
+    for (k, &bit) in product.iter().enumerate() {
+        let out = builder.add_net(&ports.s[k]);
+        builder
+            .add_gate(CellKind::Buf, format!("outbuf{k}"), &[bit], out)
+            .expect("output buffers are valid");
+        builder.mark_output(out);
+    }
+    debug_assert_eq!(product.len(), ports.s.len());
+
+    builder.build().expect("array multiplier is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+
+    fn check_all_products(a_bits: usize, b_bits: usize) {
+        let netlist = multiplier(a_bits, b_bits);
+        let ports = MultiplierPorts::new(a_bits, b_bits);
+        let a: Vec<NetId> = ports.a.iter().map(|n| netlist.net_id(n).unwrap()).collect();
+        let b: Vec<NetId> = ports.b.iter().map(|n| netlist.net_id(n).unwrap()).collect();
+        let s: Vec<NetId> = ports.s.iter().map(|n| netlist.net_id(n).unwrap()).collect();
+        for av in 0..(1u64 << a_bits) {
+            for bv in 0..(1u64 << b_bits) {
+                let mut assignment = eval::bus_assignment(&a, av);
+                assignment.extend(eval::bus_assignment(&b, bv));
+                let got = eval::evaluate_bus(&netlist, &assignment, &s).unwrap();
+                assert_eq!(got, av * bv, "{av} x {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_by_four_matches_integer_multiplication() {
+        check_all_products(4, 4);
+    }
+
+    #[test]
+    fn rectangular_multipliers_are_correct() {
+        check_all_products(3, 2);
+        check_all_products(2, 3);
+        check_all_products(5, 3);
+    }
+
+    #[test]
+    fn tiny_multipliers_are_correct() {
+        check_all_products(1, 1);
+        check_all_products(2, 1);
+        check_all_products(1, 2);
+        check_all_products(2, 2);
+    }
+
+    #[test]
+    fn four_by_four_has_paper_scale_structure() {
+        let netlist = multiplier(4, 4);
+        // 16 partial-product AND gates plus the adder array and output buffers.
+        let histogram = netlist.gate_histogram();
+        let ands = histogram
+            .iter()
+            .find(|(k, _)| *k == CellKind::And2)
+            .map(|&(_, c)| c)
+            .unwrap();
+        assert!(ands >= 16);
+        assert_eq!(netlist.primary_outputs().len(), 8);
+        assert!(netlist.gate_count() > 50);
+    }
+
+    #[test]
+    fn port_helper_names_are_consistent() {
+        let ports = MultiplierPorts::new(4, 4);
+        assert_eq!(ports.a_refs()[0], "a0");
+        assert_eq!(ports.b_refs()[3], "b3");
+        assert_eq!(ports.s_refs()[7], "s7");
+        assert_eq!(ports.s.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        multiplier(0, 4);
+    }
+}

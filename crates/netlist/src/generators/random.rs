@@ -1,0 +1,173 @@
+//! Seeded random combinational-logic generator.
+//!
+//! Scaling and queue benches need circuits much larger than the paper's 4×4
+//! multiplier.  [`random_logic`] produces a reproducible random DAG of
+//! 1- and 2-input cells: every gate draws its inputs from already existing
+//! nets (biased towards recent ones so the circuit develops depth), so the
+//! result is loop-free by construction.
+//!
+//! The generator uses a small internal SplitMix64 PRNG so that the netlist
+//! crate stays free of external dependencies and the same seed always yields
+//! the same circuit.
+
+use halotis_core::NetId;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Minimal SplitMix64 PRNG (public-domain algorithm), enough for structural
+/// randomisation.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+const RANDOM_CELLS: [CellKind; 6] = [
+    CellKind::Inv,
+    CellKind::Nand2,
+    CellKind::Nor2,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Xor2,
+];
+
+/// Builds a random combinational circuit with `inputs` primary inputs and
+/// `gates` gate instances, deterministically derived from `seed`.
+///
+/// Nets that end up with no fanout become primary outputs, so the circuit
+/// is always fully observable.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0` or `gates == 0`.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let a = generators::random_logic(16, 300, 7);
+/// let b = generators::random_logic(16, 300, 7);
+/// assert_eq!(a.gate_count(), 300);
+/// // Same seed, same circuit.
+/// assert_eq!(a.net_count(), b.net_count());
+/// ```
+pub fn random_logic(inputs: usize, gates: usize, seed: u64) -> Netlist {
+    assert!(inputs > 0, "random circuit needs at least one input");
+    assert!(gates > 0, "random circuit needs at least one gate");
+    let mut rng = SplitMix64::new(seed);
+    let mut builder = NetlistBuilder::new(format!("random_{inputs}x{gates}_{seed}"));
+    let mut nets: Vec<NetId> = (0..inputs)
+        .map(|i| builder.add_input(format!("in{i}")))
+        .collect();
+
+    for index in 0..gates {
+        let kind = RANDOM_CELLS[rng.below(RANDOM_CELLS.len())];
+        // Bias the input choice towards recently created nets: pick from the
+        // last `window` nets half of the time.
+        let pick = |rng: &mut SplitMix64, nets: &[NetId]| -> NetId {
+            let window = nets.len().min(3 * inputs.max(4));
+            if rng.below(2) == 0 {
+                nets[nets.len() - 1 - rng.below(window)]
+            } else {
+                nets[rng.below(nets.len())]
+            }
+        };
+        let gate_inputs: Vec<NetId> = (0..kind.input_count())
+            .map(|_| pick(&mut rng, &nets))
+            .collect();
+        let output = builder.add_net(format!("w{index}"));
+        builder
+            .add_gate(kind, format!("rg{index}"), &gate_inputs, output)
+            .expect("random gates reference existing nets only");
+        nets.push(output);
+    }
+
+    let netlist_preview = builder.clone().build().expect("random DAG is loop-free");
+    for net in netlist_preview.nets() {
+        if net.loads().is_empty() && !net.is_primary_input() {
+            let id = builder.add_net(net.name());
+            builder.mark_output(id);
+        }
+    }
+    builder.build().expect("random DAG is loop-free")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::levelize;
+    use halotis_core::LogicLevel;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = random_logic(8, 100, 42);
+        let b = random_logic(8, 100, 42);
+        let c = random_logic(8, 100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_gate_output_is_observable_or_used() {
+        let netlist = random_logic(8, 200, 1);
+        for net in netlist.nets() {
+            if !net.is_primary_input() {
+                assert!(
+                    !net.loads().is_empty() || net.is_primary_output(),
+                    "net {} is dangling",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn circuits_are_levelizable_and_evaluable() {
+        let netlist = random_logic(6, 150, 9);
+        let depth = levelize::levelize(&netlist).depth();
+        assert!(depth >= 2, "depth = {depth}");
+        let assignment: Vec<_> = netlist
+            .primary_inputs()
+            .iter()
+            .map(|&n| (n, LogicLevel::High))
+            .collect();
+        let levels = eval::evaluate(&netlist, &assignment);
+        // With all inputs defined, every net settles to a defined level.
+        for net in netlist.nets() {
+            assert!(levels[net.id().index()].is_defined());
+        }
+    }
+
+    #[test]
+    fn size_parameters_are_respected() {
+        let netlist = random_logic(12, 333, 5);
+        assert_eq!(netlist.gate_count(), 333);
+        assert_eq!(netlist.primary_inputs().len(), 12);
+        assert!(!netlist.primary_outputs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate")]
+    fn zero_gates_panics() {
+        random_logic(4, 0, 1);
+    }
+}

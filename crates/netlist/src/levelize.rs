@@ -1,0 +1,157 @@
+//! Topological levelization of a combinational netlist.
+//!
+//! Level 0 gates depend only on primary inputs; level `n` gates depend on at
+//! least one gate of level `n - 1`.  Levelization gives the evaluation order
+//! used by the zero-delay functional checker and bounds the logic depth
+//! reported in circuit statistics.
+
+use halotis_core::GateId;
+
+use crate::netlist::{NetDriver, Netlist};
+
+/// The levelization result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Levelization {
+    levels: Vec<Vec<GateId>>,
+    gate_level: Vec<usize>,
+}
+
+impl Levelization {
+    /// The gates of each level, level 0 first.
+    pub fn levels(&self) -> &[Vec<GateId>] {
+        &self.levels
+    }
+
+    /// The level of one gate.
+    pub fn level_of(&self, gate: GateId) -> usize {
+        self.gate_level[gate.index()]
+    }
+
+    /// The logic depth (number of levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// All gates in a valid topological evaluation order.
+    pub fn topological_order(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.levels.iter().flatten().copied()
+    }
+}
+
+/// Levelizes a netlist.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational loop; [`NetlistBuilder`]
+/// (and the parser) reject such circuits, so a loop here indicates internal
+/// corruption.
+///
+/// [`NetlistBuilder`]: crate::NetlistBuilder
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{levelize, generators};
+///
+/// let chain = generators::inverter_chain(4);
+/// let levels = levelize::levelize(&chain);
+/// assert_eq!(levels.depth(), 4);
+/// ```
+pub fn levelize(netlist: &Netlist) -> Levelization {
+    let mut gate_level = vec![usize::MAX; netlist.gate_count()];
+    let mut remaining: Vec<usize> = (0..netlist.gate_count()).collect();
+    let mut current_level = 0usize;
+    let mut levels: Vec<Vec<GateId>> = Vec::new();
+
+    while !remaining.is_empty() {
+        let mut this_level = Vec::new();
+        for &index in &remaining {
+            let gate = &netlist.gates()[index];
+            let ready = gate.inputs().iter().all(|&net| {
+                match netlist.net(net).driver() {
+                    NetDriver::PrimaryInput => true,
+                    NetDriver::Gate(driver) => gate_level[driver.index()] < current_level,
+                }
+            });
+            if ready {
+                this_level.push(gate.id());
+            }
+        }
+        assert!(
+            !this_level.is_empty(),
+            "combinational loop survived netlist validation"
+        );
+        for id in &this_level {
+            gate_level[id.index()] = current_level;
+        }
+        remaining.retain(|&index| gate_level[index] == usize::MAX);
+        levels.push(this_level);
+        current_level += 1;
+    }
+
+    Levelization { levels, gate_level }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn diamond() -> Netlist {
+        // a -> inv g1 -> x ; a -> inv g2 -> y ; (x, y) -> nand g3 -> out
+        let mut builder = NetlistBuilder::new("diamond");
+        let a = builder.add_input("a");
+        let x = builder.add_net("x");
+        let y = builder.add_net("y");
+        let out = builder.add_net("out");
+        builder.add_gate(CellKind::Inv, "g1", &[a], x).unwrap();
+        builder.add_gate(CellKind::Inv, "g2", &[a], y).unwrap();
+        builder.add_gate(CellKind::Nand2, "g3", &[x, y], out).unwrap();
+        builder.mark_output(out);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_has_two_levels() {
+        let netlist = diamond();
+        let levels = levelize(&netlist);
+        assert_eq!(levels.depth(), 2);
+        assert_eq!(levels.levels()[0].len(), 2);
+        assert_eq!(levels.levels()[1].len(), 1);
+        let g3 = netlist
+            .gates()
+            .iter()
+            .find(|g| g.name() == "g3")
+            .unwrap()
+            .id();
+        assert_eq!(levels.level_of(g3), 1);
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let netlist = diamond();
+        let levels = levelize(&netlist);
+        let order: Vec<GateId> = levels.topological_order().collect();
+        assert_eq!(order.len(), netlist.gate_count());
+        let position = |id: GateId| order.iter().position(|&g| g == id).unwrap();
+        for gate in netlist.gates() {
+            for &input in gate.inputs() {
+                if let NetDriver::Gate(driver) = netlist.net(input).driver() {
+                    assert!(position(driver) < position(gate.id()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_gate_circuit_has_depth_one() {
+        let mut builder = NetlistBuilder::new("single");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Inv, "g", &[a], y).unwrap();
+        builder.mark_output(y);
+        let levels = levelize(&builder.build().unwrap());
+        assert_eq!(levels.depth(), 1);
+    }
+}

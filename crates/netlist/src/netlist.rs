@@ -1,0 +1,776 @@
+//! The circuit graph: gates, nets and their connectivity.
+//!
+//! A [`Netlist`] is a flat, index-addressed combinational circuit.  Nets are
+//! driven either by a primary input or by exactly one gate output, and fan
+//! out to any number of gate input pins ([`PinRef`]).  The structure mirrors
+//! the paper's Fig. 2 class diagram: the netlist owns the gates and their
+//! input pins, and the simulator attaches transitions to nets and events to
+//! pins.
+//!
+//! Netlists are created through [`NetlistBuilder`], which checks structural
+//! well-formedness (single driver per net, correct gate arity, no
+//! combinational loops) before releasing the immutable [`Netlist`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use halotis_core::{Capacitance, GateId, NetId, PinRef};
+
+use crate::cell::CellKind;
+use crate::library::{Library, LibraryError};
+
+/// What drives a net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDriver {
+    /// The net is a primary input of the circuit.
+    PrimaryInput,
+    /// The net is driven by the output of this gate.
+    Gate(GateId),
+}
+
+/// One gate instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    id: GateId,
+    name: String,
+    kind: CellKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+    threshold_overrides: Option<Vec<f64>>,
+}
+
+impl Gate {
+    /// The gate's identifier.
+    pub fn id(&self) -> GateId {
+        self.id
+    }
+
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell kind.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The nets connected to the input pins, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net driven by the gate output.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Per-pin input-threshold overrides (fractions of `Vdd`), if any.
+    ///
+    /// Overrides let a specific *instance* deviate from the library
+    /// characterisation — the mechanism used to build the paper's Fig. 1
+    /// circuit, where two inverters on the same net have different `VT`.
+    pub fn threshold_overrides(&self) -> Option<&[f64]> {
+        self.threshold_overrides.as_deref()
+    }
+}
+
+/// One net (signal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Net {
+    id: NetId,
+    name: String,
+    driver: NetDriver,
+    loads: Vec<PinRef>,
+    is_primary_output: bool,
+}
+
+impl Net {
+    /// The net's identifier.
+    pub fn id(&self) -> NetId {
+        self.id
+    }
+
+    /// The net name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What drives the net.
+    pub fn driver(&self) -> NetDriver {
+        self.driver
+    }
+
+    /// The gate input pins this net fans out to.
+    pub fn loads(&self) -> &[PinRef] {
+        &self.loads
+    }
+
+    /// `true` when the net is a primary output of the circuit.
+    pub fn is_primary_output(&self) -> bool {
+        self.is_primary_output
+    }
+
+    /// `true` when the net is a primary input of the circuit.
+    pub fn is_primary_input(&self) -> bool {
+        matches!(self.driver, NetDriver::PrimaryInput)
+    }
+}
+
+/// Errors detected while constructing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// Two nets were declared with the same name.
+    DuplicateNet {
+        /// The clashing name.
+        name: String,
+    },
+    /// A gate was connected with the wrong number of inputs.
+    ArityMismatch {
+        /// The gate instance name.
+        gate: String,
+        /// The cell kind.
+        kind: CellKind,
+        /// Inputs supplied.
+        provided: usize,
+    },
+    /// A net already has a driver and a second one was connected.
+    MultipleDrivers {
+        /// The net name.
+        net: String,
+    },
+    /// A net has loads (or is a primary output) but nothing drives it.
+    UndrivenNet {
+        /// The net name.
+        net: String,
+    },
+    /// The circuit contains a combinational feedback loop.
+    CombinationalLoop {
+        /// The name of one gate on the loop.
+        gate: String,
+    },
+    /// A per-instance threshold override list has the wrong length.
+    ThresholdOverrideArity {
+        /// The gate instance name.
+        gate: String,
+        /// Overrides supplied.
+        provided: usize,
+        /// Inputs of the cell.
+        required: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet { name } => write!(f, "duplicate net name: {name}"),
+            NetlistError::ArityMismatch {
+                gate,
+                kind,
+                provided,
+            } => write!(
+                f,
+                "gate {gate}: cell {kind} expects {} inputs, got {provided}",
+                kind.input_count()
+            ),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} is driven more than once")
+            }
+            NetlistError::UndrivenNet { net } => write!(f, "net {net} has no driver"),
+            NetlistError::CombinationalLoop { gate } => {
+                write!(f, "combinational loop through gate {gate}")
+            }
+            NetlistError::ThresholdOverrideArity {
+                gate,
+                provided,
+                required,
+            } => write!(
+                f,
+                "gate {gate}: {provided} threshold overrides for {required} inputs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// An immutable, validated combinational circuit.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{CellKind, NetlistBuilder};
+///
+/// let mut builder = NetlistBuilder::new("half_adder");
+/// let a = builder.add_input("a");
+/// let b = builder.add_input("b");
+/// let sum = builder.add_net("sum");
+/// let carry = builder.add_net("carry");
+/// builder.add_gate(CellKind::Xor2, "gx", &[a, b], sum)?;
+/// builder.add_gate(CellKind::And2, "ga", &[a, b], carry)?;
+/// builder.mark_output(sum);
+/// builder.mark_output(carry);
+/// let netlist = builder.build()?;
+/// assert_eq!(netlist.gate_count(), 2);
+/// assert_eq!(netlist.primary_inputs().len(), 2);
+/// # Ok::<(), halotis_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    nets: Vec<Net>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    names: HashMap<String, NetId>,
+}
+
+impl Netlist {
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// All gates, indexed by [`GateId`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All nets, indexed by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The gate with the given id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// The net with the given id.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a net by name.
+    pub fn net_id(&self, name: &str) -> Option<NetId> {
+        self.names.get(name).copied()
+    }
+
+    /// The primary-input nets, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// The primary-output nets, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// The net connected to a gate input pin.
+    pub fn pin_net(&self, pin: PinRef) -> NetId {
+        self.gate(pin.gate()).inputs()[pin.input_index()]
+    }
+
+    /// The capacitive load seen by the driver of `net`: the sum of the input
+    /// capacitances of every fanout pin plus the library's per-net wire
+    /// capacitance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LibraryError`] if a fanout cell is not characterised.
+    pub fn net_load(&self, net: NetId, library: &Library) -> Result<Capacitance, LibraryError> {
+        let mut total = library.wire_capacitance();
+        for pin in self.net(net).loads() {
+            let kind = self.gate(pin.gate()).kind();
+            total += library.pin(kind, pin.input_index())?.input_capacitance;
+        }
+        Ok(total)
+    }
+
+    /// The input-threshold fraction of a gate input pin: the per-instance
+    /// override when present, otherwise the library characterisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LibraryError`] if the cell is not characterised.
+    pub fn input_threshold_fraction(
+        &self,
+        pin: PinRef,
+        library: &Library,
+    ) -> Result<f64, LibraryError> {
+        let gate = self.gate(pin.gate());
+        if let Some(overrides) = gate.threshold_overrides() {
+            if let Some(&fraction) = overrides.get(pin.input_index()) {
+                return Ok(fraction);
+            }
+        }
+        Ok(library
+            .pin(gate.kind(), pin.input_index())?
+            .threshold_fraction)
+    }
+
+    /// Gate count per cell kind, sorted by kind — the circuit statistics
+    /// reported by the experiment harness.
+    pub fn gate_histogram(&self) -> Vec<(CellKind, usize)> {
+        let mut histogram: HashMap<CellKind, usize> = HashMap::new();
+        for gate in &self.gates {
+            *histogram.entry(gate.kind()).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(CellKind, usize)> = histogram.into_iter().collect();
+        counts.sort_by_key(|&(kind, _)| kind);
+        counts
+    }
+}
+
+/// Incremental netlist constructor.
+#[derive(Clone, Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    gates: Vec<Gate>,
+    nets: Vec<Net>,
+    names: HashMap<String, NetId>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Starts building a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            gates: Vec::new(),
+            nets: Vec::new(),
+            names: HashMap::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+        }
+    }
+
+    fn new_net(&mut self, name: String, driver: NetDriver) -> NetId {
+        let id = NetId::from_usize(self.nets.len());
+        self.nets.push(Net {
+            id,
+            name: name.clone(),
+            driver,
+            loads: Vec::new(),
+            is_primary_output: false,
+        });
+        self.names.insert(name, id);
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    ///
+    /// Declaring the same input name twice returns the existing net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.names.get(&name) {
+            return id;
+        }
+        let id = self.new_net(name, NetDriver::PrimaryInput);
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Declares (or retrieves) an internal net by name.  The net has no
+    /// driver until a gate output is connected to it.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.names.get(&name) {
+            return id;
+        }
+        // Temporarily mark as primary input-less; the driver is patched when a
+        // gate output connects.  Undriven nets are rejected in `build`.
+        let id = NetId::from_usize(self.nets.len());
+        self.nets.push(Net {
+            id,
+            name: name.clone(),
+            driver: NetDriver::Gate(GateId::new(u32::MAX)),
+            loads: Vec::new(),
+            is_primary_output: false,
+        });
+        self.names.insert(name, id);
+        id
+    }
+
+    /// `true` when a net with this name exists.
+    pub fn contains_net(&self, name: &str) -> bool {
+        self.names.contains_key(name)
+    }
+
+    /// Marks a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        let slot = &mut self.nets[net.index()];
+        if !slot.is_primary_output {
+            slot.is_primary_output = true;
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Adds a gate instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] when the number of inputs does
+    /// not match the cell, or [`NetlistError::MultipleDrivers`] when the
+    /// output net is already driven.
+    pub fn add_gate(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        self.add_gate_inner(kind, name.into(), inputs, output, None)
+    }
+
+    /// Adds a gate instance with per-pin input-threshold overrides
+    /// (fractions of `Vdd`).
+    ///
+    /// # Errors
+    ///
+    /// As [`add_gate`](Self::add_gate), plus
+    /// [`NetlistError::ThresholdOverrideArity`] when the override list length
+    /// does not match the cell's input count.
+    pub fn add_gate_with_thresholds(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: &[NetId],
+        output: NetId,
+        thresholds: &[f64],
+    ) -> Result<GateId, NetlistError> {
+        let name = name.into();
+        if thresholds.len() != kind.input_count() {
+            return Err(NetlistError::ThresholdOverrideArity {
+                gate: name,
+                provided: thresholds.len(),
+                required: kind.input_count(),
+            });
+        }
+        self.add_gate_inner(kind, name, inputs, output, Some(thresholds.to_vec()))
+    }
+
+    fn add_gate_inner(
+        &mut self,
+        kind: CellKind,
+        name: String,
+        inputs: &[NetId],
+        output: NetId,
+        thresholds: Option<Vec<f64>>,
+    ) -> Result<GateId, NetlistError> {
+        if inputs.len() != kind.input_count() {
+            return Err(NetlistError::ArityMismatch {
+                gate: name,
+                kind,
+                provided: inputs.len(),
+            });
+        }
+        let out_net = &mut self.nets[output.index()];
+        match out_net.driver {
+            NetDriver::PrimaryInput => {
+                return Err(NetlistError::MultipleDrivers {
+                    net: out_net.name.clone(),
+                })
+            }
+            NetDriver::Gate(existing) if existing != GateId::new(u32::MAX) => {
+                return Err(NetlistError::MultipleDrivers {
+                    net: out_net.name.clone(),
+                })
+            }
+            NetDriver::Gate(_) => {}
+        }
+        let id = GateId::from_usize(self.gates.len());
+        out_net.driver = NetDriver::Gate(id);
+        for (index, &input) in inputs.iter().enumerate() {
+            self.nets[input.index()]
+                .loads
+                .push(PinRef::new(id, index as u32));
+        }
+        self.gates.push(Gate {
+            id,
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            threshold_overrides: thresholds,
+        });
+        Ok(id)
+    }
+
+    /// Finalises the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndrivenNet`] for nets that are used but never
+    /// driven, and [`NetlistError::CombinationalLoop`] when the gate graph is
+    /// cyclic.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        // Undriven nets: the add_net placeholder driver is a sentinel GateId.
+        for net in &self.nets {
+            if let NetDriver::Gate(id) = net.driver {
+                if id == GateId::new(u32::MAX) {
+                    return Err(NetlistError::UndrivenNet {
+                        net: net.name.clone(),
+                    });
+                }
+            }
+        }
+        // Cycle detection: Kahn's algorithm over gate dependencies.
+        let mut in_degree: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|gate| {
+                gate.inputs
+                    .iter()
+                    .filter(|&&net| matches!(self.nets[net.index()].driver, NetDriver::Gate(_)))
+                    .count()
+            })
+            .collect();
+        let mut ready: Vec<usize> = in_degree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(index) = ready.pop() {
+            visited += 1;
+            let output = self.gates[index].output;
+            for pin in self.nets[output.index()].loads.iter() {
+                let successor = pin.gate().index();
+                in_degree[successor] -= 1;
+                if in_degree[successor] == 0 {
+                    ready.push(successor);
+                }
+            }
+        }
+        if visited != self.gates.len() {
+            let culprit = in_degree
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| self.gates[i].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalLoop { gate: culprit });
+        }
+        Ok(Netlist {
+            name: self.name,
+            gates: self.gates,
+            nets: self.nets,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+            names: self.names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology;
+
+    fn half_adder() -> Netlist {
+        let mut builder = NetlistBuilder::new("half_adder");
+        let a = builder.add_input("a");
+        let b = builder.add_input("b");
+        let sum = builder.add_net("sum");
+        let carry = builder.add_net("carry");
+        builder.add_gate(CellKind::Xor2, "gx", &[a, b], sum).unwrap();
+        builder.add_gate(CellKind::And2, "ga", &[a, b], carry).unwrap();
+        builder.mark_output(sum);
+        builder.mark_output(carry);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_connected_netlist() {
+        let netlist = half_adder();
+        assert_eq!(netlist.name(), "half_adder");
+        assert_eq!(netlist.gate_count(), 2);
+        assert_eq!(netlist.net_count(), 4);
+        assert_eq!(netlist.primary_inputs().len(), 2);
+        assert_eq!(netlist.primary_outputs().len(), 2);
+        let a = netlist.net_id("a").unwrap();
+        assert!(netlist.net(a).is_primary_input());
+        assert_eq!(netlist.net(a).loads().len(), 2);
+        let sum = netlist.net_id("sum").unwrap();
+        assert!(netlist.net(sum).is_primary_output());
+        match netlist.net(sum).driver() {
+            NetDriver::Gate(id) => assert_eq!(netlist.gate(id).name(), "gx"),
+            other => panic!("unexpected driver {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pin_net_maps_back_to_input() {
+        let netlist = half_adder();
+        let gx = netlist
+            .gates()
+            .iter()
+            .find(|g| g.name() == "gx")
+            .unwrap()
+            .id();
+        let pin = PinRef::new(gx, 1);
+        assert_eq!(netlist.pin_net(pin), netlist.net_id("b").unwrap());
+    }
+
+    #[test]
+    fn net_load_sums_fanout_capacitances() {
+        let netlist = half_adder();
+        let library = technology::cmos06();
+        let a = netlist.net_id("a").unwrap();
+        let load = netlist.net_load(a, &library).unwrap();
+        let expected = library.wire_capacitance()
+            + library.pin(CellKind::Xor2, 0).unwrap().input_capacitance
+            + library.pin(CellKind::And2, 0).unwrap().input_capacitance;
+        assert!((load.as_femtofarads() - expected.as_femtofarads()).abs() < 1e-9);
+        // An output net with no fanout only sees the wire capacitance.
+        let sum = netlist.net_id("sum").unwrap();
+        assert_eq!(
+            netlist.net_load(sum, &library).unwrap(),
+            library.wire_capacitance()
+        );
+    }
+
+    #[test]
+    fn threshold_overrides_take_precedence() {
+        let mut builder = NetlistBuilder::new("override");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        let z = builder.add_net("z");
+        builder
+            .add_gate_with_thresholds(CellKind::Inv, "low_vt", &[a], y, &[0.3])
+            .unwrap();
+        builder.add_gate(CellKind::Inv, "plain", &[y], z).unwrap();
+        builder.mark_output(z);
+        let netlist = builder.build().unwrap();
+        let library = technology::cmos06();
+        let low_vt = netlist
+            .gates()
+            .iter()
+            .find(|g| g.name() == "low_vt")
+            .unwrap()
+            .id();
+        let plain = netlist
+            .gates()
+            .iter()
+            .find(|g| g.name() == "plain")
+            .unwrap()
+            .id();
+        assert_eq!(
+            netlist
+                .input_threshold_fraction(PinRef::new(low_vt, 0), &library)
+                .unwrap(),
+            0.3
+        );
+        let default = library.pin(CellKind::Inv, 0).unwrap().threshold_fraction;
+        assert_eq!(
+            netlist
+                .input_threshold_fraction(PinRef::new(plain, 0), &library)
+                .unwrap(),
+            default
+        );
+    }
+
+    #[test]
+    fn arity_and_driver_errors() {
+        let mut builder = NetlistBuilder::new("bad");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        let err = builder
+            .add_gate(CellKind::Nand2, "g", &[a], y)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+        builder.add_gate(CellKind::Inv, "g1", &[a], y).unwrap();
+        let err = builder.add_gate(CellKind::Inv, "g2", &[a], y).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+        let err = builder
+            .add_gate(CellKind::Inv, "g3", &[y], a)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+        let scratch = builder.add_net("scratch");
+        let err = builder
+            .add_gate_with_thresholds(CellKind::Nand2, "g4", &[a, y], scratch, &[0.5])
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::ThresholdOverrideArity { .. }));
+    }
+
+    #[test]
+    fn undriven_net_is_rejected() {
+        let mut builder = NetlistBuilder::new("undriven");
+        let a = builder.add_input("a");
+        let floating = builder.add_net("floating");
+        let y = builder.add_net("y");
+        builder
+            .add_gate(CellKind::And2, "g", &[a, floating], y)
+            .unwrap();
+        builder.mark_output(y);
+        let err = builder.build().unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::UndrivenNet {
+                net: "floating".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        let mut builder = NetlistBuilder::new("loop");
+        let a = builder.add_input("a");
+        let x = builder.add_net("x");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Nand2, "g1", &[a, y], x).unwrap();
+        builder.add_gate(CellKind::Inv, "g2", &[x], y).unwrap();
+        let err = builder.build().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn duplicate_declarations_are_idempotent() {
+        let mut builder = NetlistBuilder::new("dup");
+        let a1 = builder.add_input("a");
+        let a2 = builder.add_input("a");
+        assert_eq!(a1, a2);
+        let n1 = builder.add_net("n");
+        let n2 = builder.add_net("n");
+        assert_eq!(n1, n2);
+        assert!(builder.contains_net("a"));
+        builder.add_gate(CellKind::Inv, "g", &[a1], n1).unwrap();
+        builder.mark_output(n1);
+        builder.mark_output(n1); // second call is a no-op
+        let netlist = builder.build().unwrap();
+        assert_eq!(netlist.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn histogram_counts_cell_kinds() {
+        let netlist = half_adder();
+        let histogram = netlist.gate_histogram();
+        assert_eq!(histogram, vec![(CellKind::And2, 1), (CellKind::Xor2, 1)]);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let messages = [
+            NetlistError::DuplicateNet { name: "n".into() }.to_string(),
+            NetlistError::UndrivenNet { net: "x".into() }.to_string(),
+            NetlistError::CombinationalLoop { gate: "g".into() }.to_string(),
+            NetlistError::MultipleDrivers { net: "y".into() }.to_string(),
+        ];
+        assert!(messages[0].contains("duplicate net"));
+        assert!(messages[1].contains("no driver"));
+        assert!(messages[2].contains("loop"));
+        assert!(messages[3].contains("driven more than once"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Parser for the structural netlist text format.
+//!
+//! The format is deliberately tiny — enough to store the paper's circuits in
+//! version control and to feed hand-written test cases:
+//!
+//! ```text
+//! # comments start with '#'
+//! circuit half_adder
+//! input a b
+//! output sum carry
+//! gate xor2 gx a b -> sum
+//! gate and2 ga a b -> carry
+//! # optional per-instance thresholds (fraction of Vdd, one per input):
+//! gate inv  gl a -> n1 vt=0.30
+//! ```
+//!
+//! Keywords: `circuit <name>`, `input <net>...`, `output <net>...`,
+//! `gate <cell> <instance> <input net>... -> <output net> [vt=<f>,<f>,...]`.
+
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder, NetlistError};
+
+/// Errors produced while parsing netlist text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The text was syntactically fine but the resulting circuit is invalid.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Netlist(err) => write!(f, "invalid netlist: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<NetlistError> for ParseError {
+    fn from(err: NetlistError) -> Self {
+        ParseError::Netlist(err)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses netlist text into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] for malformed lines and
+/// [`ParseError::Netlist`] when the described circuit is structurally
+/// invalid.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::parser;
+///
+/// let text = "\
+/// circuit buffer_pair
+/// input a
+/// output y
+/// gate inv g1 a -> n1
+/// gate inv g2 n1 -> y
+/// ";
+/// let netlist = parser::parse(text)?;
+/// assert_eq!(netlist.gate_count(), 2);
+/// # Ok::<(), halotis_netlist::parser::ParseError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Netlist, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    struct GateLine {
+        line: usize,
+        kind: CellKind,
+        instance: String,
+        inputs: Vec<String>,
+        output: String,
+        thresholds: Option<Vec<f64>>,
+    }
+    let mut gate_lines: Vec<GateLine> = Vec::new();
+
+    for (index, raw) in text.lines().enumerate() {
+        let line_number = index + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("circuit") => {
+                name = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_number, "circuit needs a name"))?
+                    .to_string();
+            }
+            Some("input") => inputs.extend(tokens.map(str::to_string)),
+            Some("output") => outputs.extend(tokens.map(str::to_string)),
+            Some("gate") => {
+                let kind_token = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_number, "gate needs a cell kind"))?;
+                let kind: CellKind = kind_token
+                    .parse()
+                    .map_err(|_| syntax(line_number, format!("unknown cell kind {kind_token}")))?;
+                let instance = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_number, "gate needs an instance name"))?
+                    .to_string();
+                let rest: Vec<&str> = tokens.collect();
+                let arrow = rest
+                    .iter()
+                    .position(|&t| t == "->")
+                    .ok_or_else(|| syntax(line_number, "gate needs '-> <output net>'"))?;
+                let gate_inputs: Vec<String> = rest[..arrow].iter().map(|s| s.to_string()).collect();
+                let mut after = rest[arrow + 1..].iter();
+                let output = after
+                    .next()
+                    .ok_or_else(|| syntax(line_number, "missing output net after '->'"))?
+                    .to_string();
+                let mut thresholds = None;
+                for extra in after {
+                    if let Some(list) = extra.strip_prefix("vt=") {
+                        let parsed: Result<Vec<f64>, _> =
+                            list.split(',').map(str::parse::<f64>).collect();
+                        thresholds = Some(parsed.map_err(|_| {
+                            syntax(line_number, format!("invalid threshold list {list}"))
+                        })?);
+                    } else {
+                        return Err(syntax(line_number, format!("unexpected token {extra}")));
+                    }
+                }
+                gate_lines.push(GateLine {
+                    line: line_number,
+                    kind,
+                    instance,
+                    inputs: gate_inputs,
+                    output,
+                    thresholds,
+                });
+            }
+            Some(other) => return Err(syntax(line_number, format!("unknown keyword {other}"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+
+    let mut builder = NetlistBuilder::new(name);
+    for input in &inputs {
+        builder.add_input(input);
+    }
+    for gate in &gate_lines {
+        let input_ids: Vec<_> = gate
+            .inputs
+            .iter()
+            .map(|n| {
+                if !builder.contains_net(n) && !inputs.contains(n) {
+                    // Internal net referenced before being driven: create it.
+                }
+                builder.add_net(n)
+            })
+            .collect();
+        let output_id = builder.add_net(&gate.output);
+        let result = match &gate.thresholds {
+            Some(vt) => builder.add_gate_with_thresholds(
+                gate.kind,
+                &gate.instance,
+                &input_ids,
+                output_id,
+                vt,
+            ),
+            None => builder.add_gate(gate.kind, &gate.instance, &input_ids, output_id),
+        };
+        result.map_err(|err| match err {
+            NetlistError::ArityMismatch { .. } | NetlistError::ThresholdOverrideArity { .. } => {
+                syntax(gate.line, err.to_string())
+            }
+            other => ParseError::Netlist(other),
+        })?;
+    }
+    for output in &outputs {
+        let id = builder.add_net(output);
+        builder.mark_output(id);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetDriver;
+
+    const HALF_ADDER: &str = "\
+# a tiny half adder
+circuit half_adder
+input a b
+output sum carry
+gate xor2 gx a b -> sum
+gate and2 ga a b -> carry
+";
+
+    #[test]
+    fn parses_a_simple_circuit() {
+        let netlist = parse(HALF_ADDER).unwrap();
+        assert_eq!(netlist.name(), "half_adder");
+        assert_eq!(netlist.gate_count(), 2);
+        assert_eq!(netlist.primary_inputs().len(), 2);
+        assert_eq!(netlist.primary_outputs().len(), 2);
+        let sum = netlist.net_id("sum").unwrap();
+        assert!(matches!(netlist.net(sum).driver(), NetDriver::Gate(_)));
+    }
+
+    #[test]
+    fn parses_threshold_overrides() {
+        let text = "\
+circuit vt_test
+input a
+output y
+gate inv g1 a -> n1 vt=0.30
+gate inv g2 n1 -> y
+";
+        let netlist = parse(text).unwrap();
+        let g1 = netlist
+            .gates()
+            .iter()
+            .find(|g| g.name() == "g1")
+            .unwrap();
+        assert_eq!(g1.threshold_overrides(), Some(&[0.30][..]));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# nothing\ncircuit c\ninput a\n\noutput y\ngate buf g a -> y # trailing comment\n";
+        let netlist = parse(text).unwrap();
+        assert_eq!(netlist.gate_count(), 1);
+    }
+
+    #[test]
+    fn nets_can_be_referenced_before_their_driver() {
+        let text = "\
+circuit order
+input a
+output y
+gate inv g2 n1 -> y
+gate inv g1 a -> n1
+";
+        let netlist = parse(text).unwrap();
+        assert_eq!(netlist.gate_count(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let bad_kind = parse("circuit c\ninput a\ngate frob g a -> y\n").unwrap_err();
+        assert!(bad_kind.to_string().contains("line 3"));
+        let bad_arrow = parse("circuit c\ninput a\ngate inv g a y\n").unwrap_err();
+        assert!(bad_arrow.to_string().contains("->"));
+        let bad_keyword = parse("wires a b\n").unwrap_err();
+        assert!(bad_keyword.to_string().contains("unknown keyword"));
+        let bad_vt = parse("circuit c\ninput a\ngate inv g a -> y vt=abc\n").unwrap_err();
+        assert!(bad_vt.to_string().contains("invalid threshold list"));
+        let bad_arity = parse("circuit c\ninput a\ngate nand2 g a -> y\n").unwrap_err();
+        assert!(bad_arity.to_string().contains("expects 2 inputs"));
+    }
+
+    #[test]
+    fn structurally_invalid_circuits_are_rejected() {
+        let undriven = parse("circuit c\ninput a\noutput y\ngate and2 g a n_missing -> y\n");
+        assert!(matches!(
+            undriven,
+            Err(ParseError::Netlist(NetlistError::UndrivenNet { .. }))
+        ));
+    }
+}

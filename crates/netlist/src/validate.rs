@@ -1,0 +1,215 @@
+//! Post-construction netlist/library consistency checks.
+//!
+//! [`NetlistBuilder`](crate::NetlistBuilder) already guarantees structural
+//! well-formedness (single drivers, no loops).  This module checks the
+//! *semantic* properties that only matter once a library and a simulation
+//! are involved, and reports them as warnings rather than hard errors:
+//!
+//! * gates whose cell kind is not characterised in the library,
+//! * threshold overrides outside the `(0, 1)` open interval,
+//! * dangling nets (no fanout and not a primary output),
+//! * primary inputs that drive nothing,
+//! * primary outputs driven directly by a primary input (legal but usually a
+//!   sign of a netlist bug).
+
+use std::fmt;
+
+use crate::library::Library;
+use crate::netlist::Netlist;
+
+/// One validation finding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Issue {
+    /// A gate's cell kind is missing from the library.
+    UncharacterisedCell {
+        /// Gate instance name.
+        gate: String,
+    },
+    /// A per-instance threshold override is not strictly inside `(0, 1)`.
+    ThresholdOutOfRange {
+        /// Gate instance name.
+        gate: String,
+        /// Pin index.
+        pin: usize,
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// An internal net drives no gate input and is not a primary output.
+    DanglingNet {
+        /// Net name.
+        net: String,
+    },
+    /// A primary input has no fanout.
+    UnusedInput {
+        /// Net name.
+        net: String,
+    },
+    /// A primary output is directly a primary input.
+    PassThroughOutput {
+        /// Net name.
+        net: String,
+    },
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::UncharacterisedCell { gate } => {
+                write!(f, "gate {gate}: cell kind not in library")
+            }
+            Issue::ThresholdOutOfRange {
+                gate,
+                pin,
+                fraction,
+            } => write!(
+                f,
+                "gate {gate} pin {pin}: threshold override {fraction} outside (0, 1)"
+            ),
+            Issue::DanglingNet { net } => write!(f, "net {net} drives nothing"),
+            Issue::UnusedInput { net } => write!(f, "primary input {net} is unused"),
+            Issue::PassThroughOutput { net } => {
+                write!(f, "primary output {net} is directly a primary input")
+            }
+        }
+    }
+}
+
+/// Checks a netlist against a library and returns every finding.
+///
+/// An empty result means the pair is ready for simulation.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{generators, technology, validate};
+///
+/// let netlist = generators::multiplier(4, 4);
+/// let issues = validate::check(&netlist, &technology::cmos06());
+/// assert!(issues.is_empty());
+/// ```
+pub fn check(netlist: &Netlist, library: &Library) -> Vec<Issue> {
+    let mut issues = Vec::new();
+
+    for gate in netlist.gates() {
+        if !library.contains(gate.kind()) {
+            issues.push(Issue::UncharacterisedCell {
+                gate: gate.name().to_string(),
+            });
+        }
+        if let Some(overrides) = gate.threshold_overrides() {
+            for (pin, &fraction) in overrides.iter().enumerate() {
+                if !(fraction > 0.0 && fraction < 1.0) {
+                    issues.push(Issue::ThresholdOutOfRange {
+                        gate: gate.name().to_string(),
+                        pin,
+                        fraction,
+                    });
+                }
+            }
+        }
+    }
+
+    for net in netlist.nets() {
+        let has_loads = !net.loads().is_empty();
+        if net.is_primary_input() {
+            if !has_loads {
+                issues.push(Issue::UnusedInput {
+                    net: net.name().to_string(),
+                });
+            }
+            if net.is_primary_output() {
+                issues.push(Issue::PassThroughOutput {
+                    net: net.name().to_string(),
+                });
+            }
+        } else if !has_loads && !net.is_primary_output() {
+            issues.push(Issue::DanglingNet {
+                net: net.name().to_string(),
+            });
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::library::Library;
+    use crate::netlist::NetlistBuilder;
+    use crate::technology;
+    use halotis_core::Voltage;
+
+    #[test]
+    fn clean_circuit_has_no_issues() {
+        let mut builder = NetlistBuilder::new("clean");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Inv, "g", &[a], y).unwrap();
+        builder.mark_output(y);
+        let netlist = builder.build().unwrap();
+        assert!(check(&netlist, &technology::cmos06()).is_empty());
+    }
+
+    #[test]
+    fn missing_cell_is_reported() {
+        let mut builder = NetlistBuilder::new("missing");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Xor2, "g", &[a, a], y).unwrap();
+        builder.mark_output(y);
+        let netlist = builder.build().unwrap();
+        let empty_library = Library::new("empty", Voltage::from_volts(5.0));
+        let issues = check(&netlist, &empty_library);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::UncharacterisedCell { .. })));
+    }
+
+    #[test]
+    fn bad_threshold_override_is_reported() {
+        let mut builder = NetlistBuilder::new("bad_vt");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        builder
+            .add_gate_with_thresholds(CellKind::Inv, "g", &[a], y, &[1.5])
+            .unwrap();
+        builder.mark_output(y);
+        let netlist = builder.build().unwrap();
+        let issues = check(&netlist, &technology::cmos06());
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].to_string().contains("outside (0, 1)"));
+    }
+
+    #[test]
+    fn dangling_and_unused_nets_are_reported() {
+        let mut builder = NetlistBuilder::new("dangling");
+        let a = builder.add_input("a");
+        let unused = builder.add_input("unused");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Inv, "g", &[a], y).unwrap();
+        // y is neither an output nor a load: dangling.
+        let netlist = builder.build().unwrap();
+        let issues = check(&netlist, &technology::cmos06());
+        assert!(issues.iter().any(|i| matches!(i, Issue::DanglingNet { .. })));
+        assert!(issues.iter().any(
+            |i| matches!(i, Issue::UnusedInput { net } if net == &netlist.net(unused).name().to_string())
+        ));
+    }
+
+    #[test]
+    fn pass_through_output_is_reported() {
+        let mut builder = NetlistBuilder::new("pass");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Inv, "g", &[a], y).unwrap();
+        builder.mark_output(y);
+        builder.mark_output(a);
+        let netlist = builder.build().unwrap();
+        let issues = check(&netlist, &technology::cmos06());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::PassThroughOutput { .. })));
+    }
+}

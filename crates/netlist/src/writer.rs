@@ -1,0 +1,114 @@
+//! Writer for the structural netlist text format (the inverse of [`parser`]).
+//!
+//! [`parser`]: crate::parser
+
+use std::fmt::Write as _;
+
+use crate::netlist::Netlist;
+
+/// Serialises a netlist into the text format accepted by
+/// [`parser::parse`](crate::parser::parse).
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{generators, parser, writer};
+///
+/// let original = generators::inverter_chain(3);
+/// let text = writer::to_text(&original);
+/// let reparsed = parser::parse(&text)?;
+/// assert_eq!(reparsed.gate_count(), original.gate_count());
+/// # Ok::<(), halotis_netlist::parser::ParseError>(())
+/// ```
+pub fn to_text(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    writeln!(out, "circuit {}", netlist.name()).expect("writing to String cannot fail");
+
+    if !netlist.primary_inputs().is_empty() {
+        let names: Vec<&str> = netlist
+            .primary_inputs()
+            .iter()
+            .map(|&id| netlist.net(id).name())
+            .collect();
+        writeln!(out, "input {}", names.join(" ")).expect("writing to String cannot fail");
+    }
+    if !netlist.primary_outputs().is_empty() {
+        let names: Vec<&str> = netlist
+            .primary_outputs()
+            .iter()
+            .map(|&id| netlist.net(id).name())
+            .collect();
+        writeln!(out, "output {}", names.join(" ")).expect("writing to String cannot fail");
+    }
+
+    for gate in netlist.gates() {
+        let inputs: Vec<&str> = gate
+            .inputs()
+            .iter()
+            .map(|&id| netlist.net(id).name())
+            .collect();
+        let mut line = format!(
+            "gate {} {} {} -> {}",
+            gate.kind(),
+            gate.name(),
+            inputs.join(" "),
+            netlist.net(gate.output()).name()
+        );
+        if let Some(overrides) = gate.threshold_overrides() {
+            let list: Vec<String> = overrides.iter().map(|f| format!("{f}")).collect();
+            line.push_str(&format!(" vt={}", list.join(",")));
+        }
+        writeln!(out, "{line}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::NetlistBuilder;
+    use crate::parser;
+
+    fn circuit_with_overrides() -> Netlist {
+        let mut builder = NetlistBuilder::new("override");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        let z = builder.add_net("z");
+        builder
+            .add_gate_with_thresholds(CellKind::Inv, "g1", &[a], y, &[0.35])
+            .unwrap();
+        builder.add_gate(CellKind::Inv, "g2", &[y], z).unwrap();
+        builder.mark_output(z);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn output_contains_all_sections() {
+        let text = to_text(&circuit_with_overrides());
+        assert!(text.contains("circuit override"));
+        assert!(text.contains("input a"));
+        assert!(text.contains("output z"));
+        assert!(text.contains("gate inv g1 a -> y vt=0.35"));
+        assert!(text.contains("gate inv g2 y -> z"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = circuit_with_overrides();
+        let reparsed = parser::parse(&to_text(&original)).unwrap();
+        assert_eq!(reparsed.name(), original.name());
+        assert_eq!(reparsed.gate_count(), original.gate_count());
+        assert_eq!(reparsed.net_count(), original.net_count());
+        assert_eq!(
+            reparsed.primary_outputs().len(),
+            original.primary_outputs().len()
+        );
+        let g1 = reparsed
+            .gates()
+            .iter()
+            .find(|g| g.name() == "g1")
+            .unwrap();
+        assert_eq!(g1.threshold_overrides(), Some(&[0.35][..]));
+    }
+}

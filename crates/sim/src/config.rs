@@ -1,0 +1,118 @@
+//! Simulation configuration.
+
+use halotis_core::{Time, TimeDelta};
+use halotis_delay::DelayModelKind;
+
+/// Knobs controlling one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use halotis_delay::DelayModelKind;
+/// use halotis_sim::SimulationConfig;
+///
+/// let config = SimulationConfig::ddm();
+/// assert_eq!(config.model, DelayModelKind::Degradation);
+/// let cdm = SimulationConfig::cdm().with_settle_margin_ns(10.0);
+/// assert_eq!(cdm.model, DelayModelKind::Conventional);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimulationConfig {
+    /// Which delay model the engine applies (the paper's HALOTIS-DDM vs
+    /// HALOTIS-CDM configurations).
+    pub model: DelayModelKind,
+    /// Hard stop: no event later than this instant is processed.  `None`
+    /// lets the simulation run until the event queue drains.
+    pub time_limit: Option<Time>,
+    /// Safety valve against runaway event storms (e.g. a mis-characterised
+    /// library producing zero-delay oscillation).  The run fails with
+    /// [`SimulationError::EventBudgetExhausted`] when exceeded.
+    ///
+    /// [`SimulationError::EventBudgetExhausted`]: crate::SimulationError::EventBudgetExhausted
+    pub max_events: usize,
+    /// Extra quiet time appended after the last stimulus edge when deriving
+    /// the default observation window.
+    pub settle_margin: TimeDelta,
+}
+
+impl SimulationConfig {
+    /// Configuration using the degradation delay model (HALOTIS-DDM).
+    pub fn ddm() -> Self {
+        SimulationConfig {
+            model: DelayModelKind::Degradation,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration using the conventional delay model (HALOTIS-CDM).
+    pub fn cdm() -> Self {
+        SimulationConfig {
+            model: DelayModelKind::Conventional,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for an explicit delay-model kind.
+    pub fn with_model(model: DelayModelKind) -> Self {
+        SimulationConfig {
+            model,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the settle margin (given in nanoseconds).
+    pub fn with_settle_margin_ns(mut self, margin_ns: f64) -> Self {
+        self.settle_margin = TimeDelta::from_ns(margin_ns);
+        self
+    }
+
+    /// Replaces the event budget.
+    pub fn with_max_events(mut self, max_events: usize) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Replaces the time limit.
+    pub fn with_time_limit(mut self, limit: Time) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            model: DelayModelKind::Degradation,
+            time_limit: None,
+            max_events: 10_000_000,
+            settle_margin: TimeDelta::from_ns(5.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_select_the_right_model() {
+        assert_eq!(SimulationConfig::ddm().model, DelayModelKind::Degradation);
+        assert_eq!(SimulationConfig::cdm().model, DelayModelKind::Conventional);
+        assert_eq!(
+            SimulationConfig::with_model(DelayModelKind::Conventional).model,
+            DelayModelKind::Conventional
+        );
+        assert_eq!(SimulationConfig::default().model, DelayModelKind::Degradation);
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let config = SimulationConfig::ddm()
+            .with_settle_margin_ns(2.5)
+            .with_max_events(100)
+            .with_time_limit(Time::from_ns(50.0));
+        assert_eq!(config.settle_margin, TimeDelta::from_ns(2.5));
+        assert_eq!(config.max_events, 100);
+        assert_eq!(config.time_limit, Some(Time::from_ns(50.0)));
+    }
+}

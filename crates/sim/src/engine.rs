@@ -1,0 +1,502 @@
+//! The HALOTIS simulation engine (paper Fig. 4).
+//!
+//! For every event popped from the queue the engine:
+//!
+//! 1. updates the level of the gate input where the event occurred,
+//! 2. re-evaluates the gate; if the output value changes, it computes the
+//!    output transition through the selected delay model (DDM applies the
+//!    degradation of eq. 1 using `T`, the time since the gate's previous
+//!    output transition),
+//! 3. records the transition on the output net — **every** transition is
+//!    recorded, even runt pulses, because in the IDDM filtering happens at
+//!    the receiving inputs, not at the driving output,
+//! 4. generates one candidate event per fanout input at the instant the new
+//!    ramp crosses that input's own threshold (Fig. 3), letting the queue's
+//!    per-input rule insert it or cancel the pulse for that input.
+
+use std::time::Instant;
+
+use halotis_core::{Capacitance, Edge, LogicLevel, Time, TimeDelta, Voltage};
+use halotis_delay::{model, DelayContext, PinTiming};
+use halotis_netlist::{Library, NetDriver, Netlist};
+use halotis_netlist::eval;
+use halotis_waveform::{DigitalWaveform, Stimulus, Trace, Transition};
+
+use crate::config::SimulationConfig;
+use crate::error::SimulationError;
+use crate::event::Event;
+use crate::pins::PinMap;
+use crate::queue::EventQueue;
+use crate::result::SimulationResult;
+use crate::stats::SimulationStats;
+
+/// The HALOTIS simulator: a netlist plus a characterised library, ready to
+/// run stimuli under either delay model.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Clone, Copy, Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+}
+
+/// Per-gate mutable simulation state.
+struct GateState {
+    input_levels: Vec<LogicLevel>,
+    output_target: LogicLevel,
+    last_output_start: Option<Time>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for `netlist` characterised by `library`.
+    pub fn new(netlist: &'a Netlist, library: &'a Library) -> Self {
+        Simulator { netlist, library }
+    }
+
+    /// The simulated netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The cell library in use.
+    pub fn library(&self) -> &Library {
+        self.library
+    }
+
+    /// Runs one simulation.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::UndrivenPrimaryInput`] if the stimulus does not
+    ///   cover every primary input,
+    /// * [`SimulationError::Library`] if a gate uses an uncharacterised cell,
+    /// * [`SimulationError::EventBudgetExhausted`] if the configured event
+    ///   budget is exceeded.
+    pub fn run(
+        &self,
+        stimulus: &Stimulus,
+        config: &SimulationConfig,
+    ) -> Result<SimulationResult, SimulationError> {
+        let started = Instant::now();
+        let netlist = self.netlist;
+        let library = self.library;
+        let vdd = library.vdd();
+
+        // --- static preparation -------------------------------------------------
+        let pins = PinMap::new(netlist);
+        let mut pin_thresholds: Vec<Voltage> = vec![Voltage::ZERO; pins.len()];
+        let mut pin_timing: Vec<PinTiming> = Vec::with_capacity(pins.len());
+        for gate in netlist.gates() {
+            for input in 0..gate.inputs().len() {
+                let pin = halotis_core::PinRef::new(gate.id(), input as u32);
+                let dense = pins.index(pin);
+                let fraction = netlist.input_threshold_fraction(pin, library)?;
+                pin_thresholds[dense] = vdd.fraction(fraction);
+                pin_timing.push(library.pin(gate.kind(), input)?.timing);
+            }
+        }
+        let gate_loads: Vec<Capacitance> = netlist
+            .gates()
+            .iter()
+            .map(|gate| netlist.net_load(gate.output(), library))
+            .collect::<Result<_, _>>()?;
+
+        // --- initial state ------------------------------------------------------
+        let mut assignments = Vec::with_capacity(netlist.primary_inputs().len());
+        for &input in netlist.primary_inputs() {
+            let name = netlist.net(input).name();
+            let Some(waveform) = stimulus.waveform(name) else {
+                return Err(SimulationError::UndrivenPrimaryInput {
+                    net: name.to_string(),
+                });
+            };
+            assignments.push((input, waveform.initial()));
+        }
+        let initial_levels = eval::evaluate(netlist, &assignments);
+
+        let mut gate_states: Vec<GateState> = netlist
+            .gates()
+            .iter()
+            .map(|gate| GateState {
+                input_levels: gate
+                    .inputs()
+                    .iter()
+                    .map(|&net| initial_levels[net.index()])
+                    .collect(),
+                output_target: initial_levels[gate.output().index()],
+                last_output_start: None,
+            })
+            .collect();
+
+        let mut net_waveforms: Vec<DigitalWaveform> = netlist
+            .nets()
+            .iter()
+            .map(|net| DigitalWaveform::new(initial_levels[net.id().index()]))
+            .collect();
+
+        // --- stimulus events ----------------------------------------------------
+        let mut queue = EventQueue::new(pins.len());
+        let mut stats = SimulationStats::default();
+        for &input in netlist.primary_inputs() {
+            let net = netlist.net(input);
+            let waveform = stimulus
+                .waveform(net.name())
+                .expect("checked above: every primary input is driven");
+            for transition in waveform.transitions() {
+                net_waveforms[input.index()].push(*transition);
+                stats.output_transitions += 1;
+                for &pin in net.loads() {
+                    let dense = pins.index(pin);
+                    if let Some(crossing) = transition.crossing_time(pin_thresholds[dense], vdd) {
+                        queue.schedule(
+                            dense,
+                            Event::new(
+                                crossing,
+                                pin,
+                                transition.edge().target_level(),
+                                transition.slew(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- main loop (paper Fig. 4) -------------------------------------------
+        while let Some(event) = queue.pop() {
+            if let Some(limit) = config.time_limit {
+                if event.time > limit {
+                    break;
+                }
+            }
+            stats.events_processed += 1;
+            if stats.events_processed > config.max_events {
+                return Err(SimulationError::EventBudgetExhausted {
+                    budget: config.max_events,
+                });
+            }
+
+            let gate = netlist.gate(event.pin.gate());
+            let state = &mut gate_states[gate.id().index()];
+            state.input_levels[event.pin.input_index()] = event.new_level;
+            let new_output = gate.kind().evaluate(&state.input_levels);
+            if new_output == state.output_target {
+                continue;
+            }
+            let edge = match Edge::between(state.output_target, new_output) {
+                Some(edge) => edge,
+                None => match new_output {
+                    LogicLevel::High => Edge::Rise,
+                    LogicLevel::Low => Edge::Fall,
+                    LogicLevel::Unknown => {
+                        state.output_target = LogicLevel::Unknown;
+                        continue;
+                    }
+                },
+            };
+
+            let dense = pins.index(event.pin);
+            let arc = pin_timing[dense].for_edge(edge);
+            let elapsed = state.last_output_start.map(|previous| {
+                let delta = event.time - previous;
+                if delta.is_negative() {
+                    TimeDelta::ZERO
+                } else {
+                    delta
+                }
+            });
+            let ctx = DelayContext {
+                vdd,
+                load: gate_loads[gate.id().index()],
+                input_slew: event.input_slew,
+                time_since_last_output: elapsed,
+            };
+            let outcome = model::evaluate(arc, config.model, &ctx);
+            if outcome.is_degraded() {
+                stats.degraded_transitions += 1;
+            }
+            if outcome.is_fully_collapsed() {
+                stats.collapsed_transitions += 1;
+            }
+
+            // The propagation delay is measured to the half-swing point of
+            // the output ramp, so the ramp itself starts half an output slew
+            // earlier (clamped to the triggering event for causality).  Two
+            // further constraints keep the net waveform well formed: a
+            // heavily degraded transition cannot start before the gate's
+            // previous output transition did — it can only cut it short.
+            let half_slew = outcome.output_slew / 2;
+            let mut start = if outcome.delay > half_slew {
+                event.time + outcome.delay - half_slew
+            } else {
+                event.time
+            };
+            if let Some(previous) = state.last_output_start {
+                if start <= previous {
+                    start = previous + TimeDelta::from_fs(1);
+                }
+            }
+            let transition = Transition::new(start, outcome.output_slew, edge);
+            net_waveforms[gate.output().index()].push(transition);
+            stats.output_transitions += 1;
+            state.last_output_start = Some(transition.start());
+            state.output_target = new_output;
+
+            for &pin in netlist.net(gate.output()).loads() {
+                let fanout_dense = pins.index(pin);
+                if let Some(crossing) =
+                    transition.crossing_time(pin_thresholds[fanout_dense], vdd)
+                {
+                    queue.schedule(
+                        fanout_dense,
+                        Event::new(crossing, pin, new_output, transition.slew()),
+                    );
+                }
+            }
+        }
+
+        stats.events_scheduled = queue.scheduled();
+        stats.events_filtered = queue.filtered();
+
+        // --- package ------------------------------------------------------------
+        let mut waveforms = Trace::new();
+        for net in netlist.nets() {
+            waveforms.insert(
+                net.name(),
+                std::mem::replace(
+                    &mut net_waveforms[net.id().index()],
+                    DigitalWaveform::new(LogicLevel::Unknown),
+                ),
+            );
+        }
+        let output_names = netlist
+            .primary_outputs()
+            .iter()
+            .map(|&net| netlist.net(net).name().to_string())
+            .collect();
+        Ok(SimulationResult::new(
+            config.model,
+            vdd,
+            waveforms,
+            output_names,
+            stats,
+            started.elapsed(),
+        ))
+    }
+
+    /// Convenience: runs the same stimulus under both delay models and
+    /// returns `(ddm, cdm)` — the comparison the paper's Table 1 makes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of either run.
+    pub fn run_both_models(
+        &self,
+        stimulus: &Stimulus,
+        base: &SimulationConfig,
+    ) -> Result<(SimulationResult, SimulationResult), SimulationError> {
+        let mut ddm_config = *base;
+        ddm_config.model = halotis_delay::DelayModelKind::Degradation;
+        let mut cdm_config = *base;
+        cdm_config.model = halotis_delay::DelayModelKind::Conventional;
+        Ok((self.run(stimulus, &ddm_config)?, self.run(stimulus, &cdm_config)?))
+    }
+}
+
+/// Returns `true` when the driver of a net is a primary input — small helper
+/// used by integration tests to distinguish stimulus transitions from gate
+/// activity.
+pub fn is_primary_input_net(netlist: &Netlist, net: halotis_core::NetId) -> bool {
+    matches!(netlist.net(net).driver(), NetDriver::PrimaryInput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_delay::DelayModelKind;
+    use halotis_netlist::{generators, technology};
+
+    fn chain_stimulus(library: &Library) -> Stimulus {
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        stimulus.drive("in", Time::from_ns(6.0), LogicLevel::Low);
+        stimulus
+    }
+
+    #[test]
+    fn inverter_chain_propagates_with_increasing_delay() {
+        let netlist = generators::inverter_chain(4);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let result = simulator
+            .run(&chain_stimulus(&library), &SimulationConfig::ddm())
+            .unwrap();
+        // The final output follows the input with the accumulated delay of
+        // four inverters: it rises (even number of inversions) after 1 ns.
+        let out = result.ideal_waveform("out").unwrap();
+        assert_eq!(out.edge_count(), 2);
+        let first_edge = out.changes()[0].0;
+        assert!(first_edge > Time::from_ns(1.0));
+        assert!(first_edge < Time::from_ns(4.0));
+        // Each stage adds delay: intermediate nets switch earlier than `out`.
+        let n1 = result.ideal_waveform("n1").unwrap();
+        assert!(n1.changes()[0].0 < first_edge);
+        assert!(result.stats().events_processed >= 8);
+    }
+
+    #[test]
+    fn undriven_input_is_an_error() {
+        let netlist = generators::c17();
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let stimulus = Stimulus::new(library.default_input_slew());
+        let err = simulator
+            .run(&stimulus, &SimulationConfig::ddm())
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::UndrivenPrimaryInput { .. }));
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let netlist = generators::inverter_chain(8);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let config = SimulationConfig::ddm().with_max_events(2);
+        let err = simulator
+            .run(&chain_stimulus(&library), &config)
+            .unwrap_err();
+        assert_eq!(err, SimulationError::EventBudgetExhausted { budget: 2 });
+    }
+
+    #[test]
+    fn time_limit_truncates_the_run() {
+        let netlist = generators::inverter_chain(8);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let unlimited = simulator
+            .run(&chain_stimulus(&library), &SimulationConfig::ddm())
+            .unwrap();
+        let limited = simulator
+            .run(
+                &chain_stimulus(&library),
+                &SimulationConfig::ddm().with_time_limit(Time::from_ns(1.5)),
+            )
+            .unwrap();
+        assert!(limited.stats().events_processed < unlimited.stats().events_processed);
+    }
+
+    #[test]
+    fn both_models_agree_on_a_glitch_free_circuit() {
+        // A single slow edge through an inverter chain never triggers the
+        // degradation model, so DDM and CDM must give identical waveforms.
+        let netlist = generators::inverter_chain(3);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(2.0), LogicLevel::High);
+        let (ddm, cdm) = simulator
+            .run_both_models(&stimulus, &SimulationConfig::default())
+            .unwrap();
+        assert_eq!(ddm.stats().events_processed, cdm.stats().events_processed);
+        assert_eq!(ddm.stats().degraded_transitions, 0);
+        let ddm_out = ddm.ideal_waveform("out").unwrap();
+        let cdm_out = cdm.ideal_waveform("out").unwrap();
+        assert_eq!(ddm_out.changes(), cdm_out.changes());
+    }
+
+    #[test]
+    fn narrow_input_pulse_is_degraded_and_eventually_filtered() {
+        // A pulse much narrower than the chain delay: with DDM the pulse
+        // shrinks stage after stage and disappears; the total number of
+        // half-swing edges seen downstream is smaller than with CDM.
+        let netlist = generators::inverter_chain(6);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        stimulus.drive("in", Time::from_ns(1.25), LogicLevel::Low);
+        let (ddm, cdm) = simulator
+            .run_both_models(&stimulus, &SimulationConfig::default())
+            .unwrap();
+        assert!(ddm.stats().degraded_transitions > 0);
+        let ddm_edges = ddm.ideal_waveform("out").unwrap().edge_count();
+        let cdm_edges = cdm.ideal_waveform("out").unwrap().edge_count();
+        assert!(
+            ddm_edges <= cdm_edges,
+            "DDM produced more output edges ({ddm_edges}) than CDM ({cdm_edges})"
+        );
+        // Both settle back to the quiescent value.
+        assert_eq!(
+            ddm.ideal_waveform("out").unwrap().final_level(),
+            cdm.ideal_waveform("out").unwrap().final_level()
+        );
+    }
+
+    #[test]
+    fn per_input_thresholds_split_one_pulse_between_fanouts() {
+        // The Fig. 1 circuit: a marginal pulse on out0 reaches the
+        // low-threshold branch but not the high-threshold branch.
+        let (netlist, nets) = generators::figure1(0.15, 0.85);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        // A pulse narrow enough to be marginal after the shaping chain.
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        stimulus.drive("in", Time::from_ns(1.35), LogicLevel::Low);
+        let result = simulator
+            .run(&stimulus, &SimulationConfig::ddm())
+            .unwrap();
+        let low_branch = result.waveform(&nets.out1).unwrap().len();
+        let high_branch = result.waveform(&nets.out2).unwrap().len();
+        assert!(
+            low_branch >= high_branch,
+            "low-threshold branch ({low_branch}) should see at least as many transitions as the high-threshold branch ({high_branch})"
+        );
+        assert!(result.stats().events_filtered > 0 || high_branch < 2);
+    }
+
+    #[test]
+    fn multiplier_settles_to_the_correct_product() {
+        let netlist = generators::multiplier(4, 4);
+        let ports = generators::MultiplierPorts::new(4, 4);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        for (a, b) in [(0x7u64, 0x7u64), (0x5, 0xA), (0xE, 0x6), (0xF, 0xF)] {
+            let mut stimulus = Stimulus::new(library.default_input_slew());
+            for bit in ports.a_refs().iter().chain(ports.b_refs().iter()) {
+                stimulus.set_initial(*bit, LogicLevel::Low);
+            }
+            stimulus.drive_bus_value(&ports.a_refs(), a, Time::from_ns(1.0));
+            stimulus.drive_bus_value(&ports.b_refs(), b, Time::from_ns(1.0));
+            let result = simulator
+                .run(&stimulus, &SimulationConfig::ddm())
+                .unwrap();
+            let mut product = 0u64;
+            for (bit, name) in ports.s.iter().enumerate() {
+                if result.ideal_waveform(name).unwrap().final_level() == LogicLevel::High {
+                    product |= 1 << bit;
+                }
+            }
+            assert_eq!(product, a * b, "{a:#x} x {b:#x}");
+        }
+    }
+
+    #[test]
+    fn model_kind_is_recorded_in_the_result() {
+        let netlist = generators::inverter_chain(2);
+        let library = technology::cmos06();
+        let simulator = Simulator::new(&netlist, &library);
+        assert_eq!(simulator.netlist().gate_count(), 2);
+        assert_eq!(simulator.library().name(), "cmos06-synthetic");
+        let result = simulator
+            .run(&chain_stimulus(&library), &SimulationConfig::cdm())
+            .unwrap();
+        assert_eq!(result.model(), DelayModelKind::Conventional);
+        assert!(is_primary_input_net(&netlist, netlist.net_id("in").unwrap()));
+        assert!(!is_primary_input_net(&netlist, netlist.net_id("out").unwrap()));
+    }
+}

@@ -1,0 +1,74 @@
+//! Simulation error type.
+
+use std::fmt;
+
+use halotis_netlist::library::LibraryError;
+
+/// Errors that can abort a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// A gate in the netlist uses a cell kind the library does not
+    /// characterise.
+    Library(LibraryError),
+    /// The run exceeded its event budget
+    /// ([`SimulationConfig::max_events`](crate::SimulationConfig::max_events)),
+    /// which normally indicates an oscillation caused by a broken
+    /// characterisation.
+    EventBudgetExhausted {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A primary input has neither an initial level nor any driven edge.
+    UndrivenPrimaryInput {
+        /// The net name.
+        net: String,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::Library(err) => write!(f, "library error: {err}"),
+            SimulationError::EventBudgetExhausted { budget } => {
+                write!(f, "event budget of {budget} exhausted")
+            }
+            SimulationError::UndrivenPrimaryInput { net } => {
+                write!(f, "primary input {net} has no stimulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimulationError::Library(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<LibraryError> for SimulationError {
+    fn from(err: LibraryError) -> Self {
+        SimulationError::Library(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_netlist::CellKind;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let library = SimulationError::from(LibraryError::MissingCell {
+            kind: CellKind::Xor2,
+        });
+        assert!(library.to_string().contains("no cell xor2"));
+        assert!(std::error::Error::source(&library).is_some());
+        let budget = SimulationError::EventBudgetExhausted { budget: 10 };
+        assert_eq!(budget.to_string(), "event budget of 10 exhausted");
+        let input = SimulationError::UndrivenPrimaryInput { net: "a".into() };
+        assert!(input.to_string().contains("no stimulus"));
+    }
+}

@@ -1,0 +1,58 @@
+//! The simulation event.
+//!
+//! Paper §3.1: *"Each time a transition crosses an input threshold, an event
+//! is generated.  The simulation is performed in terms of events, taking
+//! account of individual input thresholds."*  An [`Event`] therefore belongs
+//! to exactly one gate input pin and carries what the gate evaluation needs
+//! from the causing transition: the level the input is moving to and the
+//! transition time of the causing ramp.
+
+use halotis_core::{LogicLevel, PinRef, Time, TimeDelta};
+
+/// One scheduled event: a gate input crossing its threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The instant the causing transition crosses this input's threshold
+    /// (`E` in the paper).
+    pub time: Time,
+    /// The gate input pin where the event occurs.
+    pub pin: PinRef,
+    /// The logic level the input assumes after the event.
+    pub new_level: LogicLevel,
+    /// The transition time of the causing ramp, used as `tau_in` by the
+    /// delay model (eq. 3) when this event triggers an output transition.
+    pub input_slew: TimeDelta,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(time: Time, pin: PinRef, new_level: LogicLevel, input_slew: TimeDelta) -> Self {
+        Event {
+            time,
+            pin,
+            new_level,
+            input_slew,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::GateId;
+
+    #[test]
+    fn constructor_stores_all_fields() {
+        let pin = PinRef::new(GateId::new(3), 1);
+        let event = Event::new(
+            Time::from_ns(2.0),
+            pin,
+            LogicLevel::High,
+            TimeDelta::from_ps(150.0),
+        );
+        assert_eq!(event.time, Time::from_ns(2.0));
+        assert_eq!(event.pin, pin);
+        assert_eq!(event.new_level, LogicLevel::High);
+        assert_eq!(event.input_slew, TimeDelta::from_ps(150.0));
+    }
+}

@@ -1,0 +1,66 @@
+//! The HALOTIS event-driven logic-timing simulation kernel.
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! simulator built around the distinction between **transitions** (linear
+//! voltage ramps on nets) and **events** (the instants those ramps cross the
+//! individual threshold voltage of each fanout gate input), combined with
+//! the Inertial and Degradation Delay Model (IDDM).
+//!
+//! The pieces map directly onto the paper's sections:
+//!
+//! * [`queue`] — the event queue with the per-input insert/cancel rule of
+//!   Fig. 4 (an event arriving *before* the pending previous event on the
+//!   same input deletes it: that is where runt pulses die, per input),
+//! * [`engine`] — the simulation algorithm of Fig. 4: pop event, evaluate
+//!   the gate through the DDM (or the conventional model), emit the output
+//!   transition, generate one event per fanout input threshold (Fig. 3),
+//! * [`classical`] — a conventional single-threshold, inertial-delay
+//!   event-driven simulator, the baseline whose wrong behaviour Fig. 1
+//!   demonstrates,
+//! * [`stats`] / [`result`] — event counts, filtered-event counts and
+//!   switching activity (Table 1) plus the recorded waveforms (Figs. 6–7).
+//!
+//! # Quick start
+//!
+//! ```
+//! use halotis_core::{LogicLevel, Time};
+//! use halotis_delay::DelayModelKind;
+//! use halotis_netlist::{generators, technology};
+//! use halotis_sim::{SimulationConfig, Simulator};
+//! use halotis_waveform::Stimulus;
+//!
+//! // Three inversions: a rising input edge produces a falling output edge.
+//! let netlist = generators::inverter_chain(3);
+//! let library = technology::cmos06();
+//! let mut stimulus = Stimulus::new(library.default_input_slew());
+//! stimulus.set_initial("in", LogicLevel::Low);
+//! stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+//!
+//! let simulator = Simulator::new(&netlist, &library);
+//! let result = simulator.run(&stimulus, &SimulationConfig::ddm())?;
+//! assert!(result.stats().events_processed > 0);
+//! let out = result.ideal_waveform("out").expect("output net exists");
+//! assert_eq!(out.final_level(), LogicLevel::Low);
+//! # Ok::<(), halotis_sim::SimulationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classical;
+pub mod power;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod pins;
+pub mod queue;
+pub mod result;
+pub mod stats;
+
+pub use config::SimulationConfig;
+pub use engine::Simulator;
+pub use error::SimulationError;
+pub use event::Event;
+pub use result::SimulationResult;
+pub use stats::SimulationStats;

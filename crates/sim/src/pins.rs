@@ -1,0 +1,97 @@
+//! Dense indexing of gate input pins.
+//!
+//! The HALOTIS queue keeps per-input state (the pending-event slot of
+//! Fig. 4), so it needs a dense `0..pin_count` index for every
+//! [`PinRef`] of the netlist.  [`PinMap`] provides that mapping via a prefix
+//! sum over the gates' input counts.
+
+use halotis_core::{GateId, PinRef};
+use halotis_netlist::Netlist;
+
+/// Dense pin indexing for one netlist.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::PinRef;
+/// use halotis_netlist::generators;
+/// use halotis_sim::pins::PinMap;
+///
+/// let netlist = generators::c17();
+/// let pins = PinMap::new(&netlist);
+/// assert_eq!(pins.len(), 12); // six 2-input NAND gates
+/// let first_gate = netlist.gates()[0].id();
+/// assert_eq!(pins.index(PinRef::new(first_gate, 0)), 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PinMap {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl PinMap {
+    /// Builds the pin map of a netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut offsets = Vec::with_capacity(netlist.gate_count());
+        let mut total = 0usize;
+        for gate in netlist.gates() {
+            offsets.push(total);
+            total += gate.inputs().len();
+        }
+        PinMap { offsets, total }
+    }
+
+    /// Total number of gate input pins.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when the netlist has no gate input pins.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The dense index of a pin.
+    pub fn index(&self, pin: PinRef) -> usize {
+        self.offsets[pin.gate().index()] + pin.input_index()
+    }
+
+    /// The first dense index of a gate's pins (its pin block start).
+    pub fn gate_offset(&self, gate: GateId) -> usize {
+        self.offsets[gate.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_netlist::generators;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let netlist = generators::multiplier(3, 3);
+        let pins = PinMap::new(&netlist);
+        let mut seen = vec![false; pins.len()];
+        for gate in netlist.gates() {
+            for input in 0..gate.inputs().len() {
+                let index = pins.index(PinRef::new(gate.id(), input as u32));
+                assert!(!seen[index], "index {index} assigned twice");
+                seen[index] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn gate_offsets_are_prefix_sums() {
+        let netlist = generators::c17();
+        let pins = PinMap::new(&netlist);
+        let mut expected = 0;
+        for gate in netlist.gates() {
+            assert_eq!(pins.gate_offset(gate.id()), expected);
+            expected += gate.inputs().len();
+        }
+        assert_eq!(pins.len(), expected);
+        assert!(!pins.is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The HALOTIS event queue.
+//!
+//! The queue implements the scheduling rule of the paper's Fig. 4.  Events
+//! are kept globally ordered by time, and *per gate input* the queue
+//! remembers the pending (not yet simulated) events in arrival order.  When
+//! a new event `Ej` is generated for an input that already has a pending
+//! event `Ej-1`:
+//!
+//! * if `Ej` happens **after** `Ej-1`, it is inserted normally — the input
+//!   sees both edges;
+//! * otherwise `Ej-1` is **removed** from the queue and `Ej` is *not*
+//!   inserted: the pulse bounded by the two events never existed for this
+//!   particular input.  This is the paper's per-input inertial effect — the
+//!   same pulse may survive on other inputs whose thresholds give different
+//!   event times.
+//!
+//! Cancellation is lazy: cancelled entries stay in the binary heap and are
+//! skipped on pop, which keeps both operations `O(log n)`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use halotis_core::Time;
+
+use crate::event::Event;
+
+/// The outcome of [`EventQueue::schedule`], mirroring the two branches of
+/// the Fig. 4 flowchart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleOutcome {
+    /// The event was inserted (`Ej > Ej-1`, or no pending event existed).
+    Inserted,
+    /// The pending previous event on the same input was cancelled and the
+    /// new event discarded (`Ej <= Ej-1`): the pulse is filtered at this
+    /// input.
+    CancelledPrevious,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QueuedEvent {
+    time: Time,
+    serial: u64,
+    pin_index: usize,
+    event: Event,
+}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.serial).cmp(&(other.time, other.serial))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue with the per-input cancellation rule.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{GateId, LogicLevel, PinRef, Time, TimeDelta};
+/// use halotis_sim::event::Event;
+/// use halotis_sim::queue::{EventQueue, ScheduleOutcome};
+///
+/// let mut queue = EventQueue::new(1);
+/// let pin = PinRef::new(GateId::new(0), 0);
+/// let event = |ns| Event::new(Time::from_ns(ns), pin, LogicLevel::High, TimeDelta::from_ps(100.0));
+/// assert_eq!(queue.schedule(0, event(2.0)), ScheduleOutcome::Inserted);
+/// // An event arriving *before* the pending one cancels it: the pulse is
+/// // invisible to this input.
+/// assert_eq!(queue.schedule(0, event(1.5)), ScheduleOutcome::CancelledPrevious);
+/// assert!(queue.pop().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    pending: Vec<VecDeque<(Time, u64)>>,
+    cancelled: HashSet<u64>,
+    next_serial: u64,
+    scheduled: usize,
+    filtered: usize,
+}
+
+impl EventQueue {
+    /// Creates a queue for a circuit with `pin_count` gate input pins.
+    pub fn new(pin_count: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: vec![VecDeque::new(); pin_count],
+            cancelled: HashSet::new(),
+            next_serial: 0,
+            scheduled: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Applies the Fig. 4 rule to a candidate event for the input with dense
+    /// index `pin_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin_index` is out of range for the queue.
+    pub fn schedule(&mut self, pin_index: usize, event: Event) -> ScheduleOutcome {
+        if let Some(&(previous_time, previous_serial)) = self.pending[pin_index].back() {
+            if event.time <= previous_time {
+                self.cancelled.insert(previous_serial);
+                self.pending[pin_index].pop_back();
+                self.filtered += 1;
+                return ScheduleOutcome::CancelledPrevious;
+            }
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.pending[pin_index].push_back((event.time, serial));
+        self.heap.push(Reverse(QueuedEvent {
+            time: event.time,
+            serial,
+            pin_index,
+            event,
+        }));
+        self.scheduled += 1;
+        ScheduleOutcome::Inserted
+    }
+
+    /// Pops the earliest live event, skipping lazily cancelled entries.
+    pub fn pop(&mut self) -> Option<Event> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.serial) {
+                continue;
+            }
+            let front = self.pending[entry.pin_index].pop_front();
+            debug_assert_eq!(front, Some((entry.time, entry.serial)));
+            return Some(entry.event);
+        }
+        None
+    }
+
+    /// Number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` when no live event remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events that were inserted into the queue.
+    pub fn scheduled(&self) -> usize {
+        self.scheduled
+    }
+
+    /// Total number of Fig. 4 cancellations (each removes one pending event
+    /// and discards the incoming one) — the paper's "filtered events".
+    pub fn filtered(&self) -> usize {
+        self.filtered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::{GateId, LogicLevel, PinRef, TimeDelta};
+    use proptest::prelude::*;
+
+    fn event(ns: f64, pin_index: u32) -> Event {
+        Event::new(
+            Time::from_ns(ns),
+            PinRef::new(GateId::new(pin_index), 0),
+            LogicLevel::High,
+            TimeDelta::from_ps(100.0),
+        )
+    }
+
+    #[test]
+    fn events_pop_in_time_order_across_pins() {
+        let mut queue = EventQueue::new(3);
+        queue.schedule(0, event(3.0, 0));
+        queue.schedule(1, event(1.0, 1));
+        queue.schedule(2, event(2.0, 2));
+        let order: Vec<f64> = std::iter::from_fn(|| queue.pop())
+            .map(|e| e.time.as_ns())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+        assert!(queue.is_empty());
+        assert_eq!(queue.scheduled(), 3);
+        assert_eq!(queue.filtered(), 0);
+    }
+
+    #[test]
+    fn later_event_on_same_pin_is_appended() {
+        let mut queue = EventQueue::new(1);
+        assert_eq!(queue.schedule(0, event(1.0, 0)), ScheduleOutcome::Inserted);
+        assert_eq!(queue.schedule(0, event(2.0, 0)), ScheduleOutcome::Inserted);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop().unwrap().time, Time::from_ns(1.0));
+        assert_eq!(queue.pop().unwrap().time, Time::from_ns(2.0));
+    }
+
+    #[test]
+    fn earlier_event_cancels_pending_one() {
+        let mut queue = EventQueue::new(1);
+        queue.schedule(0, event(2.0, 0));
+        assert_eq!(
+            queue.schedule(0, event(1.5, 0)),
+            ScheduleOutcome::CancelledPrevious
+        );
+        assert_eq!(queue.len(), 0);
+        assert!(queue.pop().is_none());
+        assert_eq!(queue.filtered(), 1);
+        assert_eq!(queue.scheduled(), 1);
+    }
+
+    #[test]
+    fn equal_time_event_also_cancels() {
+        let mut queue = EventQueue::new(1);
+        queue.schedule(0, event(2.0, 0));
+        assert_eq!(
+            queue.schedule(0, event(2.0, 0)),
+            ScheduleOutcome::CancelledPrevious
+        );
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn cancellation_only_touches_the_latest_pending_event() {
+        let mut queue = EventQueue::new(1);
+        queue.schedule(0, event(1.0, 0));
+        queue.schedule(0, event(3.0, 0));
+        // This event lands before the 3.0 ns one: they annihilate, but the
+        // 1.0 ns event survives.
+        queue.schedule(0, event(2.0, 0));
+        assert_eq!(queue.len(), 1);
+        assert_eq!(queue.pop().unwrap().time, Time::from_ns(1.0));
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn consumed_events_do_not_block_new_ones() {
+        let mut queue = EventQueue::new(1);
+        queue.schedule(0, event(1.0, 0));
+        assert_eq!(queue.pop().unwrap().time, Time::from_ns(1.0));
+        // The previous event was consumed, not pending: an earlier-looking
+        // new event is simply inserted.
+        assert_eq!(queue.schedule(0, event(0.5, 0)), ScheduleOutcome::Inserted);
+        assert_eq!(queue.pop().unwrap().time, Time::from_ns(0.5));
+    }
+
+    #[test]
+    fn independent_pins_do_not_interact() {
+        let mut queue = EventQueue::new(2);
+        queue.schedule(0, event(2.0, 0));
+        assert_eq!(queue.schedule(1, event(1.0, 1)), ScheduleOutcome::Inserted);
+        assert_eq!(queue.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pops_are_time_ordered(times in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let mut queue = EventQueue::new(times.len());
+            for (pin, &t) in times.iter().enumerate() {
+                queue.schedule(pin, event(t, pin as u32));
+            }
+            let mut previous = Time::MIN;
+            while let Some(e) = queue.pop() {
+                prop_assert!(e.time >= previous);
+                previous = e.time;
+            }
+        }
+
+        #[test]
+        fn prop_per_pin_pending_times_strictly_increase(times in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            // All events target the same pin: after arbitrary scheduling the
+            // surviving events must come out strictly increasing (the
+            // cancellation rule guarantees it).
+            let mut queue = EventQueue::new(1);
+            for &t in &times {
+                queue.schedule(0, event(t, 0));
+            }
+            let popped: Vec<Time> = std::iter::from_fn(|| queue.pop()).map(|e| e.time).collect();
+            for pair in popped.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+            prop_assert_eq!(queue.scheduled() - popped.len(), queue.filtered());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulation results: recorded waveforms plus statistics.
+
+use std::time::Duration;
+
+use halotis_core::Voltage;
+use halotis_delay::DelayModelKind;
+use halotis_waveform::{DigitalWaveform, IdealWaveform, Trace};
+
+use crate::stats::SimulationStats;
+
+/// Everything one simulation run produces.
+#[derive(Clone, Debug)]
+pub struct SimulationResult {
+    model: DelayModelKind,
+    vdd: Voltage,
+    waveforms: Trace<DigitalWaveform>,
+    output_names: Vec<String>,
+    stats: SimulationStats,
+    wall_time: Duration,
+}
+
+impl SimulationResult {
+    /// Assembles a result (used by the engines).
+    pub(crate) fn new(
+        model: DelayModelKind,
+        vdd: Voltage,
+        waveforms: Trace<DigitalWaveform>,
+        output_names: Vec<String>,
+        stats: SimulationStats,
+        wall_time: Duration,
+    ) -> Self {
+        SimulationResult {
+            model,
+            vdd,
+            waveforms,
+            output_names,
+            stats,
+            wall_time,
+        }
+    }
+
+    /// The delay model the run used.
+    pub fn model(&self) -> DelayModelKind {
+        self.model
+    }
+
+    /// The supply voltage of the run.
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SimulationStats {
+        &self.stats
+    }
+
+    /// Wall-clock time spent inside the simulation loop (the paper's
+    /// Table 2 metric).
+    pub fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    /// Every net's raw waveform (all transitions, including runt pulses that
+    /// a half-swing observer would never see), keyed by net name.
+    pub fn waveforms(&self) -> &Trace<DigitalWaveform> {
+        &self.waveforms
+    }
+
+    /// The raw waveform of one net.
+    pub fn waveform(&self, net: &str) -> Option<&DigitalWaveform> {
+        self.waveforms.get(net)
+    }
+
+    /// One net's waveform as seen by a conventional half-swing observer.
+    pub fn ideal_waveform(&self, net: &str) -> Option<IdealWaveform> {
+        self.waveforms
+            .get(net)
+            .map(|w| w.ideal_half_swing(self.vdd))
+    }
+
+    /// The primary-output names, in netlist declaration order.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// All primary outputs as half-swing ideal waveforms, in declaration
+    /// order — the view the paper's Figs. 6–7 plot.
+    pub fn output_trace(&self) -> Trace<IdealWaveform> {
+        self.output_names
+            .iter()
+            .filter_map(|name| {
+                self.waveforms
+                    .get(name)
+                    .map(|w| (name.clone(), w.ideal_half_swing(self.vdd)))
+            })
+            .collect()
+    }
+
+    /// All nets as half-swing ideal waveforms.
+    pub fn full_trace(&self) -> Trace<IdealWaveform> {
+        self.waveforms
+            .map(|_, w| w.ideal_half_swing(self.vdd))
+    }
+
+    /// Total number of half-swing edges across the primary outputs — a
+    /// convenient scalar for comparing runs.
+    pub fn output_edge_count(&self) -> usize {
+        self.output_trace()
+            .iter()
+            .map(|(_, w)| w.edge_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::{Edge, LogicLevel, Time, TimeDelta};
+    use halotis_waveform::Transition;
+
+    fn sample_result() -> SimulationResult {
+        let vdd = Voltage::from_volts(5.0);
+        let mut waveforms = Trace::new();
+        let mut out = DigitalWaveform::new(LogicLevel::Low);
+        out.push(Transition::new(
+            Time::from_ns(1.0),
+            TimeDelta::from_ps(200.0),
+            Edge::Rise,
+        ));
+        waveforms.insert("out", out);
+        waveforms.insert("internal", DigitalWaveform::new(LogicLevel::High));
+        SimulationResult::new(
+            DelayModelKind::Degradation,
+            vdd,
+            waveforms,
+            vec!["out".to_string()],
+            SimulationStats::default(),
+            Duration::from_millis(3),
+        )
+    }
+
+    #[test]
+    fn accessors_expose_run_metadata() {
+        let result = sample_result();
+        assert_eq!(result.model(), DelayModelKind::Degradation);
+        assert_eq!(result.vdd(), Voltage::from_volts(5.0));
+        assert_eq!(result.wall_time(), Duration::from_millis(3));
+        assert_eq!(result.output_names(), &["out".to_string()]);
+        assert_eq!(result.stats(), &SimulationStats::default());
+    }
+
+    #[test]
+    fn trace_projections_cover_outputs_and_all_nets() {
+        let result = sample_result();
+        assert!(result.waveform("out").is_some());
+        assert!(result.waveform("missing").is_none());
+        let ideal = result.ideal_waveform("out").unwrap();
+        assert_eq!(ideal.final_level(), LogicLevel::High);
+        assert_eq!(result.output_trace().len(), 1);
+        assert_eq!(result.full_trace().len(), 2);
+        assert_eq!(result.output_edge_count(), 1);
+        assert_eq!(result.waveforms().len(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulation statistics — the quantities behind the paper's Table 1.
+
+use std::fmt;
+
+use halotis_delay::DelayModelKind;
+
+/// Counters accumulated over one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimulationStats {
+    /// Events inserted into the queue ("Events" in Table 1).
+    pub events_scheduled: usize,
+    /// Events removed by the per-input cancellation rule
+    /// ("Filtered events" in Table 1).
+    pub events_filtered: usize,
+    /// Events actually popped and evaluated.
+    pub events_processed: usize,
+    /// Output transitions generated on nets (the switching activity the
+    /// paper discusses: CDM overestimates it by tens of percent).
+    pub output_transitions: usize,
+    /// Output transitions whose delay was reduced by the degradation model.
+    pub degraded_transitions: usize,
+    /// Output transitions whose delay collapsed to zero (fully degraded
+    /// runt excitations).
+    pub collapsed_transitions: usize,
+}
+
+impl SimulationStats {
+    /// Switching-activity overestimation of `other` relative to `self`, in
+    /// percent — how Table 1 reports CDM against DDM.
+    pub fn overestimation_percent(&self, other: &SimulationStats) -> f64 {
+        if self.events_scheduled == 0 {
+            return 0.0;
+        }
+        (other.events_scheduled as f64 - self.events_scheduled as f64)
+            / self.events_scheduled as f64
+            * 100.0
+    }
+
+    /// Fraction of processed events that produced an output transition.
+    pub fn activity_ratio(&self) -> f64 {
+        if self.events_processed == 0 {
+            return 0.0;
+        }
+        self.output_transitions as f64 / self.events_processed as f64
+    }
+}
+
+impl fmt::Display for SimulationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events: {} scheduled, {} filtered, {} processed; transitions: {} ({} degraded, {} collapsed)",
+            self.events_scheduled,
+            self.events_filtered,
+            self.events_processed,
+            self.output_transitions,
+            self.degraded_transitions,
+            self.collapsed_transitions
+        )
+    }
+}
+
+/// One row of the Table 1 reproduction: the DDM and CDM statistics for a
+/// stimulus sequence, plus the derived overestimation percentage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComparisonRow {
+    /// Human-readable sequence label (e.g. `"0x0, 7x7, 5xA, Ex6, FxF"`).
+    pub sequence: String,
+    /// Statistics of the HALOTIS-DDM run.
+    pub ddm: SimulationStats,
+    /// Statistics of the HALOTIS-CDM run.
+    pub cdm: SimulationStats,
+}
+
+impl ComparisonRow {
+    /// The CDM event-count overestimation in percent (Table 1's
+    /// "Overst. CDM (%)" column).
+    pub fn overestimation_percent(&self) -> f64 {
+        self.ddm.overestimation_percent(&self.cdm)
+    }
+
+    /// The statistics of one model.
+    pub fn stats(&self, model: DelayModelKind) -> &SimulationStats {
+        match model {
+            DelayModelKind::Degradation => &self.ddm,
+            DelayModelKind::Conventional => &self.cdm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(scheduled: usize, filtered: usize) -> SimulationStats {
+        SimulationStats {
+            events_scheduled: scheduled,
+            events_filtered: filtered,
+            events_processed: scheduled - filtered,
+            output_transitions: scheduled / 2,
+            degraded_transitions: 0,
+            collapsed_transitions: 0,
+        }
+    }
+
+    #[test]
+    fn overestimation_matches_table1_formula() {
+        let ddm = stats(959, 27);
+        let cdm = stats(1411, 1);
+        let overestimation = ddm.overestimation_percent(&cdm);
+        // The paper reports 47 % for this pair of counts.
+        assert!((overestimation - 47.13).abs() < 0.1, "{overestimation}");
+    }
+
+    #[test]
+    fn overestimation_of_empty_run_is_zero() {
+        let empty = SimulationStats::default();
+        assert_eq!(empty.overestimation_percent(&stats(10, 0)), 0.0);
+        assert_eq!(empty.activity_ratio(), 0.0);
+    }
+
+    #[test]
+    fn comparison_row_selects_models() {
+        let row = ComparisonRow {
+            sequence: "0x0, FxF".to_string(),
+            ddm: stats(1312, 66),
+            cdm: stats(1992, 6),
+        };
+        assert!((row.overestimation_percent() - 51.8).abs() < 0.3);
+        assert_eq!(row.stats(DelayModelKind::Degradation), &row.ddm);
+        assert_eq!(row.stats(DelayModelKind::Conventional), &row.cdm);
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let text = stats(100, 5).to_string();
+        assert!(text.contains("100 scheduled"));
+        assert!(text.contains("5 filtered"));
+    }
+
+    #[test]
+    fn activity_ratio_is_bounded() {
+        let s = stats(100, 10);
+        assert!(s.activity_ratio() > 0.0 && s.activity_ratio() <= 1.0);
+    }
+}

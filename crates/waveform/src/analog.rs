@@ -1,0 +1,235 @@
+//! Piecewise-linear analog waveforms.
+//!
+//! The reference electrical simulator (`halotis-analog`, this workspace's
+//! HSPICE substitute) produces voltage-versus-time samples.  This module
+//! stores them, interpolates between them and extracts threshold crossings
+//! so analog results can be compared against logic-simulation results.
+
+use halotis_core::{Edge, LogicLevel, Time, Voltage};
+
+use crate::digital::IdealWaveform;
+
+/// A voltage waveform sampled at (not necessarily uniform) time points.
+///
+/// Samples must be pushed in non-decreasing time order.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Time, Voltage};
+/// use halotis_waveform::AnalogWaveform;
+///
+/// let mut w = AnalogWaveform::new();
+/// w.push(Time::from_ns(0.0), Voltage::from_volts(0.0));
+/// w.push(Time::from_ns(1.0), Voltage::from_volts(5.0));
+/// let v = w.voltage_at(Time::from_ns(0.5));
+/// assert!((v.as_volts() - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalogWaveform {
+    samples: Vec<(Time, Voltage)>,
+}
+
+impl AnalogWaveform {
+    /// Creates an empty waveform.
+    pub fn new() -> Self {
+        AnalogWaveform {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Creates an empty waveform with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        AnalogWaveform {
+            samples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the previously pushed sample: the
+    /// integrator always produces monotone time, so this indicates a bug in
+    /// the caller.
+    pub fn push(&mut self, time: Time, voltage: Voltage) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(
+                time >= last,
+                "analog samples must be pushed in time order ({time} < {last})"
+            );
+        }
+        self.samples.push((time, voltage));
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(Time, Voltage)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Linear interpolation of the voltage at `t`; clamps to the first/last
+    /// sample outside the recorded range and returns 0 V for an empty
+    /// waveform.
+    pub fn voltage_at(&self, t: Time) -> Voltage {
+        if self.samples.is_empty() {
+            return Voltage::ZERO;
+        }
+        if t <= self.samples[0].0 {
+            return self.samples[0].1;
+        }
+        if t >= self.samples[self.samples.len() - 1].0 {
+            return self.samples[self.samples.len() - 1].1;
+        }
+        let idx = self.samples.partition_point(|&(st, _)| st <= t);
+        let (t0, v0) = self.samples[idx - 1];
+        let (t1, v1) = self.samples[idx];
+        if t1 == t0 {
+            return v1;
+        }
+        let frac = (t - t0).as_fs() as f64 / (t1 - t0).as_fs() as f64;
+        v0 + (v1 - v0) * frac
+    }
+
+    /// Minimum and maximum sampled voltage, or `None` for an empty waveform.
+    pub fn voltage_range(&self) -> Option<(Voltage, Voltage)> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => (v, v),
+                Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
+            })
+        })
+    }
+
+    /// The instants where the waveform crosses `vt`, with the crossing
+    /// direction.  Linear interpolation is used inside each sample interval.
+    pub fn threshold_crossings(&self, vt: Voltage) -> Vec<(Time, Edge)> {
+        let mut crossings = Vec::new();
+        for pair in self.samples.windows(2) {
+            let (t0, v0) = pair[0];
+            let (t1, v1) = pair[1];
+            let below0 = v0 < vt;
+            let below1 = v1 < vt;
+            if below0 == below1 {
+                continue;
+            }
+            let frac = (vt - v0) / (v1 - v0);
+            let cross = t0 + (t1 - t0).scale(frac);
+            let edge = if below0 { Edge::Rise } else { Edge::Fall };
+            crossings.push((cross, edge));
+        }
+        crossings
+    }
+
+    /// Converts the analog waveform into an ideal two-level waveform as seen
+    /// by an observer with threshold `vt`.
+    pub fn digitize(&self, vt: Voltage) -> IdealWaveform {
+        let initial = match self.samples.first() {
+            None => LogicLevel::Unknown,
+            Some(&(_, v)) => LogicLevel::from_bool(v >= vt),
+        };
+        let changes = self
+            .threshold_crossings(vt)
+            .into_iter()
+            .map(|(t, edge)| (t, edge.target_level()))
+            .collect();
+        IdealWaveform::from_changes(initial, changes)
+    }
+
+    /// Time of the last sample, or `None` for an empty waveform.
+    pub fn end_time(&self) -> Option<Time> {
+        self.samples.last().map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::TimeDelta;
+
+    fn ramp_up() -> AnalogWaveform {
+        let mut w = AnalogWaveform::new();
+        w.push(Time::from_ns(0.0), Voltage::from_volts(0.0));
+        w.push(Time::from_ns(1.0), Voltage::from_volts(0.0));
+        w.push(Time::from_ns(2.0), Voltage::from_volts(5.0));
+        w
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp_up();
+        assert_eq!(w.voltage_at(Time::from_ns(-1.0)), Voltage::from_volts(0.0));
+        assert_eq!(w.voltage_at(Time::from_ns(5.0)), Voltage::from_volts(5.0));
+        let mid = w.voltage_at(Time::from_ns(1.5));
+        assert!((mid.as_volts() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_waveform_reads_zero() {
+        let w = AnalogWaveform::new();
+        assert!(w.is_empty());
+        assert_eq!(w.voltage_at(Time::from_ns(1.0)), Voltage::ZERO);
+        assert_eq!(w.voltage_range(), None);
+        assert_eq!(w.end_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut w = AnalogWaveform::new();
+        w.push(Time::from_ns(2.0), Voltage::ZERO);
+        w.push(Time::from_ns(1.0), Voltage::ZERO);
+    }
+
+    #[test]
+    fn crossings_of_a_single_ramp() {
+        let w = ramp_up();
+        let crossings = w.threshold_crossings(Voltage::from_volts(2.5));
+        assert_eq!(crossings.len(), 1);
+        let (t, edge) = crossings[0];
+        assert_eq!(edge, Edge::Rise);
+        assert!((t.as_ns() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crossings_of_a_pulse_depend_on_threshold() {
+        // Triangle pulse peaking at 3 V.
+        let mut w = AnalogWaveform::new();
+        w.push(Time::from_ns(0.0), Voltage::from_volts(0.0));
+        w.push(Time::from_ns(1.0), Voltage::from_volts(3.0));
+        w.push(Time::from_ns(2.0), Voltage::from_volts(0.0));
+        assert_eq!(w.threshold_crossings(Voltage::from_volts(2.0)).len(), 2);
+        // An observer above the peak never sees the pulse: this is the
+        // analog ground truth for the paper's per-input inertial argument.
+        assert_eq!(w.threshold_crossings(Voltage::from_volts(4.0)).len(), 0);
+    }
+
+    #[test]
+    fn digitize_produces_ideal_waveform() {
+        let w = ramp_up();
+        let ideal = w.digitize(Voltage::from_volts(2.5));
+        assert_eq!(ideal.initial(), LogicLevel::Low);
+        assert_eq!(ideal.edge_count(), 1);
+        assert_eq!(ideal.final_level(), LogicLevel::High);
+        assert_eq!(ideal.glitch_count(TimeDelta::from_ns(10.0)), 0);
+    }
+
+    #[test]
+    fn voltage_range_tracks_extremes() {
+        let w = ramp_up();
+        let (lo, hi) = w.voltage_range().unwrap();
+        assert_eq!(lo, Voltage::from_volts(0.0));
+        assert_eq!(hi, Voltage::from_volts(5.0));
+        assert_eq!(w.end_time(), Some(Time::from_ns(2.0)));
+        assert_eq!(w.len(), 3);
+    }
+}

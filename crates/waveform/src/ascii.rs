@@ -1,0 +1,185 @@
+//! ASCII waveform rendering.
+//!
+//! The paper's figures 6 and 7 show the multiplier outputs `s7..s0` as
+//! stacked digital waveforms over a 25 ns window.  This module reproduces
+//! that presentation in plain text so the `reproduce` binary can print a
+//! directly comparable picture:
+//!
+//! ```text
+//! s1 ____/▔▔▔\____/▔\______
+//! ```
+//!
+//! Each column is one sample of the observed level on a uniform time grid;
+//! `_` is low, `▔` is high, `/` and `\` mark the sample where a change
+//! happens, and `?` is an unknown level.
+
+use halotis_core::{LogicLevel, Time, TimeDelta};
+
+use crate::digital::IdealWaveform;
+use crate::trace::Trace;
+
+/// Rendering options for [`render`] / [`render_trace`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsciiOptions {
+    /// Start of the rendered window.
+    pub start: Time,
+    /// End of the rendered window.
+    pub end: Time,
+    /// Number of character columns.
+    pub columns: usize,
+}
+
+impl AsciiOptions {
+    /// A window from `start` to `end` rendered with `columns` characters.
+    pub fn new(start: Time, end: Time, columns: usize) -> Self {
+        AsciiOptions {
+            start,
+            end,
+            columns: columns.max(1),
+        }
+    }
+
+    fn sample_time(&self, column: usize) -> Time {
+        let span = self.end - self.start;
+        let step = span.as_fs() as f64 / self.columns as f64;
+        self.start + TimeDelta::from_fs((step * (column as f64 + 0.5)).round() as i64)
+    }
+}
+
+fn glyph(previous: LogicLevel, current: LogicLevel) -> char {
+    match (previous, current) {
+        (LogicLevel::Low, LogicLevel::High) => '/',
+        (LogicLevel::High, LogicLevel::Low) => '\\',
+        (_, LogicLevel::High) => '\u{2594}', // '▔'
+        (_, LogicLevel::Low) => '_',
+        (_, LogicLevel::Unknown) => '?',
+    }
+}
+
+/// Renders one waveform as a single text line.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{LogicLevel, Time};
+/// use halotis_waveform::{ascii, IdealWaveform};
+///
+/// let w = IdealWaveform::from_changes(
+///     LogicLevel::Low,
+///     vec![(Time::from_ns(5.0), LogicLevel::High)],
+/// );
+/// let line = ascii::render(&w, &ascii::AsciiOptions::new(Time::ZERO, Time::from_ns(10.0), 10));
+/// assert_eq!(line.chars().count(), 10);
+/// assert!(line.contains('/'));
+/// ```
+pub fn render(waveform: &IdealWaveform, options: &AsciiOptions) -> String {
+    let mut line = String::with_capacity(options.columns);
+    let mut previous = waveform.level_at(options.start);
+    for column in 0..options.columns {
+        let level = waveform.level_at(options.sample_time(column));
+        line.push(glyph(previous, level));
+        previous = level;
+    }
+    line
+}
+
+/// Renders a whole trace, one named line per signal, aligned on the name
+/// column — the textual equivalent of the paper's stacked waveform plots.
+pub fn render_trace(trace: &Trace<IdealWaveform>, options: &AsciiOptions) -> String {
+    let width = trace.names().map(str::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, waveform) in trace.iter() {
+        out.push_str(&format!(
+            "{name:>width$} {}\n",
+            render(waveform, options),
+            width = width
+        ));
+    }
+    out
+}
+
+/// Renders a time axis line matching the rendering window, with a tick label
+/// every `tick` interval (in ns).
+pub fn render_axis(options: &AsciiOptions, tick: TimeDelta, label_width: usize) -> String {
+    let mut out = " ".repeat(label_width + 1);
+    let span = (options.end - options.start).as_fs() as f64;
+    let mut t = options.start;
+    while t <= options.end {
+        let column = ((t - options.start).as_fs() as f64 / span * options.columns as f64) as usize;
+        let label = format!("{:.0}", t.as_ns());
+        let position = label_width + 1 + column;
+        while out.chars().count() < position {
+            out.push(' ');
+        }
+        out.push_str(&label);
+        t += tick;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse() -> IdealWaveform {
+        IdealWaveform::from_changes(
+            LogicLevel::Low,
+            vec![
+                (Time::from_ns(2.0), LogicLevel::High),
+                (Time::from_ns(6.0), LogicLevel::Low),
+            ],
+        )
+    }
+
+    #[test]
+    fn render_has_requested_width() {
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(10.0), 40);
+        assert_eq!(render(&pulse(), &options).chars().count(), 40);
+    }
+
+    #[test]
+    fn render_shows_rise_high_fall_low() {
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(10.0), 20);
+        let line = render(&pulse(), &options);
+        assert!(line.starts_with('_'));
+        assert!(line.contains('/'));
+        assert!(line.contains('\u{2594}'));
+        assert!(line.contains('\\'));
+        assert!(line.ends_with('_'));
+    }
+
+    #[test]
+    fn unknown_levels_render_as_question_marks() {
+        let w = IdealWaveform::from_changes(LogicLevel::Unknown, vec![]);
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(1.0), 5);
+        assert_eq!(render(&w, &options), "?????");
+    }
+
+    #[test]
+    fn trace_rendering_aligns_names() {
+        let mut trace = Trace::new();
+        trace.insert("s10", pulse());
+        trace.insert("s0", pulse());
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(10.0), 10);
+        let text = render_trace(&trace, &options);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("s10 "));
+        assert!(lines[1].starts_with(" s0 "));
+    }
+
+    #[test]
+    fn axis_contains_tick_labels() {
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(25.0), 50);
+        let axis = render_axis(&options, TimeDelta::from_ns(5.0), 3);
+        for label in ["0", "5", "10", "15", "20", "25"] {
+            assert!(axis.contains(label), "missing label {label} in {axis:?}");
+        }
+    }
+
+    #[test]
+    fn zero_columns_is_clamped() {
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(1.0), 0);
+        assert_eq!(options.columns, 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Waveform comparison metrics.
+//!
+//! The paper's evaluation compares HALOTIS-DDM, HALOTIS-CDM and HSPICE on
+//! the same circuit: qualitatively through the waveform plots (Figs. 6–7)
+//! and quantitatively through switching-activity counts (Table 1).  This
+//! module provides the metrics behind those comparisons:
+//!
+//! * [`compare`] — edge counts, matched edges within a tolerance, final-value
+//!   agreement and the edge-count overestimation ratio for a pair of ideal
+//!   waveforms,
+//! * [`compare_traces`] — the same, aggregated over a whole trace,
+//! * [`switching_activity`] — total edge count of a trace.
+
+use halotis_core::{Time, TimeDelta};
+
+use crate::digital::IdealWaveform;
+use crate::trace::Trace;
+
+/// The result of comparing a waveform under test against a reference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaveformComparison {
+    /// Edges in the reference waveform.
+    pub reference_edges: usize,
+    /// Edges in the waveform under test.
+    pub test_edges: usize,
+    /// Reference edges that found a same-direction counterpart within the
+    /// matching tolerance.
+    pub matched_edges: usize,
+    /// `true` when both waveforms settle to the same final level.
+    pub final_levels_agree: bool,
+    /// Largest absolute time difference over matched edges.
+    pub worst_edge_error: TimeDelta,
+}
+
+impl WaveformComparison {
+    /// Fraction of reference edges that were matched (1.0 for a perfect
+    /// match, 0.0 when nothing matched or the reference has no edges and the
+    /// test does).
+    pub fn match_ratio(&self) -> f64 {
+        if self.reference_edges == 0 {
+            if self.test_edges == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.matched_edges as f64 / self.reference_edges as f64
+        }
+    }
+
+    /// Edge-count overestimation of the test waveform relative to the
+    /// reference, in percent — the metric of the paper's Table 1
+    /// (`Overst. CDM (%)`).  Zero when the reference has no edges.
+    pub fn overestimation_percent(&self) -> f64 {
+        if self.reference_edges == 0 {
+            0.0
+        } else {
+            (self.test_edges as f64 - self.reference_edges as f64) / self.reference_edges as f64
+                * 100.0
+        }
+    }
+
+    /// Merges another comparison into this one (summing counts, and-ing the
+    /// final-level agreement, taking the worst edge error).
+    pub fn merge(&mut self, other: &WaveformComparison) {
+        self.reference_edges += other.reference_edges;
+        self.test_edges += other.test_edges;
+        self.matched_edges += other.matched_edges;
+        self.final_levels_agree &= other.final_levels_agree;
+        self.worst_edge_error = self.worst_edge_error.max(other.worst_edge_error);
+    }
+
+    /// A neutral element for [`merge`](WaveformComparison::merge).
+    pub fn empty() -> Self {
+        WaveformComparison {
+            reference_edges: 0,
+            test_edges: 0,
+            matched_edges: 0,
+            final_levels_agree: true,
+            worst_edge_error: TimeDelta::ZERO,
+        }
+    }
+}
+
+/// Greedy nearest-neighbour matching of two edge lists within `tolerance`.
+fn match_edges(reference: &[Time], test: &[Time], tolerance: TimeDelta) -> (usize, TimeDelta) {
+    let mut used = vec![false; test.len()];
+    let mut matched = 0;
+    let mut worst = TimeDelta::ZERO;
+    for &r in reference {
+        let mut best: Option<(usize, TimeDelta)> = None;
+        for (i, &t) in test.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let err = (t - r).abs();
+            if err <= tolerance && best.map_or(true, |(_, b)| err < b) {
+                best = Some((i, err));
+            }
+        }
+        if let Some((i, err)) = best {
+            used[i] = true;
+            matched += 1;
+            worst = worst.max(err);
+        }
+    }
+    (matched, worst)
+}
+
+/// Compares `test` against `reference`, matching edges of the same direction
+/// that lie within `tolerance` of each other.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{LogicLevel, Time, TimeDelta};
+/// use halotis_waveform::{compare, IdealWaveform};
+///
+/// let reference = IdealWaveform::from_changes(
+///     LogicLevel::Low,
+///     vec![(Time::from_ns(1.0), LogicLevel::High)],
+/// );
+/// let test = IdealWaveform::from_changes(
+///     LogicLevel::Low,
+///     vec![(Time::from_ns(1.1), LogicLevel::High)],
+/// );
+/// let cmp = compare::compare(&reference, &test, TimeDelta::from_ps(300.0));
+/// assert_eq!(cmp.matched_edges, 1);
+/// assert!(cmp.final_levels_agree);
+/// ```
+pub fn compare(
+    reference: &IdealWaveform,
+    test: &IdealWaveform,
+    tolerance: TimeDelta,
+) -> WaveformComparison {
+    use halotis_core::Edge;
+    let mut matched = 0;
+    let mut worst = TimeDelta::ZERO;
+    for direction in Edge::both() {
+        let r = reference.edge_times(Some(direction));
+        let t = test.edge_times(Some(direction));
+        let (m, w) = match_edges(&r, &t, tolerance);
+        matched += m;
+        worst = worst.max(w);
+    }
+    WaveformComparison {
+        reference_edges: reference.edge_count(),
+        test_edges: test.edge_count(),
+        matched_edges: matched,
+        final_levels_agree: reference.final_level() == test.final_level(),
+        worst_edge_error: worst,
+    }
+}
+
+/// Compares two traces signal by signal (signals present in only one trace
+/// are ignored) and returns the merged comparison.
+pub fn compare_traces(
+    reference: &Trace<IdealWaveform>,
+    test: &Trace<IdealWaveform>,
+    tolerance: TimeDelta,
+) -> WaveformComparison {
+    let mut total = WaveformComparison::empty();
+    for (name, r) in reference.iter() {
+        if let Some(t) = test.get(name) {
+            total.merge(&compare(r, t, tolerance));
+        }
+    }
+    total
+}
+
+/// Total number of edges over all signals of a trace — the "switching
+/// activity" figure of the paper's Table 1 discussion.
+pub fn switching_activity(trace: &Trace<IdealWaveform>) -> usize {
+    trace.iter().map(|(_, w)| w.edge_count()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::LogicLevel;
+
+    fn wave(edges_ns: &[f64]) -> IdealWaveform {
+        let mut level = LogicLevel::Low;
+        let changes = edges_ns
+            .iter()
+            .map(|&t| {
+                level = !level;
+                (Time::from_ns(t), level)
+            })
+            .collect();
+        IdealWaveform::from_changes(LogicLevel::Low, changes)
+    }
+
+    #[test]
+    fn identical_waveforms_match_perfectly() {
+        let w = wave(&[1.0, 2.0, 3.0]);
+        let cmp = compare(&w, &w.clone(), TimeDelta::from_ps(1.0));
+        assert_eq!(cmp.match_ratio(), 1.0);
+        assert_eq!(cmp.worst_edge_error, TimeDelta::ZERO);
+        assert!(cmp.final_levels_agree);
+        assert_eq!(cmp.overestimation_percent(), 0.0);
+    }
+
+    #[test]
+    fn shifted_edges_match_within_tolerance_only() {
+        let reference = wave(&[1.0, 2.0]);
+        let test = wave(&[1.2, 2.6]);
+        let tight = compare(&reference, &test, TimeDelta::from_ps(300.0));
+        assert_eq!(tight.matched_edges, 1);
+        let loose = compare(&reference, &test, TimeDelta::from_ns(1.0));
+        assert_eq!(loose.matched_edges, 2);
+        assert_eq!(loose.worst_edge_error, TimeDelta::from_ps(600.0));
+    }
+
+    #[test]
+    fn extra_glitches_raise_overestimation() {
+        let reference = wave(&[1.0, 2.0]);
+        let test = wave(&[1.0, 2.0, 3.0, 3.1]); // two extra glitch edges
+        let cmp = compare(&reference, &test, TimeDelta::from_ps(100.0));
+        assert_eq!(cmp.reference_edges, 2);
+        assert_eq!(cmp.test_edges, 4);
+        assert!((cmp.overestimation_percent() - 100.0).abs() < 1e-9);
+        assert!(cmp.final_levels_agree); // both end low
+    }
+
+    #[test]
+    fn final_level_disagreement_is_reported() {
+        let reference = wave(&[1.0, 2.0]);
+        let test = wave(&[1.0]);
+        let cmp = compare(&reference, &test, TimeDelta::from_ps(100.0));
+        assert!(!cmp.final_levels_agree);
+    }
+
+    #[test]
+    fn direction_is_respected_when_matching() {
+        // Reference rises at 1.0; test falls at 1.0 (different initial phase).
+        let reference = wave(&[1.0]);
+        let test = IdealWaveform::from_changes(
+            LogicLevel::High,
+            vec![(Time::from_ns(1.0), LogicLevel::Low)],
+        );
+        let cmp = compare(&reference, &test, TimeDelta::from_ps(100.0));
+        assert_eq!(cmp.matched_edges, 0);
+    }
+
+    #[test]
+    fn empty_reference_handling() {
+        let empty = wave(&[]);
+        let busy = wave(&[1.0, 2.0]);
+        let cmp = compare(&empty, &busy, TimeDelta::from_ps(100.0));
+        assert_eq!(cmp.match_ratio(), 0.0);
+        assert_eq!(cmp.overestimation_percent(), 0.0);
+        let cmp2 = compare(&empty, &empty.clone(), TimeDelta::from_ps(100.0));
+        assert_eq!(cmp2.match_ratio(), 1.0);
+    }
+
+    #[test]
+    fn trace_comparison_aggregates_signals() {
+        let mut reference = Trace::new();
+        reference.insert("a", wave(&[1.0, 2.0]));
+        reference.insert("b", wave(&[3.0]));
+        let mut test = Trace::new();
+        test.insert("a", wave(&[1.0, 2.0]));
+        test.insert("b", wave(&[3.0, 4.0, 4.1]));
+        test.insert("ignored", wave(&[9.0]));
+        let cmp = compare_traces(&reference, &test, TimeDelta::from_ps(100.0));
+        assert_eq!(cmp.reference_edges, 3);
+        assert_eq!(cmp.test_edges, 5);
+        assert_eq!(cmp.matched_edges, 3);
+        assert_eq!(switching_activity(&test), 6);
+    }
+}

@@ -1,0 +1,384 @@
+//! Per-net digital waveforms built from linear-ramp transitions.
+//!
+//! A [`DigitalWaveform`] is what a HALOTIS net carries: an initial logic
+//! level followed by a time-ordered sequence of [`Transition`]s (the paper's
+//! list-type structure of `tau_x`, `t0` pairs).  Because HALOTIS keeps *all*
+//! output transitions — even runt pulses that a given observer never sees —
+//! turning a waveform into a classical two-level view requires choosing an
+//! observation threshold; [`DigitalWaveform::ideal`] performs that
+//! projection and returns an [`IdealWaveform`].
+
+use halotis_core::{Edge, LogicLevel, Time, TimeDelta, Voltage};
+
+use crate::transition::Transition;
+
+/// A net waveform: an initial level plus a time-ordered list of ramp
+/// transitions.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Edge, LogicLevel, Time, TimeDelta, Voltage};
+/// use halotis_waveform::{DigitalWaveform, Transition};
+///
+/// let vdd = Voltage::from_volts(5.0);
+/// let mut w = DigitalWaveform::new(LogicLevel::Low);
+/// w.push(Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(200.0), Edge::Rise));
+/// w.push(Transition::new(Time::from_ns(3.0), TimeDelta::from_ps(200.0), Edge::Fall));
+/// let ideal = w.ideal(vdd.half(), vdd);
+/// assert_eq!(ideal.level_at(Time::from_ns(2.0)), LogicLevel::High);
+/// assert_eq!(ideal.level_at(Time::from_ns(4.0)), LogicLevel::Low);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DigitalWaveform {
+    initial: LogicLevel,
+    transitions: Vec<Transition>,
+}
+
+impl DigitalWaveform {
+    /// Creates an empty waveform resting at `initial`.
+    pub fn new(initial: LogicLevel) -> Self {
+        DigitalWaveform {
+            initial,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The level the net holds before any transition.
+    pub fn initial(&self) -> LogicLevel {
+        self.initial
+    }
+
+    /// Appends a transition, keeping the list ordered by start time.
+    ///
+    /// Out-of-order pushes (a transition starting before an already recorded
+    /// one) are inserted at their correct position; this happens in HALOTIS
+    /// when a strongly degraded transition is scheduled with a near-zero
+    /// delay.
+    pub fn push(&mut self, transition: Transition) {
+        match self
+            .transitions
+            .iter()
+            .rposition(|t| t.start() <= transition.start())
+        {
+            Some(pos) => self.transitions.insert(pos + 1, transition),
+            None => self.transitions.insert(0, transition),
+        }
+    }
+
+    /// The recorded transitions in start-time order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of recorded transitions (the net's raw switching count).
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` when no transition has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The level the net is heading towards after the last transition
+    /// (or the initial level when there is none).
+    pub fn final_target(&self) -> LogicLevel {
+        self.transitions
+            .last()
+            .map(|t| t.edge().target_level())
+            .unwrap_or(self.initial)
+    }
+
+    /// Projects the waveform onto an observer with threshold `vt`.
+    ///
+    /// Each transition contributes the instant it crosses `vt`; crossings
+    /// that would move *backwards* in time relative to the previously
+    /// accepted crossing cancel it (the pulse never existed for this
+    /// observer), mirroring the per-input inertial rule of the paper.
+    /// Crossings that do not change the observed level are dropped.
+    pub fn ideal(&self, vt: Voltage, vdd: Voltage) -> IdealWaveform {
+        let mut changes: Vec<(Time, LogicLevel)> = Vec::new();
+        for transition in &self.transitions {
+            let Some(cross) = transition.crossing_time(vt, vdd) else {
+                continue;
+            };
+            let target = transition.edge().target_level();
+            // Cancel any previously accepted change that this crossing overtakes.
+            while let Some(&(last_time, _)) = changes.last() {
+                if cross <= last_time {
+                    changes.pop();
+                } else {
+                    break;
+                }
+            }
+            let current = changes.last().map(|&(_, l)| l).unwrap_or(self.initial);
+            if current != target {
+                changes.push((cross, target));
+            }
+        }
+        IdealWaveform {
+            initial: self.initial,
+            changes,
+        }
+    }
+
+    /// Convenience projection at the conventional `Vdd/2` threshold.
+    pub fn ideal_half_swing(&self, vdd: Voltage) -> IdealWaveform {
+        self.ideal(vdd.half(), vdd)
+    }
+}
+
+/// A classical two-level waveform: an initial level plus strictly
+/// time-increasing level changes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IdealWaveform {
+    initial: LogicLevel,
+    changes: Vec<(Time, LogicLevel)>,
+}
+
+impl IdealWaveform {
+    /// Builds an ideal waveform from raw `(time, level)` change points.
+    ///
+    /// Changes are sorted by time; repeated levels and out-of-order
+    /// duplicates are collapsed so the result is well formed.
+    pub fn from_changes(initial: LogicLevel, mut raw: Vec<(Time, LogicLevel)>) -> Self {
+        raw.sort_by_key(|&(t, _)| t);
+        let mut changes: Vec<(Time, LogicLevel)> = Vec::new();
+        for (t, level) in raw {
+            let current = changes.last().map(|&(_, l)| l).unwrap_or(initial);
+            if level != current {
+                changes.push((t, level));
+            }
+        }
+        IdealWaveform { initial, changes }
+    }
+
+    /// The level before the first change.
+    pub fn initial(&self) -> LogicLevel {
+        self.initial
+    }
+
+    /// The `(time, level)` change points, strictly increasing in time.
+    pub fn changes(&self) -> &[(Time, LogicLevel)] {
+        &self.changes
+    }
+
+    /// Number of level changes (edges) seen by this observer.
+    pub fn edge_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// The observed level at time `t`.
+    pub fn level_at(&self, t: Time) -> LogicLevel {
+        match self.changes.iter().rev().find(|&&(ct, _)| ct <= t) {
+            Some(&(_, level)) => level,
+            None => self.initial,
+        }
+    }
+
+    /// The level after the last change.
+    pub fn final_level(&self) -> LogicLevel {
+        self.changes.last().map(|&(_, l)| l).unwrap_or(self.initial)
+    }
+
+    /// The constant-level intervals `(start, end, level)` between changes,
+    /// excluding the unbounded first and last intervals.
+    pub fn pulses(&self) -> Vec<(Time, Time, LogicLevel)> {
+        self.changes
+            .windows(2)
+            .map(|w| (w[0].0, w[1].0, w[0].1))
+            .collect()
+    }
+
+    /// Number of pulses strictly narrower than `max_width` — a simple glitch
+    /// metric used by the experiment reports.
+    pub fn glitch_count(&self, max_width: TimeDelta) -> usize {
+        self.pulses()
+            .iter()
+            .filter(|(start, end, _)| *end - *start < max_width)
+            .count()
+    }
+
+    /// The times of all edges in a direction (`Some(edge)`) or of all edges
+    /// (`None`).
+    pub fn edge_times(&self, direction: Option<Edge>) -> Vec<Time> {
+        let mut previous = self.initial;
+        let mut times = Vec::new();
+        for &(t, level) in &self.changes {
+            if let Some(edge) = Edge::between(previous, level) {
+                if direction.is_none() || direction == Some(edge) {
+                    times.push(t);
+                }
+            }
+            previous = level;
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vdd() -> Voltage {
+        Voltage::from_volts(5.0)
+    }
+
+    fn rise(ns: f64) -> Transition {
+        Transition::new(Time::from_ns(ns), TimeDelta::from_ps(200.0), Edge::Rise)
+    }
+
+    fn fall(ns: f64) -> Transition {
+        Transition::new(Time::from_ns(ns), TimeDelta::from_ps(200.0), Edge::Fall)
+    }
+
+    #[test]
+    fn push_keeps_transitions_ordered() {
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        w.push(rise(3.0));
+        w.push(fall(5.0));
+        w.push(rise(1.0)); // out of order
+        let starts: Vec<f64> = w.transitions().iter().map(|t| t.start().as_ns()).collect();
+        assert_eq!(starts, vec![1.0, 3.0, 5.0]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn final_target_tracks_last_transition() {
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        assert_eq!(w.final_target(), LogicLevel::Low);
+        w.push(rise(1.0));
+        assert_eq!(w.final_target(), LogicLevel::High);
+        w.push(fall(2.0));
+        assert_eq!(w.final_target(), LogicLevel::Low);
+    }
+
+    #[test]
+    fn ideal_projection_sees_wide_pulse() {
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        w.push(rise(1.0));
+        w.push(fall(3.0));
+        let ideal = w.ideal_half_swing(vdd());
+        assert_eq!(ideal.edge_count(), 2);
+        assert_eq!(ideal.level_at(Time::from_ns(2.0)), LogicLevel::High);
+        assert_eq!(ideal.final_level(), LogicLevel::Low);
+    }
+
+    #[test]
+    fn overtaking_crossing_cancels_previous_change() {
+        // A slow rise at 1.0 ns interrupted by a fall at 1.5 ns: the ramp only
+        // reaches ~62 % of the swing.  A high-threshold observer (4.5 V) sees
+        // the fall crossing *before* the rise crossing, so the pulse is
+        // cancelled for it; a low-threshold observer (0.5 V) still sees it.
+        // This is the per-input selectivity the paper's Fig. 1 relies on.
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        w.push(Transition::new(
+            Time::from_ns(1.0),
+            TimeDelta::from_ps(800.0),
+            Edge::Rise,
+        ));
+        w.push(Transition::new(
+            Time::from_ns(1.5),
+            TimeDelta::from_ps(800.0),
+            Edge::Fall,
+        ));
+        let high_observer = w.ideal(Voltage::from_volts(4.5), vdd());
+        assert_eq!(high_observer.edge_count(), 0);
+        let low_observer = w.ideal(Voltage::from_volts(0.5), vdd());
+        assert_eq!(low_observer.edge_count(), 2);
+    }
+
+    #[test]
+    fn redundant_transitions_do_not_create_changes() {
+        let mut w = DigitalWaveform::new(LogicLevel::High);
+        w.push(rise(1.0)); // already high for the observer
+        w.push(fall(2.0));
+        let ideal = w.ideal_half_swing(vdd());
+        assert_eq!(ideal.edge_count(), 1);
+        assert_eq!(ideal.final_level(), LogicLevel::Low);
+    }
+
+    #[test]
+    fn ideal_from_changes_normalises() {
+        let w = IdealWaveform::from_changes(
+            LogicLevel::Low,
+            vec![
+                (Time::from_ns(2.0), LogicLevel::High),
+                (Time::from_ns(1.0), LogicLevel::Low), // redundant and out of order
+                (Time::from_ns(3.0), LogicLevel::High), // repeated level
+                (Time::from_ns(4.0), LogicLevel::Low),
+            ],
+        );
+        assert_eq!(w.edge_count(), 2);
+        assert_eq!(w.level_at(Time::from_ns(2.5)), LogicLevel::High);
+        assert_eq!(w.final_level(), LogicLevel::Low);
+    }
+
+    #[test]
+    fn pulses_and_glitch_count() {
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        w.push(rise(1.0));
+        w.push(fall(1.3)); // 300 ps pulse
+        w.push(rise(4.0));
+        w.push(fall(6.0)); // 2 ns pulse
+        let ideal = w.ideal_half_swing(vdd());
+        assert_eq!(ideal.pulses().len(), 3);
+        assert_eq!(ideal.glitch_count(TimeDelta::from_ns(1.0)), 1);
+        assert_eq!(ideal.glitch_count(TimeDelta::from_ps(100.0)), 0);
+    }
+
+    #[test]
+    fn edge_times_filter_by_direction() {
+        let mut w = DigitalWaveform::new(LogicLevel::Low);
+        w.push(rise(1.0));
+        w.push(fall(2.0));
+        w.push(rise(3.0));
+        let ideal = w.ideal_half_swing(vdd());
+        assert_eq!(ideal.edge_times(None).len(), 3);
+        assert_eq!(ideal.edge_times(Some(Edge::Rise)).len(), 2);
+        assert_eq!(ideal.edge_times(Some(Edge::Fall)).len(), 1);
+    }
+
+    #[test]
+    fn unknown_initial_level_resolves_on_first_change() {
+        let mut w = DigitalWaveform::new(LogicLevel::Unknown);
+        w.push(rise(1.0));
+        let ideal = w.ideal_half_swing(vdd());
+        assert_eq!(ideal.level_at(Time::ZERO), LogicLevel::Unknown);
+        assert_eq!(ideal.level_at(Time::from_ns(2.0)), LogicLevel::High);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ideal_changes_strictly_increase(starts in proptest::collection::vec(0.0f64..100.0, 0..20)) {
+            let mut w = DigitalWaveform::new(LogicLevel::Low);
+            let mut edge = Edge::Rise;
+            for s in starts {
+                w.push(Transition::new(Time::from_ns(s), TimeDelta::from_ps(150.0), edge));
+                edge = edge.inverted();
+            }
+            let ideal = w.ideal_half_swing(vdd());
+            for pair in ideal.changes().windows(2) {
+                prop_assert!(pair[0].0 < pair[1].0);
+                prop_assert_ne!(pair[0].1, pair[1].1);
+            }
+        }
+
+        #[test]
+        fn prop_level_at_is_consistent_with_changes(times in proptest::collection::vec(0.0f64..50.0, 1..10)) {
+            let mut sorted = times.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut w = DigitalWaveform::new(LogicLevel::Low);
+            let mut edge = Edge::Rise;
+            for t in &sorted {
+                w.push(Transition::new(Time::from_ns(*t), TimeDelta::from_ps(10.0), edge));
+                edge = edge.inverted();
+            }
+            let ideal = w.ideal_half_swing(vdd());
+            prop_assert_eq!(ideal.level_at(Time::from_ns(200.0)), ideal.final_level());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Signal representations for the HALOTIS timing simulator.
+//!
+//! The central idea of the HALOTIS paper is the distinction between a
+//! **transition** — a linear voltage ramp on a net, described by its start
+//! time and its rise/fall time — and an **event** — the instant that ramp
+//! crosses the threshold voltage of one particular gate input.  This crate
+//! provides the transition side of that story plus everything needed to
+//! observe, export and compare simulated signals:
+//!
+//! * [`Transition`] — the linear-ramp transition (`tau_x`, `t0`) of the paper,
+//! * [`DigitalWaveform`] — a sequence of transitions on one net, with
+//!   threshold-observer conversion to ideal two-level waveforms,
+//! * [`AnalogWaveform`] — a piecewise-linear voltage waveform, produced by
+//!   the reference electrical simulator,
+//! * [`Trace`] — an ordered, named collection of waveforms,
+//! * [`Stimulus`] — input vector sequences (the paper's `0x0, 7x7, 5xA, ...`
+//!   multiplications),
+//! * [`vcd`] / [`ascii`] — exports, and [`compare`] — waveform metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analog;
+pub mod ascii;
+pub mod compare;
+pub mod digital;
+pub mod stimulus;
+pub mod trace;
+pub mod transition;
+pub mod vcd;
+
+pub use analog::AnalogWaveform;
+pub use compare::WaveformComparison;
+pub use digital::{DigitalWaveform, IdealWaveform};
+pub use stimulus::Stimulus;
+pub use trace::Trace;
+pub use transition::Transition;

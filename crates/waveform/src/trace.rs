@@ -1,0 +1,195 @@
+//! Named, ordered collections of waveforms.
+//!
+//! A [`Trace`] is what a whole simulation produces: one waveform per
+//! observed signal, in a caller-controlled display order (the paper's
+//! figures list `s7` down to `s0`).  It is generic over the waveform type so
+//! the same container carries [`DigitalWaveform`](crate::DigitalWaveform),
+//! [`IdealWaveform`](crate::IdealWaveform) or
+//! [`AnalogWaveform`](crate::AnalogWaveform) values.
+
+use std::fmt;
+
+/// An ordered map from signal name to waveform.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::LogicLevel;
+/// use halotis_waveform::{DigitalWaveform, Trace};
+///
+/// let mut trace = Trace::new();
+/// trace.insert("s0", DigitalWaveform::new(LogicLevel::Low));
+/// trace.insert("s1", DigitalWaveform::new(LogicLevel::High));
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.get("s0").is_some());
+/// assert_eq!(trace.names().collect::<Vec<_>>(), vec!["s0", "s1"]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace<W> {
+    entries: Vec<(String, W)>,
+}
+
+impl<W> Trace<W> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a signal.
+    pub fn insert(&mut self, name: impl Into<String>, waveform: W) {
+        let name = name.into();
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, slot)) => *slot = waveform,
+            None => self.entries.push((name, waveform)),
+        }
+    }
+
+    /// Looks a signal up by name.
+    pub fn get(&self, name: &str) -> Option<&W> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w)
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut W> {
+        self.entries
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, w)| w)
+    }
+
+    /// Number of signals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the trace holds no signal.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Signal names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Iterates `(name, waveform)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &W)> {
+        self.entries.iter().map(|(n, w)| (n.as_str(), w))
+    }
+
+    /// Maps every waveform through `f`, preserving names and order.
+    pub fn map<U>(&self, mut f: impl FnMut(&str, &W) -> U) -> Trace<U> {
+        Trace {
+            entries: self
+                .entries
+                .iter()
+                .map(|(n, w)| (n.clone(), f(n, w)))
+                .collect(),
+        }
+    }
+
+    /// Keeps only the signals whose name satisfies the predicate, preserving
+    /// order — used to restrict the multiplier traces to `s0..s7`.
+    pub fn filtered(&self, mut keep: impl FnMut(&str) -> bool) -> Trace<W>
+    where
+        W: Clone,
+    {
+        Trace {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<W> Default for Trace<W> {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl<W> FromIterator<(String, W)> for Trace<W> {
+    fn from_iter<I: IntoIterator<Item = (String, W)>>(iter: I) -> Self {
+        let mut trace = Trace::new();
+        for (name, w) in iter {
+            trace.insert(name, w);
+        }
+        trace
+    }
+}
+
+impl<W> Extend<(String, W)> for Trace<W> {
+    fn extend<I: IntoIterator<Item = (String, W)>>(&mut self, iter: I) {
+        for (name, w) in iter {
+            self.insert(name, w);
+        }
+    }
+}
+
+impl<W: fmt::Debug> fmt::Display for Trace<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace with {} signals:", self.len())?;
+        for (name, _) in &self.entries {
+            writeln!(f, "  {name}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_replace() {
+        let mut t: Trace<u32> = Trace::new();
+        assert!(t.is_empty());
+        t.insert("a", 1);
+        t.insert("b", 2);
+        t.insert("a", 10);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("a"), Some(&10));
+        assert_eq!(t.get("missing"), None);
+        *t.get_mut("b").unwrap() = 20;
+        assert_eq!(t.get("b"), Some(&20));
+    }
+
+    #[test]
+    fn order_is_insertion_order() {
+        let mut t: Trace<u32> = Trace::new();
+        for (i, name) in ["s7", "s3", "s0"].iter().enumerate() {
+            t.insert(*name, i as u32);
+        }
+        assert_eq!(t.names().collect::<Vec<_>>(), vec!["s7", "s3", "s0"]);
+        let pairs: Vec<(&str, &u32)> = t.iter().collect();
+        assert_eq!(pairs[1], ("s3", &1));
+    }
+
+    #[test]
+    fn map_and_filter_preserve_structure() {
+        let t: Trace<u32> = [("a".to_string(), 1u32), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
+        let doubled = t.map(|_, v| v * 2);
+        assert_eq!(doubled.get("b"), Some(&4));
+        let only_a = t.filtered(|n| n == "a");
+        assert_eq!(only_a.len(), 1);
+        assert_eq!(only_a.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: Trace<u8> = vec![("x".to_string(), 1u8)].into_iter().collect();
+        t.extend(vec![("y".to_string(), 2u8)]);
+        assert_eq!(t.len(), 2);
+        assert!(format!("{t}").contains("2 signals"));
+    }
+}

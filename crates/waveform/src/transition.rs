@@ -1,0 +1,221 @@
+//! The linear-ramp transition of the HALOTIS paper.
+//!
+//! Paper §3.1: *"A transition is a signal changing from 0 to 1 or 1 to 0.
+//! They are approximated by a linear curve and determined by the rise or
+//! fall time (tau_x) and the instant when the transition begins (t0)."*
+
+use halotis_core::{Edge, Time, TimeDelta, Voltage};
+
+/// A linear voltage ramp on a net: the paper's *transition*.
+///
+/// The signal starts moving at [`start`](Transition::start) and completes its
+/// full swing after [`slew`](Transition::slew).  The direction is given by
+/// [`edge`](Transition::edge).
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{Edge, Time, TimeDelta, Voltage};
+/// use halotis_waveform::Transition;
+///
+/// let vdd = Voltage::from_volts(5.0);
+/// let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(400.0), Edge::Rise);
+/// // The ramp crosses 2.5 V (half swing) half-way through its slew.
+/// assert_eq!(t.crossing_time(vdd.half(), vdd), Some(Time::from_ns(1.2)));
+/// assert_eq!(t.end(), Time::from_ns(1.4));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Transition {
+    start: Time,
+    slew: TimeDelta,
+    edge: Edge,
+}
+
+impl Transition {
+    /// Creates a transition beginning at `start`, completing its swing in
+    /// `slew`, in the direction `edge`.
+    ///
+    /// A non-positive `slew` is clamped to 1 fs so the ramp always has a
+    /// well-defined, strictly increasing crossing time for every threshold.
+    pub fn new(start: Time, slew: TimeDelta, edge: Edge) -> Self {
+        Transition {
+            start,
+            slew: slew.max(TimeDelta::from_fs(1)),
+            edge,
+        }
+    }
+
+    /// The instant the ramp starts moving (`t0` in the paper).
+    pub fn start(&self) -> Time {
+        self.start
+    }
+
+    /// The full-swing ramp duration (`tau_x` in the paper).
+    pub fn slew(&self) -> TimeDelta {
+        self.slew
+    }
+
+    /// The direction of the transition.
+    pub fn edge(&self) -> Edge {
+        self.edge
+    }
+
+    /// The instant the ramp reaches its final rail.
+    pub fn end(&self) -> Time {
+        self.start + self.slew
+    }
+
+    /// The instant the ramp crosses half the supply, the conventional single
+    /// observation threshold.
+    pub fn midpoint(&self, vdd: Voltage) -> Time {
+        self.crossing_time(vdd.half(), vdd)
+            .expect("half-supply threshold is always crossed")
+    }
+
+    /// The voltage of the ramp at time `t`, clamped to the rails outside the
+    /// ramp interval.
+    pub fn voltage_at(&self, t: Time, vdd: Voltage) -> Voltage {
+        let (v_from, v_to) = match self.edge {
+            Edge::Rise => (Voltage::ZERO, vdd),
+            Edge::Fall => (vdd, Voltage::ZERO),
+        };
+        if t <= self.start {
+            return v_from;
+        }
+        if t >= self.end() {
+            return v_to;
+        }
+        let frac = (t - self.start).as_fs() as f64 / self.slew.as_fs() as f64;
+        v_from + (v_to - v_from) * frac
+    }
+
+    /// The instant this ramp crosses the threshold `vt`, or `None` when the
+    /// threshold lies outside the `(0, Vdd)` swing and is therefore never
+    /// crossed.
+    ///
+    /// This is exactly the paper's *event* generation: one transition
+    /// produces one event per fanout input, each at the time the ramp
+    /// crosses that input's own threshold (paper Fig. 3).
+    pub fn crossing_time(&self, vt: Voltage, vdd: Voltage) -> Option<Time> {
+        let fraction = vt / vdd;
+        if !(0.0..=1.0).contains(&fraction) {
+            return None;
+        }
+        let progress = match self.edge {
+            Edge::Rise => fraction,
+            Edge::Fall => 1.0 - fraction,
+        };
+        Some(self.start + self.slew.scale(progress))
+    }
+
+    /// Shifts the transition in time by `offset`.
+    pub fn shifted(&self, offset: TimeDelta) -> Transition {
+        Transition {
+            start: self.start + offset,
+            slew: self.slew,
+            edge: self.edge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vdd() -> Voltage {
+        Voltage::from_volts(5.0)
+    }
+
+    #[test]
+    fn accessors_and_end() {
+        let t = Transition::new(Time::from_ns(2.0), TimeDelta::from_ps(300.0), Edge::Fall);
+        assert_eq!(t.start(), Time::from_ns(2.0));
+        assert_eq!(t.slew(), TimeDelta::from_ps(300.0));
+        assert_eq!(t.edge(), Edge::Fall);
+        assert_eq!(t.end(), Time::from_ns(2.3));
+    }
+
+    #[test]
+    fn zero_slew_is_clamped() {
+        let t = Transition::new(Time::ZERO, TimeDelta::ZERO, Edge::Rise);
+        assert_eq!(t.slew(), TimeDelta::from_fs(1));
+        assert!(t.end() > t.start());
+    }
+
+    #[test]
+    fn rising_crossings_are_ordered_by_threshold() {
+        let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(500.0), Edge::Rise);
+        let lo = t.crossing_time(Voltage::from_volts(1.0), vdd()).unwrap();
+        let mid = t.crossing_time(Voltage::from_volts(2.5), vdd()).unwrap();
+        let hi = t.crossing_time(Voltage::from_volts(4.0), vdd()).unwrap();
+        assert!(lo < mid && mid < hi);
+        assert_eq!(mid, Time::from_ns(1.25));
+    }
+
+    #[test]
+    fn falling_crossings_are_reversed() {
+        let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(500.0), Edge::Fall);
+        let lo = t.crossing_time(Voltage::from_volts(1.0), vdd()).unwrap();
+        let hi = t.crossing_time(Voltage::from_volts(4.0), vdd()).unwrap();
+        // A falling ramp reaches the high threshold first.
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn out_of_swing_thresholds_are_never_crossed() {
+        let t = Transition::new(Time::ZERO, TimeDelta::from_ps(100.0), Edge::Rise);
+        assert_eq!(t.crossing_time(Voltage::from_volts(6.0), vdd()), None);
+        assert_eq!(t.crossing_time(Voltage::from_volts(-0.1), vdd()), None);
+    }
+
+    #[test]
+    fn voltage_profile_is_clamped_linear() {
+        let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(400.0), Edge::Rise);
+        assert_eq!(t.voltage_at(Time::ZERO, vdd()), Voltage::ZERO);
+        assert_eq!(t.voltage_at(Time::from_ns(2.0), vdd()), vdd());
+        let mid = t.voltage_at(Time::from_ns(1.2), vdd());
+        assert!((mid.as_volts() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falling_voltage_profile() {
+        let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(400.0), Edge::Fall);
+        assert_eq!(t.voltage_at(Time::ZERO, vdd()), vdd());
+        assert_eq!(t.voltage_at(Time::from_ns(2.0), vdd()), Voltage::ZERO);
+    }
+
+    #[test]
+    fn shifted_preserves_shape() {
+        let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(250.0), Edge::Rise);
+        let s = t.shifted(TimeDelta::from_ns(1.0));
+        assert_eq!(s.start(), Time::from_ns(2.0));
+        assert_eq!(s.slew(), t.slew());
+        assert_eq!(s.edge(), t.edge());
+    }
+
+    #[test]
+    fn midpoint_equals_half_supply_crossing() {
+        let t = Transition::new(Time::from_ns(3.0), TimeDelta::from_ps(600.0), Edge::Fall);
+        assert_eq!(t.midpoint(vdd()), Time::from_ns(3.3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crossing_within_ramp(start in 0.0f64..10.0, slew in 1.0f64..1000.0, frac in 0.0f64..1.0, rise in proptest::bool::ANY) {
+            let edge = if rise { Edge::Rise } else { Edge::Fall };
+            let t = Transition::new(Time::from_ns(start), TimeDelta::from_ps(slew), edge);
+            let vt = vdd().fraction(frac);
+            let cross = t.crossing_time(vt, vdd()).unwrap();
+            prop_assert!(cross >= t.start());
+            prop_assert!(cross <= t.end());
+        }
+
+        #[test]
+        fn prop_voltage_bounded_by_rails(at in -5.0f64..15.0) {
+            let t = Transition::new(Time::from_ns(1.0), TimeDelta::from_ps(777.0), Edge::Rise);
+            let v = t.voltage_at(Time::from_ns(at), vdd());
+            prop_assert!(v >= Voltage::ZERO && v <= vdd());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerates every table and figure of the HALOTIS paper's evaluation.
+//!
+//! ```text
+//! cargo run --release --bin reproduce -- all
+//! cargo run --release --bin reproduce -- fig1 fig3 fig6 fig7 table1 table2 pulsewidth
+//! ```
+//!
+//! Each experiment prints a self-contained text report; `EXPERIMENTS.md`
+//! records one captured run next to the paper's own numbers.
+
+use std::env;
+use std::process::ExitCode;
+
+use halotis::core::TimeDelta;
+use halotis::experiments::{figure1, figure3, figures67, pulse_width, table1, table2};
+
+const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig6|fig7|table1|table2|pulsewidth]...";
+
+fn run_fig1() {
+    println!("=== Figure 1: classical inertial delay vs HALOTIS vs electrical reference ===\n");
+    // Sweep a few pulse widths and show the most interesting one (where the
+    // electrical reference is selective between the two branches), falling
+    // back to a mid-range pulse if the sweep finds none.
+    let widths: Vec<f64> = (4..28).map(|i| i as f64 * 25.0).collect();
+    let report = figure1::find_selective_pulse(&widths)
+        .unwrap_or_else(|| figure1::figure1_experiment(TimeDelta::from_ps(400.0)));
+    println!("{}", report.render());
+    println!(
+        "HALOTIS matches the electrical reference: {}",
+        report.halotis_matches_analog()
+    );
+    println!(
+        "classical simulator disagrees with the reference: {}\n",
+        report.classical_disagrees_with_analog()
+    );
+}
+
+fn run_fig3() {
+    println!("=== Figure 3: one transition, one event per fanout input threshold ===\n");
+    let report = figure3::figure3();
+    println!(
+        "falling transition: t0 = {:.3} ns, tau_f = {:.3} ns\n",
+        report.transition.start().as_ns(),
+        report.transition.slew().as_ns()
+    );
+    println!("{}", report.render());
+}
+
+fn run_fig6() {
+    println!("=== Figure 6 ===\n");
+    println!("{}", figures67::figure6().render());
+}
+
+fn run_fig7() {
+    println!("=== Figure 7 ===\n");
+    println!("{}", figures67::figure7().render());
+}
+
+fn run_table1() {
+    println!("=== Table 1: simulation statistics (events / filtered events) ===\n");
+    let rows = table1::table1();
+    println!("{}", table1::render(&rows));
+}
+
+fn run_table2() {
+    println!("=== Table 2: CPU time (seconds) ===\n");
+    let rows = table2::table2();
+    println!("{}", table2::render(&rows));
+}
+
+fn run_pulse_width() {
+    println!("=== Extension: pulse-width degradation sweep ===\n");
+    let sweep = pulse_width::default_sweep();
+    println!("{}", pulse_width::render(&sweep));
+}
+
+fn main() -> ExitCode {
+    let requested: Vec<String> = env::args().skip(1).collect();
+    let requested: Vec<&str> = if requested.is_empty() {
+        vec!["all"]
+    } else {
+        requested.iter().map(String::as_str).collect()
+    };
+
+    let mut plan: Vec<&str> = Vec::new();
+    for arg in requested {
+        match arg {
+            "all" => plan.extend(["fig1", "fig3", "fig6", "fig7", "table1", "table2", "pulsewidth"]),
+            "fig1" | "fig3" | "fig6" | "fig7" | "table1" | "table2" | "pulsewidth" => {
+                plan.push(arg)
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown experiment: {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for experiment in plan {
+        match experiment {
+            "fig1" => run_fig1(),
+            "fig3" => run_fig3(),
+            "fig6" => run_fig6(),
+            "fig7" => run_fig7(),
+            "table1" => run_table1(),
+            "table2" => run_table2(),
+            "pulsewidth" => run_pulse_width(),
+            _ => unreachable!("plan only contains known experiments"),
+        }
+    }
+    ExitCode::SUCCESS
+}

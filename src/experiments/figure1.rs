@@ -1,0 +1,284 @@
+//! Reproduction of the paper's Fig. 1: the classical inertial-delay rule
+//! produces wrong results when fanout gates have different input
+//! thresholds, while the per-input treatment of HALOTIS follows the
+//! electrical reference.
+//!
+//! The circuit (see
+//! [`generators::figure1`](halotis_netlist::generators::figure1)) shapes a
+//! pulse through an inverter chain and fans it out to a low-threshold and a
+//! high-threshold inverter, each followed by one more inverter.  For a
+//! marginal pulse width the electrical simulation shows the pulse surviving
+//! on one branch only; HALOTIS reproduces that, the classical simulator
+//! cannot (it either keeps or deletes the pulse for *both* branches).
+
+use halotis_analog::{AnalogConfig, AnalogResult, AnalogSimulator};
+use halotis_core::{LogicLevel, Time, TimeDelta};
+use halotis_netlist::generators::{figure1_default, Figure1Nets};
+use halotis_netlist::{technology, Library, Netlist};
+use halotis_sim::{classical, SimulationConfig, SimulationResult, Simulator};
+use halotis_waveform::ascii::{render_trace, AsciiOptions};
+use halotis_waveform::{IdealWaveform, Stimulus, Trace};
+
+/// Which branches of the Fig. 1 circuit saw the pulse, for one simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchActivity {
+    /// `true` when the low-threshold branch (`out1`) toggled.
+    pub low_branch_pulsed: bool,
+    /// `true` when the high-threshold branch (`out2`) toggled.
+    pub high_branch_pulsed: bool,
+}
+
+impl BranchActivity {
+    /// `true` when the two branches disagree — the situation only a
+    /// per-input model can represent.
+    pub fn is_selective(&self) -> bool {
+        self.low_branch_pulsed != self.high_branch_pulsed
+    }
+}
+
+/// The full Fig. 1 experiment output.
+#[derive(Clone, Debug)]
+pub struct Figure1Report {
+    /// Width of the input pulse applied at 1 ns.
+    pub pulse_width: TimeDelta,
+    /// The signal names of the circuit.
+    pub nets: Figure1Nets,
+    /// HALOTIS with the IDDM.
+    pub halotis: SimulationResult,
+    /// The classical inertial-delay simulator.
+    pub classical: SimulationResult,
+    /// The electrical reference.
+    pub analog: AnalogResult,
+}
+
+fn branch_activity_from(trace: &Trace<IdealWaveform>, nets: &Figure1Nets) -> BranchActivity {
+    let pulsed = |name: &str| {
+        trace
+            .get(name)
+            .map(|waveform| waveform.edge_count() >= 2)
+            .unwrap_or(false)
+    };
+    BranchActivity {
+        low_branch_pulsed: pulsed(&nets.out1),
+        high_branch_pulsed: pulsed(&nets.out2),
+    }
+}
+
+impl Figure1Report {
+    fn observed_nets(&self) -> [&str; 5] {
+        [
+            &self.nets.out0,
+            &self.nets.out1,
+            &self.nets.out1c,
+            &self.nets.out2,
+            &self.nets.out2c,
+        ]
+    }
+
+    fn trace_of(&self, source: &Trace<IdealWaveform>) -> Trace<IdealWaveform> {
+        self.observed_nets()
+            .iter()
+            .filter_map(|name| source.get(name).cloned().map(|w| (name.to_string(), w)))
+            .collect()
+    }
+
+    /// Branch activity under HALOTIS-DDM.
+    pub fn halotis_activity(&self) -> BranchActivity {
+        branch_activity_from(&self.halotis.full_trace(), &self.nets)
+    }
+
+    /// Branch activity under the classical simulator.
+    pub fn classical_activity(&self) -> BranchActivity {
+        branch_activity_from(&self.classical.full_trace(), &self.nets)
+    }
+
+    /// Branch activity in the electrical reference.
+    pub fn analog_activity(&self) -> BranchActivity {
+        let trace: Trace<IdealWaveform> = self
+            .observed_nets()
+            .iter()
+            .filter_map(|name| {
+                self.analog
+                    .ideal_waveform(name)
+                    .map(|w| (name.to_string(), w))
+            })
+            .collect();
+        branch_activity_from(&trace, &self.nets)
+    }
+
+    /// `true` when HALOTIS matches the electrical reference on both branches.
+    pub fn halotis_matches_analog(&self) -> bool {
+        self.halotis_activity() == self.analog_activity()
+    }
+
+    /// `true` when the classical simulator disagrees with the electrical
+    /// reference on at least one branch (the error Fig. 1 illustrates).
+    pub fn classical_disagrees_with_analog(&self) -> bool {
+        self.classical_activity() != self.analog_activity()
+    }
+
+    /// Renders the three waveform sets (analog reference, HALOTIS-DDM,
+    /// classical) over a 0–6 ns window, mirroring Fig. 1 b/c.
+    pub fn render(&self) -> String {
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(6.0), 72);
+        let analog_trace: Trace<IdealWaveform> = self
+            .observed_nets()
+            .iter()
+            .filter_map(|name| {
+                self.analog
+                    .ideal_waveform(name)
+                    .map(|w| (name.to_string(), w))
+            })
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Figure 1 reproduction (input pulse width {:.0} ps)\n\n",
+            self.pulse_width.as_ps()
+        ));
+        out.push_str("(a) electrical reference\n");
+        out.push_str(&render_trace(&analog_trace, &options));
+        out.push_str("\n(b) HALOTIS (IDDM)\n");
+        out.push_str(&render_trace(&self.trace_of(&self.halotis.full_trace()), &options));
+        out.push_str("\n(c) classical inertial-delay simulator\n");
+        out.push_str(&render_trace(&self.trace_of(&self.classical.full_trace()), &options));
+        out.push_str(&format!(
+            "\nbranch pulse seen (low VT / high VT): analog {:?}, HALOTIS {:?}, classical {:?}\n",
+            pair(self.analog_activity()),
+            pair(self.halotis_activity()),
+            pair(self.classical_activity()),
+        ));
+        out
+    }
+}
+
+fn pair(activity: BranchActivity) -> (bool, bool) {
+    (activity.low_branch_pulsed, activity.high_branch_pulsed)
+}
+
+/// Builds the stimulus: a single positive pulse of `width` applied at 1 ns.
+pub fn pulse_stimulus(library: &Library, width: TimeDelta) -> Stimulus {
+    let mut stimulus = Stimulus::new(library.default_input_slew());
+    stimulus.set_initial("in", LogicLevel::Low);
+    stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+    stimulus.drive("in", Time::from_ns(1.0) + width, LogicLevel::Low);
+    stimulus
+}
+
+/// Runs the Fig. 1 experiment for one input pulse width.
+///
+/// # Panics
+///
+/// Panics if any of the three simulators rejects the generated circuit —
+/// the fixture is built internally, so that indicates a bug rather than a
+/// user error.
+pub fn figure1_experiment(pulse_width: TimeDelta) -> Figure1Report {
+    let (netlist, nets) = figure1_default();
+    let library = technology::cmos06();
+    figure1_experiment_on(&netlist, &nets, &library, pulse_width)
+}
+
+/// Runs the Fig. 1 experiment on a caller-provided circuit (used by the
+/// sweep in the integration tests to find the selective pulse width).
+pub fn figure1_experiment_on(
+    netlist: &Netlist,
+    nets: &Figure1Nets,
+    library: &Library,
+    pulse_width: TimeDelta,
+) -> Figure1Report {
+    let stimulus = pulse_stimulus(library, pulse_width);
+    let simulator = Simulator::new(netlist, library);
+    let halotis = simulator
+        .run(&stimulus, &SimulationConfig::ddm())
+        .expect("figure1 circuit simulates under HALOTIS");
+    let classical = classical::run(netlist, library, &stimulus, &SimulationConfig::cdm())
+        .expect("figure1 circuit simulates under the classical engine");
+    let analog = AnalogSimulator::new(netlist, library)
+        .run(
+            &stimulus,
+            &AnalogConfig::default().with_end_time(Time::from_ns(8.0)),
+        )
+        .expect("figure1 circuit simulates under the analog engine");
+    Figure1Report {
+        pulse_width,
+        nets: nets.clone(),
+        halotis,
+        classical,
+        analog,
+    }
+}
+
+/// Sweeps pulse widths and returns the first report where the electrical
+/// reference is *selective* (one branch pulses, the other does not), if any.
+/// This is the regime where the classical rule necessarily errs.
+pub fn find_selective_pulse(widths_ps: &[f64]) -> Option<Figure1Report> {
+    let (netlist, nets) = figure1_default();
+    let library = technology::cmos06();
+    widths_ps
+        .iter()
+        .map(|&w| figure1_experiment_on(&netlist, &nets, &library, TimeDelta::from_ps(w)))
+        .find(|report| report.analog_activity().is_selective())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_pulse_reaches_both_branches_in_every_simulator() {
+        let report = figure1_experiment(TimeDelta::from_ns(2.5));
+        for activity in [
+            report.analog_activity(),
+            report.halotis_activity(),
+            report.classical_activity(),
+        ] {
+            assert!(activity.low_branch_pulsed, "{activity:?}");
+            assert!(activity.high_branch_pulsed, "{activity:?}");
+        }
+        assert!(report.halotis_matches_analog());
+    }
+
+    #[test]
+    fn tiny_pulse_reaches_no_branch_in_the_reference() {
+        let report = figure1_experiment(TimeDelta::from_ps(40.0));
+        let analog = report.analog_activity();
+        assert!(!analog.low_branch_pulsed && !analog.high_branch_pulsed);
+        // HALOTIS agrees that nothing visible comes out of the branches.
+        let halotis = report.halotis_activity();
+        assert!(!halotis.high_branch_pulsed);
+    }
+
+    #[test]
+    fn classical_simulator_is_never_selective() {
+        for width_ps in [100.0, 250.0, 400.0, 700.0, 1200.0] {
+            let report = figure1_experiment(TimeDelta::from_ps(width_ps));
+            assert!(
+                !report.classical_activity().is_selective(),
+                "classical simulator became selective at {width_ps} ps"
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_three_simulators() {
+        let report = figure1_experiment(TimeDelta::from_ps(500.0));
+        let text = report.render();
+        assert!(text.contains("electrical reference"));
+        assert!(text.contains("HALOTIS"));
+        assert!(text.contains("classical"));
+        assert!(text.contains("out1"));
+    }
+
+    #[test]
+    fn branch_activity_selectivity() {
+        assert!(BranchActivity {
+            low_branch_pulsed: true,
+            high_branch_pulsed: false
+        }
+        .is_selective());
+        assert!(!BranchActivity {
+            low_branch_pulsed: true,
+            high_branch_pulsed: true
+        }
+        .is_selective());
+    }
+}

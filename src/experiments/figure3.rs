@@ -1,0 +1,128 @@
+//! Reproduction of the paper's Fig. 3: one transition on a net generates a
+//! different event time for every fanout gate input, because each input
+//! observes the ramp at its own threshold voltage.
+
+use halotis_core::{Edge, Time, TimeDelta, Voltage};
+use halotis_waveform::Transition;
+
+/// One generated event of the Fig. 3 table: which input, at which threshold,
+/// at what time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure3Event {
+    /// Label of the receiving input (`"G2.2"` means gate 2, input 2 — the
+    /// paper's notation).
+    pub input: String,
+    /// The input threshold as a fraction of the supply.
+    pub threshold_fraction: f64,
+    /// The event time `E`.
+    pub time: Time,
+}
+
+/// The Fig. 3 reproduction: the driving transition plus the events it
+/// generates at each fanout input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure3Report {
+    /// The falling transition on the shared net `out`.
+    pub transition: Transition,
+    /// The generated events, in the order the paper lists them
+    /// (E1 at the highest threshold first, since the ramp is falling).
+    pub events: Vec<Figure3Event>,
+}
+
+impl Figure3Report {
+    /// Renders the report as the small table shown next to Fig. 3.
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for (index, event) in self.events.iter().enumerate() {
+            rows.push(vec![
+                format!("E{}", index + 1),
+                event.input.clone(),
+                format!("{:.2} Vdd", event.threshold_fraction),
+                format!("{:.3} ns", event.time.as_ns()),
+            ]);
+        }
+        super::report::format_table(&["event", "gate input", "threshold", "time"], &rows)
+    }
+}
+
+/// Builds the canonical Fig. 3 situation: a falling transition starting at
+/// `t0 = 1 ns` with `tau_f = 1 ns`, driving three gate inputs whose
+/// thresholds are 0.66, 0.50 and 0.34 of the supply (the paper's
+/// `VT13 > VT22 > VT31` ordering).
+pub fn figure3() -> Figure3Report {
+    figure3_with(
+        Transition::new(Time::from_ns(1.0), TimeDelta::from_ns(1.0), Edge::Fall),
+        &[("G1.3", 0.66), ("G2.2", 0.50), ("G3.1", 0.34)],
+    )
+}
+
+/// Builds a Fig. 3 report for an arbitrary transition and set of fanout
+/// inputs `(label, threshold fraction)`.
+pub fn figure3_with(transition: Transition, inputs: &[(&str, f64)]) -> Figure3Report {
+    let vdd = Voltage::from_volts(5.0);
+    let mut events: Vec<Figure3Event> = inputs
+        .iter()
+        .filter_map(|&(label, fraction)| {
+            transition
+                .crossing_time(vdd.fraction(fraction), vdd)
+                .map(|time| Figure3Event {
+                    input: label.to_string(),
+                    threshold_fraction: fraction,
+                    time,
+                })
+        })
+        .collect();
+    events.sort_by_key(|event| event.time);
+    Figure3Report { transition, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falling_ramp_reaches_high_thresholds_first() {
+        let report = figure3();
+        assert_eq!(report.events.len(), 3);
+        // E1 < E2 < E3, and E1 belongs to the highest threshold.
+        assert!(report.events[0].time < report.events[1].time);
+        assert!(report.events[1].time < report.events[2].time);
+        assert_eq!(report.events[0].input, "G1.3");
+        assert_eq!(report.events[2].input, "G3.1");
+    }
+
+    #[test]
+    fn event_times_match_the_linear_ramp() {
+        let report = figure3();
+        // Falling ramp from 1 ns to 2 ns: the 0.5 Vdd crossing is at 1.5 ns.
+        let mid = &report.events[1];
+        assert_eq!(mid.threshold_fraction, 0.5);
+        assert_eq!(mid.time, Time::from_ns(1.5));
+    }
+
+    #[test]
+    fn rising_transition_reverses_the_order() {
+        let report = figure3_with(
+            Transition::new(Time::from_ns(0.0), TimeDelta::from_ns(1.0), Edge::Rise),
+            &[("hi", 0.8), ("lo", 0.2)],
+        );
+        assert_eq!(report.events[0].input, "lo");
+        assert_eq!(report.events[1].input, "hi");
+    }
+
+    #[test]
+    fn out_of_swing_thresholds_produce_no_event() {
+        let report = figure3_with(
+            Transition::new(Time::from_ns(0.0), TimeDelta::from_ns(1.0), Edge::Rise),
+            &[("ok", 0.5), ("impossible", 1.5)],
+        );
+        assert_eq!(report.events.len(), 1);
+    }
+
+    #[test]
+    fn render_contains_all_events() {
+        let text = figure3().render();
+        assert!(text.contains("E1") && text.contains("E3"));
+        assert!(text.contains("G2.2"));
+    }
+}

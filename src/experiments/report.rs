@@ -1,0 +1,87 @@
+//! Plain-text table formatting shared by the experiment reports.
+
+/// Formats a table with a header row, aligning every column to its widest
+/// cell.  Used by the Table 1/2 and sweep reports so their output lines up
+/// with the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use halotis::experiments::report::format_table;
+/// let text = format_table(
+///     &["sequence", "events"],
+///     &[vec!["0x0, 7x7".to_string(), "959".to_string()]],
+/// );
+/// assert!(text.contains("sequence"));
+/// assert!(text.contains("959"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (index, cell) in row.iter().enumerate().take(columns) {
+            widths[index] = widths[index].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (index, width) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(index).unwrap_or(&empty);
+            line.push_str(&format!(" {cell:<width$} |", width = width));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let mut separator = String::from("|");
+    for width in &widths {
+        separator.push_str(&format!("{}|", "-".repeat(width + 2)));
+    }
+    out.push_str(&separator);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a `std::time::Duration` in seconds with millisecond resolution.
+pub fn seconds(duration: std::time::Duration) -> String {
+    format!("{:.4}", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn columns_are_aligned() {
+        let text = format_table(
+            &["a", "long header"],
+            &[
+                vec!["x".to_string(), "1".to_string()],
+                vec!["longer cell".to_string(), "2".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{text}");
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let text = format_table(&["a", "b"], &[vec!["only".to_string()]]);
+        assert!(text.contains("only"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(seconds(Duration::from_millis(1500)), "1.5000");
+    }
+}

@@ -1,0 +1,99 @@
+//! Reproduction of the paper's Table 1: event counts and filtered-event
+//! counts of HALOTIS-DDM and HALOTIS-CDM on the two multiplication
+//! sequences, plus the CDM overestimation percentage.
+
+use halotis_sim::stats::ComparisonRow;
+use halotis_sim::{SimulationConfig, Simulator};
+
+use super::{
+    multiplier_fixture, multiplier_stimulus, sequence_label, MultiplierFixture, SEQUENCE_FIG6,
+    SEQUENCE_FIG7,
+};
+
+/// Runs both delay models on one sequence and packages the Table 1 row.
+pub fn table1_row(fixture: &MultiplierFixture, pairs: &[(u64, u64)]) -> ComparisonRow {
+    let stimulus = multiplier_stimulus(&fixture.ports, pairs);
+    let simulator = Simulator::new(&fixture.netlist, &fixture.library);
+    let (ddm, cdm) = simulator
+        .run_both_models(&stimulus, &SimulationConfig::default())
+        .expect("multiplier fixture simulates under both models");
+    ComparisonRow {
+        sequence: sequence_label(pairs),
+        ddm: *ddm.stats(),
+        cdm: *cdm.stats(),
+    }
+}
+
+/// Reproduces the full Table 1 (both sequences).
+pub fn table1() -> Vec<ComparisonRow> {
+    let fixture = multiplier_fixture();
+    vec![
+        table1_row(&fixture, SEQUENCE_FIG6),
+        table1_row(&fixture, SEQUENCE_FIG7),
+    ]
+}
+
+/// Renders Table 1 in the paper's column layout.
+pub fn render(rows: &[ComparisonRow]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.sequence.clone(),
+                row.ddm.events_scheduled.to_string(),
+                row.cdm.events_scheduled.to_string(),
+                format!("{:.0}", row.overestimation_percent()),
+                row.ddm.events_filtered.to_string(),
+                row.cdm.events_filtered.to_string(),
+            ]
+        })
+        .collect();
+    super::report::format_table(
+        &[
+            "sequence",
+            "events DDM",
+            "events CDM",
+            "overst. CDM (%)",
+            "filtered DDM",
+            "filtered CDM",
+        ],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdm_overestimates_events_on_both_sequences() {
+        for row in table1() {
+            assert!(
+                row.cdm.events_scheduled > row.ddm.events_scheduled,
+                "sequence {}: CDM {} <= DDM {}",
+                row.sequence,
+                row.cdm.events_scheduled,
+                row.ddm.events_scheduled
+            );
+            assert!(row.overestimation_percent() > 0.0);
+            // DDM filters more events than CDM (Table 1's last two columns):
+            // degradation shrinks pulses until the per-input rule removes them.
+            assert!(
+                row.ddm.events_filtered >= row.cdm.events_filtered,
+                "sequence {}: DDM filtered {} < CDM filtered {}",
+                row.sequence,
+                row.ddm.events_filtered,
+                row.cdm.events_filtered
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_both_sequences_and_headers() {
+        let rows = table1();
+        let text = render(&rows);
+        assert!(text.contains("0x0, 7x7, 5xA, Ex6, FxF"));
+        assert!(text.contains("0x0, FxF, 0x0, FxF, 0x0"));
+        assert!(text.contains("overst. CDM (%)"));
+    }
+}

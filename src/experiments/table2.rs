@@ -1,0 +1,154 @@
+//! Reproduction of the paper's Table 2: CPU time of the electrical
+//! reference, HALOTIS-DDM and HALOTIS-CDM on the two multiplication
+//! sequences.
+//!
+//! Absolute numbers obviously differ from a 2001 workstation running HSPICE;
+//! the property the reproduction checks is the *shape*: the analog reference
+//! is orders of magnitude slower than the event-driven simulators, and
+//! HALOTIS-DDM is not slower than HALOTIS-CDM (it processes fewer events).
+
+use std::time::Duration;
+
+use halotis_analog::{AnalogConfig, AnalogSimulator};
+use halotis_core::{Time, TimeDelta};
+use halotis_sim::{SimulationConfig, Simulator};
+
+use super::{
+    multiplier_fixture, multiplier_stimulus, sequence_label, MultiplierFixture, FIGURE_WINDOW_NS,
+    SEQUENCE_FIG6, SEQUENCE_FIG7,
+};
+
+/// One row of the Table 2 reproduction.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// The multiplication sequence, in paper notation.
+    pub sequence: String,
+    /// Wall-clock time of the analog reference run.
+    pub analog: Duration,
+    /// Wall-clock time of the HALOTIS-DDM run.
+    pub ddm: Duration,
+    /// Wall-clock time of the HALOTIS-CDM run.
+    pub cdm: Duration,
+}
+
+impl Table2Row {
+    /// Speed-up of HALOTIS-DDM over the analog reference.
+    pub fn ddm_speedup(&self) -> f64 {
+        self.analog.as_secs_f64() / self.ddm.as_secs_f64().max(1e-9)
+    }
+
+    /// Ratio of the CDM run time to the DDM run time (>= 1 reproduces the
+    /// paper's observation that DDM is the faster of the two).
+    pub fn cdm_over_ddm(&self) -> f64 {
+        self.cdm.as_secs_f64() / self.ddm.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs one Table 2 row.  `repeats` controls how many times the two logic
+/// simulations are repeated (and averaged) so the sub-millisecond runs are
+/// measured with less jitter.
+pub fn table2_row(
+    fixture: &MultiplierFixture,
+    pairs: &[(u64, u64)],
+    analog_step: TimeDelta,
+    repeats: u32,
+) -> Table2Row {
+    let stimulus = multiplier_stimulus(&fixture.ports, pairs);
+    let simulator = Simulator::new(&fixture.netlist, &fixture.library);
+    let repeats = repeats.max(1);
+
+    let mut ddm_total = Duration::ZERO;
+    let mut cdm_total = Duration::ZERO;
+    for _ in 0..repeats {
+        let (ddm, cdm) = simulator
+            .run_both_models(&stimulus, &SimulationConfig::default())
+            .expect("multiplier fixture simulates under both models");
+        ddm_total += ddm.wall_time();
+        cdm_total += cdm.wall_time();
+    }
+
+    let analog = AnalogSimulator::new(&fixture.netlist, &fixture.library)
+        .run(
+            &stimulus,
+            &AnalogConfig::default()
+                .with_time_step(analog_step)
+                .with_end_time(Time::from_ns(FIGURE_WINDOW_NS)),
+        )
+        .expect("multiplier fixture simulates under the analog engine");
+
+    Table2Row {
+        sequence: sequence_label(pairs),
+        analog: analog.wall_time(),
+        ddm: ddm_total / repeats,
+        cdm: cdm_total / repeats,
+    }
+}
+
+/// Reproduces the full Table 2 (both sequences) with the default settings
+/// used by the `reproduce` binary.
+pub fn table2() -> Vec<Table2Row> {
+    let fixture = multiplier_fixture();
+    vec![
+        table2_row(&fixture, SEQUENCE_FIG6, TimeDelta::from_ps(1.0), 5),
+        table2_row(&fixture, SEQUENCE_FIG7, TimeDelta::from_ps(1.0), 5),
+    ]
+}
+
+/// Renders Table 2 in the paper's column layout (seconds), with the derived
+/// ratios appended.
+pub fn render(rows: &[Table2Row]) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.sequence.clone(),
+                super::report::seconds(row.analog),
+                super::report::seconds(row.ddm),
+                super::report::seconds(row.cdm),
+                format!("{:.0}x", row.ddm_speedup()),
+                format!("{:.2}", row.cdm_over_ddm()),
+            ]
+        })
+        .collect();
+    super::report::format_table(
+        &[
+            "sequence",
+            "analog ref (s)",
+            "HALOTIS-DDM (s)",
+            "HALOTIS-CDM (s)",
+            "DDM speedup",
+            "CDM / DDM",
+        ],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analog_reference_is_much_slower_than_halotis() {
+        // A coarse analog step keeps the unit test quick; even then the
+        // integrator is far slower than the event-driven engine.
+        let fixture = multiplier_fixture();
+        let row = table2_row(&fixture, SEQUENCE_FIG6, TimeDelta::from_ps(4.0), 3);
+        assert!(
+            row.ddm_speedup() > 10.0,
+            "speedup only {:.1}x (analog {:?}, ddm {:?})",
+            row.ddm_speedup(),
+            row.analog,
+            row.ddm
+        );
+        assert!(row.analog > row.cdm);
+    }
+
+    #[test]
+    fn render_lists_each_sequence_once() {
+        let fixture = multiplier_fixture();
+        let rows = vec![table2_row(&fixture, SEQUENCE_FIG7, TimeDelta::from_ps(8.0), 1)];
+        let text = render(&rows);
+        assert!(text.contains("0x0, FxF"));
+        assert!(text.contains("DDM speedup"));
+    }
+}

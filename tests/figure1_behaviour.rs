@@ -1,0 +1,51 @@
+//! Integration test for the paper's Fig. 1 claim: only a per-input inertial
+//! treatment can reproduce the electrical behaviour of a marginal pulse
+//! driving inputs with different thresholds.
+
+use halotis::core::TimeDelta;
+use halotis::experiments::figure1::{figure1_experiment, find_selective_pulse};
+
+#[test]
+fn a_selective_pulse_width_exists_and_halotis_reproduces_it() {
+    let widths: Vec<f64> = (4..30).map(|i| i as f64 * 25.0).collect();
+    let report = find_selective_pulse(&widths)
+        .expect("the electrical reference should be selective for some pulse width");
+    let analog = report.analog_activity();
+    assert!(analog.is_selective());
+    // The surviving branch is the low-threshold one: the partial-swing pulse
+    // crosses the low threshold but never reaches the high one.
+    assert!(analog.low_branch_pulsed);
+    assert!(!analog.high_branch_pulsed);
+    // HALOTIS agrees with the reference branch by branch.
+    assert_eq!(report.halotis_activity(), analog);
+    // The classical simulator cannot be selective, so it is wrong here.
+    assert!(!report.classical_activity().is_selective());
+    assert!(report.classical_disagrees_with_analog());
+}
+
+#[test]
+fn extreme_pulse_widths_are_uncontroversial() {
+    // Very wide pulse: everybody propagates it to both branches.
+    let wide = figure1_experiment(TimeDelta::from_ns(3.0));
+    assert!(wide.analog_activity().low_branch_pulsed);
+    assert!(wide.analog_activity().high_branch_pulsed);
+    assert!(wide.halotis_matches_analog());
+    assert!(!wide.classical_disagrees_with_analog());
+
+    // Very narrow pulse: nobody sees anything downstream of the branches.
+    let narrow = figure1_experiment(TimeDelta::from_ps(30.0));
+    assert!(!narrow.analog_activity().high_branch_pulsed);
+    assert!(!narrow.halotis_activity().high_branch_pulsed);
+}
+
+#[test]
+fn halotis_filters_events_per_input_not_per_net() {
+    // In the selective regime the HALOTIS run must show filtered events:
+    // the same out0 pulse was dropped at the high-threshold input while it
+    // survived at the low-threshold one.
+    let widths: Vec<f64> = (4..30).map(|i| i as f64 * 25.0).collect();
+    if let Some(report) = find_selective_pulse(&widths) {
+        assert!(report.halotis_activity().is_selective());
+        assert!(report.halotis.stats().events_filtered > 0);
+    }
+}
