@@ -120,15 +120,8 @@ pub fn measure_step_delays(
     for &fanout in fanouts {
         let netlist = dut(fanout);
         let stimulus = falling_input_step(library, Time::from_ns(1.0));
-        let delay = measure_output_delay(
-            library,
-            &netlist,
-            &stimulus,
-            0,
-            0,
-            Time::from_ns(5.0),
-        )?
-        .unwrap_or(TimeDelta::ZERO);
+        let delay = measure_output_delay(library, &netlist, &stimulus, 0, 0, Time::from_ns(5.0))?
+            .unwrap_or(TimeDelta::ZERO);
         samples.push(StepDelaySample { fanout, delay });
     }
     Ok(samples)
@@ -152,28 +145,15 @@ pub fn measure_degradation(
     let nominal = {
         let mut stimulus = falling_input_step(library, Time::from_ns(1.0));
         stimulus.drive("in", Time::from_ns(6.0), LogicLevel::Low);
-        measure_output_delay(
-            library,
-            &netlist,
-            &stimulus,
-            1,
-            1,
-            Time::from_ns(10.0),
-        )?
-        .unwrap_or(TimeDelta::ZERO)
+        measure_output_delay(library, &netlist, &stimulus, 1, 1, Time::from_ns(10.0))?
+            .unwrap_or(TimeDelta::ZERO)
     };
     let mut samples = Vec::with_capacity(gaps.len());
     for &gap in gaps {
         let mut stimulus = falling_input_step(library, Time::from_ns(1.0));
         stimulus.drive("in", Time::from_ns(1.0) + gap, LogicLevel::Low);
-        let degraded = measure_output_delay(
-            library,
-            &netlist,
-            &stimulus,
-            1,
-            1,
-            Time::from_ns(10.0),
-        )?;
+        let degraded =
+            measure_output_delay(library, &netlist, &stimulus, 1, 1, Time::from_ns(10.0))?;
         if let Some(degraded) = degraded {
             samples.push(DegradationSample {
                 elapsed: gap,

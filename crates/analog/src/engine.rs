@@ -186,6 +186,10 @@ impl<'a> AnalogSimulator<'a> {
         let mut level_scratch: Vec<LogicLevel> = Vec::with_capacity(3);
         let mut time = Time::ZERO;
         let mut steps = 0usize;
+        // `record_every` is a public field: a direct write of 0 must mean
+        // "every step", not "record nothing" (is_multiple_of(0) is only true
+        // at step 0).
+        let record_every = config.record_every.max(1);
         while time < end_time {
             time += dt;
             steps += 1;
@@ -221,7 +225,7 @@ impl<'a> AnalogSimulator<'a> {
                 );
             }
 
-            if steps % config.record_every == 0 {
+            if steps.is_multiple_of(record_every) {
                 for (index, waveform) in waveform_store.iter_mut().enumerate() {
                     waveform.push(time, voltages[index]);
                 }
@@ -329,8 +333,10 @@ mod tests {
         // The pulse is visible early in the chain but vanishes at the end.
         let first_stage = result.ideal_waveform("n1").unwrap().edge_count();
         let last_stage = result.ideal_waveform("out").unwrap().edge_count();
-        assert!(last_stage < first_stage.max(1) || last_stage == 0,
-            "pulse did not attenuate: first {first_stage} edges, last {last_stage} edges");
+        assert!(
+            last_stage < first_stage.max(1) || last_stage == 0,
+            "pulse did not attenuate: first {first_stage} edges, last {last_stage} edges"
+        );
         // Peak excursion on the last net stays well below the rail.
         let (lo, hi) = result.waveform("out").unwrap().voltage_range().unwrap();
         assert!(hi <= lib.vdd());

@@ -32,11 +32,7 @@ pub const LN2: f64 = std::f64::consts::LN_2;
 /// let tau = model::stage_time_constant(&arc, Capacitance::from_femtofarads(20.0), TimeDelta::from_ps(200.0));
 /// assert!(tau > 0.0);
 /// ```
-pub fn stage_time_constant(
-    arc: &EdgeTiming,
-    load: Capacitance,
-    input_slew: TimeDelta,
-) -> f64 {
+pub fn stage_time_constant(arc: &EdgeTiming, load: Capacitance, input_slew: TimeDelta) -> f64 {
     let delay = arc.propagation.nominal_delay(load, input_slew);
     (delay.as_ns().max(1e-3) * 1e-9) / LN2
 }

@@ -47,13 +47,9 @@ fn bench_random_logic(c: &mut Criterion) {
         let stimulus = toggle_all_inputs(&netlist, halotis::core::Time::from_ns(1.0));
         let simulator = Simulator::new(&netlist, &library);
         group.throughput(Throughput::Elements(gates as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ddm", gates),
-            &stimulus,
-            |b, stimulus| {
-                b.iter(|| black_box(simulator.run(stimulus, &SimulationConfig::ddm()).unwrap()));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ddm", gates), &stimulus, |b, stimulus| {
+            b.iter(|| black_box(simulator.run(stimulus, &SimulationConfig::ddm()).unwrap()));
+        });
     }
     group.finish();
 }

@@ -239,10 +239,7 @@ mod tests {
         );
         assert_eq!(Edge::between(LogicLevel::Low, LogicLevel::Low), None);
         assert_eq!(Edge::between(LogicLevel::Unknown, LogicLevel::High), None);
-        assert_eq!(
-            LogicLevel::Low.edge_to(LogicLevel::High),
-            Some(Edge::Rise)
-        );
+        assert_eq!(LogicLevel::Low.edge_to(LogicLevel::High), Some(Edge::Rise));
     }
 
     #[test]

@@ -301,7 +301,10 @@ mod tests {
     #[test]
     fn display_is_human_readable() {
         assert_eq!(format!("{}", Voltage::from_volts(3.3)), "3.300 V");
-        assert_eq!(format!("{}", Capacitance::from_femtofarads(12.5)), "12.50 fF");
+        assert_eq!(
+            format!("{}", Capacitance::from_femtofarads(12.5)),
+            "12.50 fF"
+        );
     }
 
     proptest! {

@@ -103,10 +103,7 @@ fn least_squares_line(points: &[(f64, f64)]) -> Result<(f64, f64), FitError> {
 /// # Errors
 ///
 /// Returns [`FitError`] when fewer than two distinct loads are provided.
-pub fn fit_tau_coefficients(
-    samples: &[TauSample],
-    vdd: Voltage,
-) -> Result<(f64, f64), FitError> {
+pub fn fit_tau_coefficients(samples: &[TauSample], vdd: Voltage) -> Result<(f64, f64), FitError> {
     let points: Vec<(f64, f64)> = samples
         .iter()
         .map(|s| (s.load.as_farads(), s.tau.as_ns() * 1e-9 * vdd.as_volts()))
@@ -326,7 +323,10 @@ mod tests {
                 tau: TimeDelta::from_ps(100.0),
             })
             .collect();
-        assert_eq!(fit_tau_coefficients(&same_load, vdd), Err(FitError::Degenerate));
+        assert_eq!(
+            fit_tau_coefficients(&same_load, vdd),
+            Err(FitError::Degenerate)
+        );
         assert!(fit_c_coefficient(&[], vdd).is_err());
         assert!(fit_propagation(&[]).is_err());
         let err = FitError::NotEnoughSamples {

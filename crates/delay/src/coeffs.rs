@@ -128,8 +128,8 @@ impl SlewCoeffs {
 impl DegradationCoeffs {
     /// The degradation time constant `tau = (A + B * CL) / Vdd` (paper eq. 2).
     pub fn tau(&self, vdd: Voltage, load: Capacitance) -> TimeDelta {
-        let seconds =
-            (self.a_volt_seconds + self.b_volt_per_farad_seconds * load.as_farads()) / vdd.as_volts();
+        let seconds = (self.a_volt_seconds + self.b_volt_per_farad_seconds * load.as_farads())
+            / vdd.as_volts();
         TimeDelta::try_from_seconds(seconds.max(0.0)).unwrap_or(TimeDelta::MAX)
     }
 
@@ -176,7 +176,7 @@ impl EdgeTiming {
                 load_factor_ohms: 4.0e3,
             },
             degradation: DegradationCoeffs {
-                a_volt_seconds: 1.0e-9,  // 200 ps * 5 V
+                a_volt_seconds: 1.0e-9,           // 200 ps * 5 V
                 b_volt_per_farad_seconds: 15.0e3, // 3 ps/fF * 5 V
                 c_volts: 1.25,
             },
@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn nominal_delay_combines_three_terms() {
         let c = example_coeffs();
-        let d = c.nominal_delay(Capacitance::from_femtofarads(25.0), TimeDelta::from_ps(100.0));
+        let d = c.nominal_delay(
+            Capacitance::from_femtofarads(25.0),
+            TimeDelta::from_ps(100.0),
+        );
         // 100 ps intrinsic + 2 ps/fF * 25 fF + 0.2 * 100 ps = 170 ps
         assert_eq!(d, TimeDelta::from_ps(170.0));
     }
@@ -297,7 +300,10 @@ mod tests {
     fn disabled_degradation_has_zero_tau_and_abrupt_dead_band() {
         let d = DegradationCoeffs::disabled();
         assert_eq!(
-            d.tau(Voltage::from_volts(5.0), Capacitance::from_femtofarads(100.0)),
+            d.tau(
+                Voltage::from_volts(5.0),
+                Capacitance::from_femtofarads(100.0)
+            ),
             TimeDelta::ZERO
         );
         // With C == 0 the dead band is half the input slew (eq. 3).

@@ -212,7 +212,14 @@ mod tests {
         let vdd = Voltage::from_volts(5.0);
         let slew = TimeDelta::from_ps(100.0);
         let t = Some(TimeDelta::from_ps(300.0));
-        let light = evaluate(TimeDelta::from_ps(200.0), &c, vdd, Capacitance::ZERO, slew, t);
+        let light = evaluate(
+            TimeDelta::from_ps(200.0),
+            &c,
+            vdd,
+            Capacitance::ZERO,
+            slew,
+            t,
+        );
         let heavy = evaluate(
             TimeDelta::from_ps(200.0),
             &c,

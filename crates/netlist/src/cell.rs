@@ -134,7 +134,7 @@ impl CellKind {
         );
         use LogicLevel::{High, Low, Unknown};
         let and_all = |inputs: &[LogicLevel]| -> LogicLevel {
-            if inputs.iter().any(|&l| l == Low) {
+            if inputs.contains(&Low) {
                 Low
             } else if inputs.iter().all(|&l| l == High) {
                 High
@@ -143,7 +143,7 @@ impl CellKind {
             }
         };
         let or_all = |inputs: &[LogicLevel]| -> LogicLevel {
-            if inputs.iter().any(|&l| l == High) {
+            if inputs.contains(&High) {
                 High
             } else if inputs.iter().all(|&l| l == Low) {
                 Low

@@ -130,10 +130,7 @@ mod tests {
         let y = netlist.net_id("y").unwrap();
         let levels = evaluate(&netlist, &[(a, LogicLevel::High)]);
         assert_eq!(levels[y.index()], LogicLevel::Unknown);
-        assert_eq!(
-            evaluate_bus(&netlist, &[(a, LogicLevel::High)], &[y]),
-            None
-        );
+        assert_eq!(evaluate_bus(&netlist, &[(a, LogicLevel::High)], &[y]), None);
     }
 
     #[test]

@@ -78,8 +78,12 @@ pub fn full_adder_cell(
 pub fn ripple_carry_adder(bits: usize) -> Netlist {
     assert!(bits > 0, "an adder needs at least one bit");
     let mut builder = NetlistBuilder::new(format!("rca{bits}"));
-    let a: Vec<NetId> = (0..bits).map(|i| builder.add_input(format!("a{i}"))).collect();
-    let b: Vec<NetId> = (0..bits).map(|i| builder.add_input(format!("b{i}"))).collect();
+    let a: Vec<NetId> = (0..bits)
+        .map(|i| builder.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<NetId> = (0..bits)
+        .map(|i| builder.add_input(format!("b{i}")))
+        .collect();
     let cin = builder.add_input("cin");
 
     let mut carry = cin;

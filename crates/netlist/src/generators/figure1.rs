@@ -107,10 +107,7 @@ pub fn figure1(low_vt: f64, high_vt: f64) -> (Netlist, Figure1Nets) {
     for net in [out0, out1, out1c, out2, out2c] {
         builder.mark_output(net);
     }
-    (
-        builder.build().expect("figure1 is a valid netlist"),
-        names,
-    )
+    (builder.build().expect("figure1 is a valid netlist"), names)
 }
 
 /// [`figure1`] with the default thresholds
@@ -156,10 +153,7 @@ mod tests {
         );
         // The follower inverters use the library threshold.
         let g1c = netlist.gates().iter().find(|g| g.name() == "g1c").unwrap();
-        let default = library
-            .pin(CellKind::Inv, 0)
-            .unwrap()
-            .threshold_fraction;
+        let default = library.pin(CellKind::Inv, 0).unwrap().threshold_fraction;
         assert_eq!(
             netlist
                 .input_threshold_fraction(PinRef::new(g1c.id(), 0), &library)
@@ -170,8 +164,8 @@ mod tests {
 
     #[test]
     fn default_thresholds_bracket_the_midpoint() {
-        assert!(FIGURE1_LOW_VT < 0.5);
-        assert!(FIGURE1_HIGH_VT > 0.5);
+        const { assert!(FIGURE1_LOW_VT < 0.5) };
+        const { assert!(FIGURE1_HIGH_VT > 0.5) };
         let (netlist, _) = figure1_default();
         assert!(crate::validate::check(&netlist, &technology::cmos06()).is_empty());
     }

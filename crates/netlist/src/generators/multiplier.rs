@@ -84,7 +84,10 @@ impl MultiplierPorts {
 /// assert_eq!(multiplier.primary_outputs().len(), 8);
 /// ```
 pub fn multiplier(a_bits: usize, b_bits: usize) -> Netlist {
-    assert!(a_bits > 0 && b_bits > 0, "multiplier widths must be non-zero");
+    assert!(
+        a_bits > 0 && b_bits > 0,
+        "multiplier widths must be non-zero"
+    );
     assert!(
         a_bits + b_bits <= 63,
         "multiplier product width must fit in u64 arithmetic"
@@ -117,12 +120,12 @@ pub fn multiplier(a_bits: usize, b_bits: usize) -> Netlist {
         // `(i - 1) + j` and `high` (if present) carries weight `(i - 1) + a_bits`.
         let mut acc: Vec<NetId> = pp[0].clone();
         let mut high: Option<NetId> = None;
-        for i in 1..b_bits {
+        for (i, row) in pp.iter().enumerate().take(b_bits).skip(1) {
             product.push(acc[0]);
             let mut carry: Option<NetId> = None;
             let mut next_acc: Vec<NetId> = Vec::with_capacity(a_bits);
             for j in 0..a_bits {
-                let addend = pp[i][j];
+                let addend = row[j];
                 let from_previous = if j + 1 < a_bits {
                     Some(acc[j + 1])
                 } else {
@@ -172,7 +175,9 @@ pub fn multiplier(a_bits: usize, b_bits: usize) -> Netlist {
     }
     debug_assert_eq!(product.len(), ports.s.len());
 
-    builder.build().expect("array multiplier is a valid netlist")
+    builder
+        .build()
+        .expect("array multiplier is a valid netlist")
 }
 
 #[cfg(test)]

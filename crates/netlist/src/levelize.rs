@@ -67,12 +67,13 @@ pub fn levelize(netlist: &Netlist) -> Levelization {
         let mut this_level = Vec::new();
         for &index in &remaining {
             let gate = &netlist.gates()[index];
-            let ready = gate.inputs().iter().all(|&net| {
-                match netlist.net(net).driver() {
+            let ready = gate
+                .inputs()
+                .iter()
+                .all(|&net| match netlist.net(net).driver() {
                     NetDriver::PrimaryInput => true,
                     NetDriver::Gate(driver) => gate_level[driver.index()] < current_level,
-                }
-            });
+                });
             if ready {
                 this_level.push(gate.id());
             }
@@ -107,7 +108,9 @@ mod tests {
         let out = builder.add_net("out");
         builder.add_gate(CellKind::Inv, "g1", &[a], x).unwrap();
         builder.add_gate(CellKind::Inv, "g2", &[a], y).unwrap();
-        builder.add_gate(CellKind::Nand2, "g3", &[x, y], out).unwrap();
+        builder
+            .add_gate(CellKind::Nand2, "g3", &[x, y], out)
+            .unwrap();
         builder.mark_output(out);
         builder.build().unwrap()
     }

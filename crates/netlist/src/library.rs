@@ -294,10 +294,7 @@ mod tests {
         lib.set_default_input_slew(TimeDelta::from_ps(500.0));
         assert_eq!(lib.default_input_slew(), TimeDelta::from_ps(500.0));
         lib.set_wire_capacitance(Capacitance::from_femtofarads(3.0));
-        assert_eq!(
-            lib.wire_capacitance(),
-            Capacitance::from_femtofarads(3.0)
-        );
+        assert_eq!(lib.wire_capacitance(), Capacitance::from_femtofarads(3.0));
         assert_eq!(lib.vdd(), Voltage::from_volts(3.3));
         let errors = format!(
             "{} / {}",

@@ -585,8 +585,12 @@ mod tests {
         let b = builder.add_input("b");
         let sum = builder.add_net("sum");
         let carry = builder.add_net("carry");
-        builder.add_gate(CellKind::Xor2, "gx", &[a, b], sum).unwrap();
-        builder.add_gate(CellKind::And2, "ga", &[a, b], carry).unwrap();
+        builder
+            .add_gate(CellKind::Xor2, "gx", &[a, b], sum)
+            .unwrap();
+        builder
+            .add_gate(CellKind::And2, "ga", &[a, b], carry)
+            .unwrap();
         builder.mark_output(sum);
         builder.mark_output(carry);
         builder.build().unwrap()
@@ -687,16 +691,12 @@ mod tests {
         let mut builder = NetlistBuilder::new("bad");
         let a = builder.add_input("a");
         let y = builder.add_net("y");
-        let err = builder
-            .add_gate(CellKind::Nand2, "g", &[a], y)
-            .unwrap_err();
+        let err = builder.add_gate(CellKind::Nand2, "g", &[a], y).unwrap_err();
         assert!(matches!(err, NetlistError::ArityMismatch { .. }));
         builder.add_gate(CellKind::Inv, "g1", &[a], y).unwrap();
         let err = builder.add_gate(CellKind::Inv, "g2", &[a], y).unwrap_err();
         assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
-        let err = builder
-            .add_gate(CellKind::Inv, "g3", &[y], a)
-            .unwrap_err();
+        let err = builder.add_gate(CellKind::Inv, "g3", &[y], a).unwrap_err();
         assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
         let scratch = builder.add_net("scratch");
         let err = builder

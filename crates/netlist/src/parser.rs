@@ -130,7 +130,8 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
                     .iter()
                     .position(|&t| t == "->")
                     .ok_or_else(|| syntax(line_number, "gate needs '-> <output net>'"))?;
-                let gate_inputs: Vec<String> = rest[..arrow].iter().map(|s| s.to_string()).collect();
+                let gate_inputs: Vec<String> =
+                    rest[..arrow].iter().map(|s| s.to_string()).collect();
                 let mut after = rest[arrow + 1..].iter();
                 let output = after
                     .next()
@@ -237,17 +238,14 @@ gate inv g1 a -> n1 vt=0.30
 gate inv g2 n1 -> y
 ";
         let netlist = parse(text).unwrap();
-        let g1 = netlist
-            .gates()
-            .iter()
-            .find(|g| g.name() == "g1")
-            .unwrap();
+        let g1 = netlist.gates().iter().find(|g| g.name() == "g1").unwrap();
         assert_eq!(g1.threshold_overrides(), Some(&[0.30][..]));
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = "\n# nothing\ncircuit c\ninput a\n\noutput y\ngate buf g a -> y # trailing comment\n";
+        let text =
+            "\n# nothing\ncircuit c\ninput a\n\noutput y\ngate buf g a -> y # trailing comment\n";
         let netlist = parse(text).unwrap();
         assert_eq!(netlist.gate_count(), 1);
     }

@@ -180,9 +180,7 @@ mod tests {
         let lib = cmos06();
         let nand = lib.pin(CellKind::Nand2, 0).unwrap();
         let and = lib.pin(CellKind::And2, 0).unwrap();
-        assert!(
-            nand.timing.fall.propagation.t_intrinsic < and.timing.fall.propagation.t_intrinsic
-        );
+        assert!(nand.timing.fall.propagation.t_intrinsic < and.timing.fall.propagation.t_intrinsic);
     }
 
     #[test]
@@ -216,11 +214,10 @@ mod tests {
             .fall
             .degradation
             .tau(lib.vdd(), Capacitance::from_femtofarads(20.0));
-        let delay = pin
-            .timing
-            .fall
-            .propagation
-            .nominal_delay(Capacitance::from_femtofarads(20.0), TimeDelta::from_ps(200.0));
+        let delay = pin.timing.fall.propagation.nominal_delay(
+            Capacitance::from_femtofarads(20.0),
+            TimeDelta::from_ps(200.0),
+        );
         let ratio = tau.as_ps() / delay.as_ps();
         assert!((0.3..3.0).contains(&ratio), "tau/delay = {ratio}");
     }

@@ -192,7 +192,9 @@ mod tests {
         // y is neither an output nor a load: dangling.
         let netlist = builder.build().unwrap();
         let issues = check(&netlist, &technology::cmos06());
-        assert!(issues.iter().any(|i| matches!(i, Issue::DanglingNet { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::DanglingNet { .. })));
         assert!(issues.iter().any(
             |i| matches!(i, Issue::UnusedInput { net } if net == &netlist.net(unused).name().to_string())
         ));

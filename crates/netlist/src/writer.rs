@@ -104,11 +104,7 @@ mod tests {
             reparsed.primary_outputs().len(),
             original.primary_outputs().len()
         );
-        let g1 = reparsed
-            .gates()
-            .iter()
-            .find(|g| g.name() == "g1")
-            .unwrap();
+        let g1 = reparsed.gates().iter().find(|g| g.name() == "g1").unwrap();
         assert_eq!(g1.threshold_overrides(), Some(&[0.35][..]));
     }
 }

@@ -102,7 +102,10 @@ mod tests {
             SimulationConfig::with_model(DelayModelKind::Conventional).model,
             DelayModelKind::Conventional
         );
-        assert_eq!(SimulationConfig::default().model, DelayModelKind::Degradation);
+        assert_eq!(
+            SimulationConfig::default().model,
+            DelayModelKind::Degradation
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use halotis_core::{Capacitance, Edge, LogicLevel, Time, TimeDelta, Voltage};
 use halotis_delay::{model, DelayContext, PinTiming};
-use halotis_netlist::{Library, NetDriver, Netlist};
 use halotis_netlist::eval;
+use halotis_netlist::{Library, NetDriver, Netlist};
 use halotis_waveform::{DigitalWaveform, Stimulus, Trace, Transition};
 
 use crate::config::SimulationConfig;
@@ -244,8 +244,7 @@ impl<'a> Simulator<'a> {
 
             for &pin in netlist.net(gate.output()).loads() {
                 let fanout_dense = pins.index(pin);
-                if let Some(crossing) =
-                    transition.crossing_time(pin_thresholds[fanout_dense], vdd)
+                if let Some(crossing) = transition.crossing_time(pin_thresholds[fanout_dense], vdd)
                 {
                     queue.schedule(
                         fanout_dense,
@@ -299,7 +298,10 @@ impl<'a> Simulator<'a> {
         ddm_config.model = halotis_delay::DelayModelKind::Degradation;
         let mut cdm_config = *base;
         cdm_config.model = halotis_delay::DelayModelKind::Conventional;
-        Ok((self.run(stimulus, &ddm_config)?, self.run(stimulus, &cdm_config)?))
+        Ok((
+            self.run(stimulus, &ddm_config)?,
+            self.run(stimulus, &cdm_config)?,
+        ))
     }
 }
 
@@ -447,9 +449,7 @@ mod tests {
         // A pulse narrow enough to be marginal after the shaping chain.
         stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
         stimulus.drive("in", Time::from_ns(1.35), LogicLevel::Low);
-        let result = simulator
-            .run(&stimulus, &SimulationConfig::ddm())
-            .unwrap();
+        let result = simulator.run(&stimulus, &SimulationConfig::ddm()).unwrap();
         let low_branch = result.waveform(&nets.out1).unwrap().len();
         let high_branch = result.waveform(&nets.out2).unwrap().len();
         assert!(
@@ -472,9 +472,7 @@ mod tests {
             }
             stimulus.drive_bus_value(&ports.a_refs(), a, Time::from_ns(1.0));
             stimulus.drive_bus_value(&ports.b_refs(), b, Time::from_ns(1.0));
-            let result = simulator
-                .run(&stimulus, &SimulationConfig::ddm())
-                .unwrap();
+            let result = simulator.run(&stimulus, &SimulationConfig::ddm()).unwrap();
             let mut product = 0u64;
             for (bit, name) in ports.s.iter().enumerate() {
                 if result.ideal_waveform(name).unwrap().final_level() == LogicLevel::High {
@@ -496,7 +494,13 @@ mod tests {
             .run(&chain_stimulus(&library), &SimulationConfig::cdm())
             .unwrap();
         assert_eq!(result.model(), DelayModelKind::Conventional);
-        assert!(is_primary_input_net(&netlist, netlist.net_id("in").unwrap()));
-        assert!(!is_primary_input_net(&netlist, netlist.net_id("out").unwrap()));
+        assert!(is_primary_input_net(
+            &netlist,
+            netlist.net_id("in").unwrap()
+        ));
+        assert!(!is_primary_input_net(
+            &netlist,
+            netlist.net_id("out").unwrap()
+        ));
     }
 }

@@ -48,12 +48,12 @@
 #![warn(missing_docs)]
 
 pub mod classical;
-pub mod power;
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod event;
 pub mod pins;
+pub mod power;
 pub mod queue;
 pub mod result;
 pub mod stats;

@@ -232,9 +232,7 @@ mod tests {
         let expected: f64 = report
             .per_net()
             .iter()
-            .map(|net| {
-                net.capacitance.as_farads() * 25.0 * net.transitions as f64
-            })
+            .map(|net| net.capacitance.as_farads() * 25.0 * net.transitions as f64)
             .sum();
         assert!((report.total_joules() - expected).abs() < 1e-18);
     }

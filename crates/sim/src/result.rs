@@ -98,8 +98,7 @@ impl SimulationResult {
 
     /// All nets as half-swing ideal waveforms.
     pub fn full_trace(&self) -> Trace<IdealWaveform> {
-        self.waveforms
-            .map(|_, w| w.ideal_half_swing(self.vdd))
+        self.waveforms.map(|_, w| w.ideal_half_swing(self.vdd))
     }
 
     /// Total number of half-swing edges across the primary outputs — a

@@ -94,7 +94,7 @@ fn match_edges(reference: &[Time], test: &[Time], tolerance: TimeDelta) -> (usiz
                 continue;
             }
             let err = (t - r).abs();
-            if err <= tolerance && best.map_or(true, |(_, b)| err < b) {
+            if err <= tolerance && best.is_none_or(|(_, b)| err < b) {
                 best = Some((i, err));
             }
         }

@@ -48,10 +48,7 @@ impl<W> Trace<W> {
 
     /// Looks a signal up by name.
     pub fn get(&self, name: &str) -> Option<&W> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, w)| w)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, w)| w)
     }
 
     /// Mutable lookup by name.

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = analog.output_trace();
     let ddm_cmp = compare_traces(&reference, &ddm.output_trace(), TimeDelta::from_ns(1.0));
     let cdm_cmp = compare_traces(&reference, &cdm.output_trace(), TimeDelta::from_ns(1.0));
-    println!("\nagainst the electrical reference ({} output edges):", switching_activity(&reference));
+    println!(
+        "\nagainst the electrical reference ({} output edges):",
+        switching_activity(&reference)
+    );
     println!(
         "  DDM: {} edges, {:.0} % extra, final values agree: {}",
         ddm_cmp.test_edges,

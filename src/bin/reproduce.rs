@@ -85,7 +85,15 @@ fn main() -> ExitCode {
     let mut plan: Vec<&str> = Vec::new();
     for arg in requested {
         match arg {
-            "all" => plan.extend(["fig1", "fig3", "fig6", "fig7", "table1", "table2", "pulsewidth"]),
+            "all" => plan.extend([
+                "fig1",
+                "fig3",
+                "fig6",
+                "fig7",
+                "table1",
+                "table2",
+                "pulsewidth",
+            ]),
             "fig1" | "fig3" | "fig6" | "fig7" | "table1" | "table2" | "pulsewidth" => {
                 plan.push(arg)
             }

@@ -138,9 +138,15 @@ impl Figure1Report {
         out.push_str("(a) electrical reference\n");
         out.push_str(&render_trace(&analog_trace, &options));
         out.push_str("\n(b) HALOTIS (IDDM)\n");
-        out.push_str(&render_trace(&self.trace_of(&self.halotis.full_trace()), &options));
+        out.push_str(&render_trace(
+            &self.trace_of(&self.halotis.full_trace()),
+            &options,
+        ));
         out.push_str("\n(c) classical inertial-delay simulator\n");
-        out.push_str(&render_trace(&self.trace_of(&self.classical.full_trace()), &options));
+        out.push_str(&render_trace(
+            &self.trace_of(&self.classical.full_trace()),
+            &options,
+        ));
         out.push_str(&format!(
             "\nbranch pulse seen (low VT / high VT): analog {:?}, HALOTIS {:?}, classical {:?}\n",
             pair(self.analog_activity()),

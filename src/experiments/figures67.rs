@@ -63,14 +63,13 @@ impl WaveformFigure {
 
     /// Renders the three stacked waveform plots plus a comparison summary.
     pub fn render(&self) -> String {
-        let options = AsciiOptions::new(
-            Time::ZERO,
-            Time::from_ns(FIGURE_WINDOW_NS),
-            100,
-        );
+        let options = AsciiOptions::new(Time::ZERO, Time::from_ns(FIGURE_WINDOW_NS), 100);
         let axis = render_axis(&options, TimeDelta::from_ns(5.0), 2);
         let mut out = String::new();
-        out.push_str(&format!("{} — AxB sequence: {}\n\n", self.label, self.sequence));
+        out.push_str(&format!(
+            "{} — AxB sequence: {}\n\n",
+            self.label, self.sequence
+        ));
         for (title, trace) in [
             ("(a) electrical reference", &self.analog),
             ("(b) HALOTIS-DDM", &self.ddm),

@@ -27,11 +27,13 @@ use halotis_waveform::Stimulus;
 
 /// The multiplication sequence of the paper's Fig. 6 and first Table 1 row:
 /// `0x0, 7x7, 5xA, Ex6, FxF`.
-pub const SEQUENCE_FIG6: &[(u64, u64)] = &[(0x0, 0x0), (0x7, 0x7), (0x5, 0xA), (0xE, 0x6), (0xF, 0xF)];
+pub const SEQUENCE_FIG6: &[(u64, u64)] =
+    &[(0x0, 0x0), (0x7, 0x7), (0x5, 0xA), (0xE, 0x6), (0xF, 0xF)];
 
 /// The multiplication sequence of the paper's Fig. 7 and second Table 1 row:
 /// `0x0, FxF, 0x0, FxF, 0x0`.
-pub const SEQUENCE_FIG7: &[(u64, u64)] = &[(0x0, 0x0), (0xF, 0xF), (0x0, 0x0), (0xF, 0xF), (0x0, 0x0)];
+pub const SEQUENCE_FIG7: &[(u64, u64)] =
+    &[(0x0, 0x0), (0xF, 0xF), (0x0, 0x0), (0xF, 0xF), (0x0, 0x0)];
 
 /// Vector spacing used by the paper's waveform plots (one multiplication
 /// every 5 ns over a 25 ns window).
@@ -107,7 +109,10 @@ mod tests {
         let stimulus = multiplier_stimulus(&fixture.ports, SEQUENCE_FIG6);
         for &input in fixture.netlist.primary_inputs() {
             let name = fixture.netlist.net(input).name();
-            assert!(stimulus.waveform(name).is_some(), "missing stimulus for {name}");
+            assert!(
+                stimulus.waveform(name).is_some(),
+                "missing stimulus for {name}"
+            );
         }
         assert!(stimulus.last_activity().unwrap() >= Time::from_ns(20.0));
     }

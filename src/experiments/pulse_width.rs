@@ -82,7 +82,11 @@ fn sweep_point(
 
 /// Runs the sweep over `widths_ps` through an inverter chain of `stages`
 /// stages.
-pub fn pulse_width_sweep(stages: usize, widths_ps: &[f64], analog_step: TimeDelta) -> PulseWidthSweep {
+pub fn pulse_width_sweep(
+    stages: usize,
+    widths_ps: &[f64],
+    analog_step: TimeDelta,
+) -> PulseWidthSweep {
     let netlist = inverter_chain(stages);
     let library = technology::cmos06();
     let points = widths_ps

@@ -146,7 +146,12 @@ mod tests {
     #[test]
     fn render_lists_each_sequence_once() {
         let fixture = multiplier_fixture();
-        let rows = vec![table2_row(&fixture, SEQUENCE_FIG7, TimeDelta::from_ps(8.0), 1)];
+        let rows = vec![table2_row(
+            &fixture,
+            SEQUENCE_FIG7,
+            TimeDelta::from_ps(8.0),
+            1,
+        )];
         let text = render(&rows);
         assert!(text.contains("0x0, FxF"));
         assert!(text.contains("DDM speedup"));

@@ -1,0 +1,191 @@
+//! Golden regression test for the delay models.
+//!
+//! Pins the numeric outputs of the conventional model
+//! (`halotis_delay::nominal`) and the degradation model
+//! (`halotis_delay::degradation`, paper eq. 1–3) on a small grid of
+//! (input slew, load, elapsed time) points, so that future performance
+//! refactors cannot silently change the numerics.
+//!
+//! All times are compared in integer femtoseconds (the engine's native
+//! resolution), so the comparison is exact — any change to these numbers is
+//! a deliberate model change and must update this table.
+//!
+//! Regenerate the table with:
+//!
+//! ```text
+//! cargo test --test delay_model_golden -- --ignored regenerate --nocapture
+//! ```
+
+use halotis::core::{Capacitance, TimeDelta, Voltage};
+use halotis::delay::{degradation, nominal, EdgeTiming};
+
+/// The grid: every combination of these slews and loads (and, for the
+/// degradation model, elapsed times) is pinned.
+const SLEWS_PS: [f64; 3] = [50.0, 200.0, 800.0];
+const LOADS_FF: [f64; 3] = [5.0, 20.0, 100.0];
+const ELAPSED_PS: [f64; 3] = [100.0, 500.0, 2000.0];
+
+fn vdd() -> Voltage {
+    Voltage::from_volts(5.0)
+}
+
+fn grid() -> impl Iterator<Item = (TimeDelta, Capacitance)> {
+    SLEWS_PS.into_iter().flat_map(|slew| {
+        LOADS_FF.into_iter().map(move |load| {
+            (
+                TimeDelta::from_ps(slew),
+                Capacitance::from_femtofarads(load),
+            )
+        })
+    })
+}
+
+#[test]
+fn nominal_timing_matches_golden_table() {
+    // (input slew ps, load fF) -> (delay fs, output slew fs)
+    let golden: [(i64, i64); 9] = GOLDEN_NOMINAL;
+    let arc = EdgeTiming::example();
+    for (index, (slew, load)) in grid().enumerate() {
+        let timing = nominal::timing(&arc, load, slew);
+        let (expected_delay, expected_slew) = golden[index];
+        assert_eq!(
+            (timing.delay.as_fs(), timing.output_slew.as_fs()),
+            (expected_delay, expected_slew),
+            "nominal timing drifted at slew {} load {}",
+            slew,
+            load,
+        );
+    }
+}
+
+#[test]
+fn degradation_matches_golden_table() {
+    // (slew, load, elapsed) -> (degraded delay fs, factor * 1e12 rounded)
+    let golden: [(i64, i64); 27] = GOLDEN_DEGRADATION;
+    let arc = EdgeTiming::example();
+    let mut index = 0;
+    for (slew, load) in grid() {
+        let tp0 = nominal::timing(&arc, load, slew).delay;
+        for elapsed_ps in ELAPSED_PS {
+            let evaluation = degradation::evaluate(
+                tp0,
+                &arc.degradation,
+                vdd(),
+                load,
+                slew,
+                Some(TimeDelta::from_ps(elapsed_ps)),
+            );
+            let (expected_delay, expected_factor) = golden[index];
+            assert_eq!(
+                (
+                    evaluation.delay.as_fs(),
+                    (evaluation.factor * 1e12).round() as i64,
+                ),
+                (expected_delay, expected_factor),
+                "degradation drifted at slew {} load {} elapsed {} ps",
+                slew,
+                load,
+                elapsed_ps,
+            );
+            index += 1;
+        }
+    }
+}
+
+#[test]
+fn quiet_gate_is_never_degraded_anywhere_on_the_grid() {
+    let arc = EdgeTiming::example();
+    for (slew, load) in grid() {
+        let tp0 = nominal::timing(&arc, load, slew).delay;
+        let fresh = degradation::evaluate(tp0, &arc.degradation, vdd(), load, slew, None);
+        assert_eq!(fresh.delay, tp0);
+        assert!(fresh.is_undegraded());
+    }
+}
+
+/// Prints the tables in the exact source form above.  Run with
+/// `cargo test --test delay_model_golden -- --ignored regenerate --nocapture`
+/// after a *deliberate* model change, and paste the output over the
+/// constants below.
+#[test]
+#[ignore = "generator for the golden tables, not a check"]
+fn regenerate() {
+    let arc = EdgeTiming::example();
+    println!("const GOLDEN_NOMINAL: [(i64, i64); 9] = [");
+    for (slew, load) in grid() {
+        let timing = nominal::timing(&arc, load, slew);
+        println!(
+            "    ({}, {}), // slew {} load {}",
+            timing.delay.as_fs(),
+            timing.output_slew.as_fs(),
+            slew,
+            load,
+        );
+    }
+    println!("];");
+    println!("const GOLDEN_DEGRADATION: [(i64, i64); 27] = [");
+    for (slew, load) in grid() {
+        let tp0 = nominal::timing(&arc, load, slew).delay;
+        for elapsed_ps in ELAPSED_PS {
+            let evaluation = degradation::evaluate(
+                tp0,
+                &arc.degradation,
+                vdd(),
+                load,
+                slew,
+                Some(TimeDelta::from_ps(elapsed_ps)),
+            );
+            println!(
+                "    ({}, {}), // slew {} load {} elapsed {} ps",
+                evaluation.delay.as_fs(),
+                (evaluation.factor * 1e12).round() as i64,
+                slew,
+                load,
+                elapsed_ps,
+            );
+        }
+    }
+    println!("];");
+}
+
+const GOLDEN_NOMINAL: [(i64, i64); 9] = [
+    (172500, 220000), // slew 50 ps load 5 fF
+    (217500, 280000), // slew 50 ps load 20 fF
+    (457500, 600000), // slew 50 ps load 100 fF
+    (195000, 220000), // slew 200 ps load 5 fF
+    (240000, 280000), // slew 200 ps load 20 fF
+    (480000, 600000), // slew 200 ps load 100 fF
+    (285000, 220000), // slew 800 ps load 5 fF
+    (330000, 280000), // slew 800 ps load 20 fF
+    (570000, 600000), // slew 800 ps load 100 fF
+];
+
+const GOLDEN_DEGRADATION: [(i64, i64); 27] = [
+    (57674, 334340329421),  // slew 50 ps load 5 fF elapsed 100 ps
+    (154633, 896423194615), // slew 50 ps load 5 fF elapsed 500 ps
+    (172483, 999903327932), // slew 50 ps load 5 fF elapsed 2000 ps
+    (62153, 285761587660),  // slew 50 ps load 20 fF elapsed 100 ps
+    (184145, 846645033155), // slew 50 ps load 20 fF elapsed 500 ps
+    (217396, 999521201525), // slew 50 ps load 20 fF elapsed 2000 ps
+    (73448, 160542979231),  // slew 50 ps load 100 fF elapsed 100 ps
+    (284934, 622807646437), // slew 50 ps load 100 fF elapsed 500 ps
+    (448908, 981220698505), // slew 50 ps load 100 fF elapsed 2000 ps
+    (40462, 207496327788),  // slew 200 ps load 5 fF elapsed 100 ps
+    (170954, 876686237349), // slew 200 ps load 5 fF elapsed 500 ps
+    (194978, 999884906699), // slew 200 ps load 5 fF elapsed 2000 ps
+    (41987, 174947033019),  // slew 200 ps load 20 fF elapsed 100 ps
+    (197484, 822851910216), // slew 200 ps load 20 fF elapsed 500 ps
+    (239867, 999446915630), // slew 200 ps load 20 fF elapsed 2000 ps
+    (45678, 95162581964),   // slew 200 ps load 100 fF elapsed 100 ps
+    (284847, 593430340259), // slew 200 ps load 100 fF elapsed 500 ps
+    (470284, 979758088554), // slew 200 ps load 100 fF elapsed 2000 ps
+    (0, 0),                 // slew 800 ps load 5 fF elapsed 100 ps (inside the T0 dead-band)
+    (214392, 752253401940), // slew 800 ps load 5 fF elapsed 500 ps
+    (284934, 999768768925), // slew 800 ps load 5 fF elapsed 2000 ps
+    (0, 0),                 // slew 800 ps load 20 fF elapsed 100 ps (inside the T0 dead-band)
+    (225911, 684578725361), // slew 800 ps load 20 fF elapsed 500 ps
+    (329675, 999015204865), // slew 800 ps load 20 fF elapsed 2000 ps
+    (0, 0),                 // slew 800 ps load 100 fF elapsed 100 ps (inside the T0 dead-band)
+    (257177, 451188363906), // slew 800 ps load 100 fF elapsed 500 ps
+    (554425, 972676277553), // slew 800 ps load 100 fF elapsed 2000 ps
+];

@@ -1,0 +1,42 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion.
+//!
+//! The examples double as executable documentation of the public API, so a
+//! change that breaks one of them is a regression even when the unit tests
+//! still pass.  Each example is run through the same `cargo` binary driving
+//! this test; the harness builds them first (`cargo build --examples` is
+//! part of `--all-targets`), so the per-example cost here is dominated by
+//! the simulations the examples run, not by compilation.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 4] = [
+    "quickstart",
+    "inertial_chain",
+    "multiplier_glitches",
+    "switching_activity",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|error| panic!("failed to spawn cargo for `{example}`: {error}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` produced no output"
+        );
+    }
+}

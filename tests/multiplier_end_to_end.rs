@@ -1,13 +1,13 @@
 //! End-to-end checks on the paper's evaluation vehicle: the 4×4 array
 //! multiplier simulated with every engine in the workspace.
 
+use halotis::analog::{AnalogConfig, AnalogSimulator};
 use halotis::core::{LogicLevel, Time, TimeDelta};
 use halotis::experiments::{
     multiplier_fixture, multiplier_stimulus, MultiplierFixture, SEQUENCE_FIG6, SEQUENCE_FIG7,
 };
 use halotis::netlist::eval;
 use halotis::sim::{classical, SimulationConfig, Simulator};
-use halotis::analog::{AnalogConfig, AnalogSimulator};
 
 fn final_product(fixture: &MultiplierFixture, level_of: impl Fn(&str) -> LogicLevel) -> u64 {
     let mut product = 0u64;
@@ -63,7 +63,10 @@ fn all_engines_settle_to_the_functional_product() {
         )
         .unwrap();
     assert_eq!(
-        final_product(&fixture, |n| analog.ideal_waveform(n).unwrap().final_level()),
+        final_product(&fixture, |n| analog
+            .ideal_waveform(n)
+            .unwrap()
+            .final_level()),
         expected
     );
 
@@ -71,11 +74,17 @@ fn all_engines_settle_to_the_functional_product() {
     let mut assignment = Vec::new();
     for (position, name) in fixture.ports.a.iter().enumerate() {
         let net = fixture.netlist.net_id(name).unwrap();
-        assignment.push((net, LogicLevel::from_bool((pairs[2].0 >> position) & 1 == 1)));
+        assignment.push((
+            net,
+            LogicLevel::from_bool((pairs[2].0 >> position) & 1 == 1),
+        ));
     }
     for (position, name) in fixture.ports.b.iter().enumerate() {
         let net = fixture.netlist.net_id(name).unwrap();
-        assignment.push((net, LogicLevel::from_bool((pairs[2].1 >> position) & 1 == 1)));
+        assignment.push((
+            net,
+            LogicLevel::from_bool((pairs[2].1 >> position) & 1 == 1),
+        ));
     }
     let outputs: Vec<_> = fixture
         .ports

@@ -1,0 +1,173 @@
+//! Property tests for the HALOTIS event queue (`halotis::sim::queue`).
+//!
+//! The queue implements the per-input insert/cancel rule of the paper's
+//! Fig. 4: a new event on an input that already has a pending event either
+//! appends (if strictly later) or annihilates with the *latest* pending
+//! event (the runt pulse never existed for that input).  These tests drive
+//! the queue with arbitrary schedules and check it against both global
+//! invariants and an executable reference model of the flowchart.
+
+use halotis::core::{GateId, LogicLevel, PinRef, Time, TimeDelta};
+use halotis::sim::event::Event;
+use halotis::sim::queue::{EventQueue, ScheduleOutcome};
+use proptest::prelude::*;
+
+const PINS: usize = 8;
+
+fn event(time_fs: i64, pin: usize) -> Event {
+    Event::new(
+        Time::from_fs(time_fs),
+        PinRef::new(GateId::new(pin as u32), 0),
+        LogicLevel::High,
+        TimeDelta::from_ps(100.0),
+    )
+}
+
+/// Executable reference model of the Fig. 4 rule: per input, keep pending
+/// events in arrival order; a candidate at `t` later than the latest pending
+/// event is appended, otherwise it annihilates with exactly that latest
+/// pending event.  Returns the surviving events as `(time, serial, pin)`,
+/// where `serial` numbers insertions globally (the queue's FIFO tie-break).
+fn reference_schedule(schedule: &[(usize, i64)]) -> Vec<(i64, u64, usize)> {
+    let mut pending: Vec<Vec<(i64, u64)>> = vec![Vec::new(); PINS];
+    let mut serial = 0u64;
+    for &(pin, time) in schedule {
+        match pending[pin].last() {
+            Some(&(previous, _)) if time <= previous => {
+                pending[pin].pop();
+            }
+            _ => {
+                pending[pin].push((time, serial));
+                serial += 1;
+            }
+        }
+    }
+    let mut survivors: Vec<(i64, u64, usize)> = pending
+        .iter()
+        .enumerate()
+        .flat_map(|(pin, events)| {
+            events
+                .iter()
+                .map(move |&(time, serial)| (time, serial, pin))
+        })
+        .collect();
+    survivors.sort();
+    survivors
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The queue never pops out of global time order, whatever interleaving
+    /// of inserts and cancellations the schedule produces.
+    #[test]
+    fn pops_never_go_backwards_in_time(
+        schedule in proptest::collection::vec((0usize..PINS, 0i64..10_000), 1..200),
+    ) {
+        let mut queue = EventQueue::new(PINS);
+        for &(pin, time) in &schedule {
+            queue.schedule(pin, event(time, pin));
+        }
+        let mut previous = Time::MIN;
+        while let Some(popped) = queue.pop() {
+            prop_assert!(popped.time >= previous, "pop went backwards in time");
+            previous = popped.time;
+        }
+    }
+
+    /// Per input, surviving events always come out strictly increasing: the
+    /// cancellation rule forbids two pending events at the same instant on
+    /// one input.
+    #[test]
+    fn per_pin_pops_strictly_increase(
+        schedule in proptest::collection::vec((0usize..PINS, 0i64..10_000), 1..200),
+    ) {
+        let mut queue = EventQueue::new(PINS);
+        for &(pin, time) in &schedule {
+            queue.schedule(pin, event(time, pin));
+        }
+        let mut last_per_pin = [Time::MIN; PINS];
+        while let Some(popped) = queue.pop() {
+            let pin = popped.pin.gate().index();
+            prop_assert!(
+                popped.time > last_per_pin[pin],
+                "same-input events must pop at strictly increasing times"
+            );
+            last_per_pin[pin] = popped.time;
+        }
+    }
+
+    /// The queue agrees exactly with the executable Fig. 4 reference model:
+    /// a cancellation removes exactly the latest pending event on that input
+    /// and nothing else, on any input.
+    #[test]
+    fn queue_matches_reference_model(
+        schedule in proptest::collection::vec((0usize..PINS, 0i64..10_000), 1..200),
+    ) {
+        let mut queue = EventQueue::new(PINS);
+        for &(pin, time) in &schedule {
+            queue.schedule(pin, event(time, pin));
+        }
+        let expected = reference_schedule(&schedule);
+        prop_assert_eq!(queue.len(), expected.len());
+        let mut popped = Vec::new();
+        while let Some(event) = queue.pop() {
+            popped.push((event.time.as_fs(), event.pin.gate().index()));
+        }
+        let expected: Vec<(i64, usize)> =
+            expected.into_iter().map(|(time, _, pin)| (time, pin)).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Bookkeeping invariant: every scheduled event is either popped or
+    /// accounted for by exactly one cancellation.
+    #[test]
+    fn scheduled_minus_filtered_equals_popped(
+        schedule in proptest::collection::vec((0usize..PINS, 0i64..10_000), 1..200),
+    ) {
+        let mut queue = EventQueue::new(PINS);
+        let mut outcomes = (0usize, 0usize);
+        for &(pin, time) in &schedule {
+            match queue.schedule(pin, event(time, pin)) {
+                ScheduleOutcome::Inserted => outcomes.0 += 1,
+                ScheduleOutcome::CancelledPrevious => outcomes.1 += 1,
+            }
+        }
+        prop_assert_eq!(queue.scheduled(), outcomes.0);
+        prop_assert_eq!(queue.filtered(), outcomes.1);
+        let popped = std::iter::from_fn(|| queue.pop()).count();
+        prop_assert_eq!(queue.scheduled() - queue.filtered(), popped);
+    }
+}
+
+/// Directed Fig. 4 runt-pulse scenario: the cancelling event removes exactly
+/// the latest pending event on its input, leaving earlier events on the same
+/// input and every other input untouched.
+#[test]
+fn cancelling_removes_exactly_the_pending_event() {
+    let mut queue = EventQueue::new(2);
+    assert_eq!(
+        queue.schedule(0, event(2_000, 0)),
+        ScheduleOutcome::Inserted
+    );
+    assert_eq!(
+        queue.schedule(0, event(5_000, 0)),
+        ScheduleOutcome::Inserted
+    );
+    assert_eq!(
+        queue.schedule(1, event(3_000, 1)),
+        ScheduleOutcome::Inserted
+    );
+    // The runt: arrives before the pending 5 000 fs event on input 0, so the
+    // two annihilate — per Fig. 4 the pulse never existed for input 0.
+    assert_eq!(
+        queue.schedule(0, event(4_000, 0)),
+        ScheduleOutcome::CancelledPrevious
+    );
+    assert_eq!(queue.len(), 2);
+    assert_eq!(queue.filtered(), 1);
+    let popped: Vec<(i64, usize)> = std::iter::from_fn(|| queue.pop())
+        .map(|e| (e.time.as_fs(), e.pin.gate().index()))
+        .collect();
+    assert_eq!(popped, vec![(2_000, 0), (3_000, 1)]);
+}

@@ -24,7 +24,11 @@ fn generated_multiplier_round_trips_through_the_text_format() {
     let fixture_ports = generators::MultiplierPorts::new(4, 4);
     let stimulus = {
         let mut stimulus = halotis::waveform::Stimulus::new(library.default_input_slew());
-        for bit in fixture_ports.a_refs().iter().chain(fixture_ports.b_refs().iter()) {
+        for bit in fixture_ports
+            .a_refs()
+            .iter()
+            .chain(fixture_ports.b_refs().iter())
+        {
             stimulus.set_initial(*bit, LogicLevel::Low);
         }
         stimulus.drive_bus_value(&fixture_ports.a_refs(), 0x9, Time::from_ns(1.0));
@@ -54,7 +58,10 @@ fn simulation_results_export_to_vcd() {
     assert!(text.contains("$timescale 1 fs $end"));
     assert!(text.contains("$scope module mult4x4 $end"));
     for bit in 0..8 {
-        assert!(text.contains(&format!(" s{bit} $end")), "missing s{bit} declaration");
+        assert!(
+            text.contains(&format!(" s{bit} $end")),
+            "missing s{bit} declaration"
+        );
     }
     // There is at least one timestamped change section after the header.
     let changes = text

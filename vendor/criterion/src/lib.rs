@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The HALOTIS build environment has no access to crates.io, so this crate
+//! vendors the subset of the criterion 0.5 API the workspace's five bench
+//! targets use: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`, `throughput`), [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock sampling (median / mean / min over the
+//! configured sample count, one warm-up pass, per-sample iteration counts
+//! auto-scaled to ≈10 ms) printed to stdout — no plots, no statistics
+//! machinery, no baseline files.  `cargo bench --no-run` and `cargo bench`
+//! both work; if registry access ever becomes available the real crate is a
+//! drop-in replacement for everything used here.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one measurement inside a group: a function name plus a
+/// parameter rendering, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Units of work per iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handed to bench closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and auto-scaling: aim for ~10 ms of work per sample so
+        // fast routines are not measured at timer resolution.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named set of measurements, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each measurement records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples >= 2, "sample size must be at least 2");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Declares the per-iteration work so results include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Measures a closure taking only the [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |bencher| routine(bencher));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+        };
+        routine(&mut bencher);
+        let full_name = format!("{}/{}", self.name, id.label());
+        self.criterion
+            .report(&full_name, &mut bencher.samples, self.throughput);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    fn report(&mut self, name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+        if samples.is_empty() {
+            println!("{name:<56} no samples collected");
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+            }
+            Throughput::Bytes(n) => {
+                format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+            }
+        });
+        println!(
+            "{name:<56} median {median:>12.3?}  mean {mean:>12.3?}  min {min:>12.3?}{}",
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Bundles bench functions into one callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", "p").label(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).label(), "7");
+        assert_eq!(BenchmarkId::from("name").label(), "name");
+    }
+}
