@@ -11,6 +11,7 @@
 use halotis::core::{LogicLevel, Time, TimeDelta};
 use halotis::experiments::{multiplier_stimulus, MultiplierFixture};
 use halotis::netlist::{technology, Library, Netlist};
+use halotis::sim::{Scenario, SimulationConfig};
 use halotis::waveform::Stimulus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +35,30 @@ pub fn random_multiplier_stimulus(
 ) -> Stimulus {
     let bits = fixture.ports.a.len().min(fixture.ports.b.len());
     multiplier_stimulus(&fixture.ports, &random_pairs(seed, vectors, bits))
+}
+
+/// Builds a batch of `count` scenarios for `fixture`, each applying a
+/// distinct reproducible random operand sequence — the workload of the
+/// batch-scaling bench and the compiled-vs-legacy comparison.
+pub fn multiplier_batch_scenarios(
+    fixture: &MultiplierFixture,
+    count: usize,
+    vectors: usize,
+    seed: u64,
+) -> Vec<Scenario> {
+    (0..count)
+        .map(|index| {
+            Scenario::new(
+                format!("scenario{index}"),
+                random_multiplier_stimulus(
+                    fixture,
+                    vectors,
+                    seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+                ),
+                SimulationConfig::ddm(),
+            )
+        })
+        .collect()
 }
 
 /// A single positive pulse of `width` applied to the `in` input at 2 ns —

@@ -11,7 +11,7 @@
 //! ```
 //!
 //! with `tau` and `T0` given by eq. 2 and eq. 3 (see
-//! [`DegradationCoeffs`](crate::DegradationCoeffs)).  For `T <= T0` the delay
+//! [`DegradationCoeffs`]).  For `T <= T0` the delay
 //! is fully collapsed (clamped at zero); for `T >> tau` it converges to the
 //! nominal delay, which is what makes the model *continuous* between the
 //! "pulse filtered" and "pulse propagated normally" regimes.

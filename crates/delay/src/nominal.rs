@@ -3,7 +3,7 @@
 //! This is the "CDM" of the paper: a first-order load- and slew-dependent
 //! linear model that provides the nominal propagation delay `tp0` and the
 //! output transition time `tau_out`.  It is intentionally simple — the paper
-//! cites more elaborate analytical models for `tp0` ([1], [2] in the paper)
+//! cites more elaborate analytical models for `tp0` (\[1\], \[2\] in the paper)
 //! but its contribution is orthogonal to how `tp0` itself is obtained.
 
 use halotis_core::{Capacitance, TimeDelta};

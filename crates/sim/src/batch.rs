@@ -1,0 +1,371 @@
+//! Parallel batch execution of many scenarios over one compiled circuit.
+//!
+//! Multi-run workloads — the Table 1/2 sweeps, the pulse-width scan,
+//! Monte-Carlo stimulus sets — all share one shape: a fixed circuit, many
+//! `(stimulus, config)` pairs.  [`BatchRunner`] executes such a sweep across
+//! `std::thread::scope` workers that share one immutable
+//! [`CompiledCircuit`]; each worker owns a single
+//! [`SimState`](crate::SimState) arena reused for every scenario it picks
+//! up, so the whole batch performs one static preparation and `threads`
+//! arena allocations, total.
+//!
+//! Results are deterministic: scenarios are independent, so the outcome
+//! vector is identical whatever the thread count — only wall-clock time
+//! changes.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use halotis_waveform::Stimulus;
+
+use crate::compiled::CompiledCircuit;
+use crate::config::SimulationConfig;
+use crate::error::SimulationError;
+use crate::result::SimulationResult;
+use crate::stats::SimulationStats;
+
+/// One unit of batch work: a stimulus plus the configuration to run it
+/// under, with a label for reporting.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable scenario label (e.g. `"fig6/ddm"` or `"width=300ps"`).
+    pub label: String,
+    /// The stimulus to apply.
+    pub stimulus: Stimulus,
+    /// The simulation configuration (delay model, limits).
+    pub config: SimulationConfig,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(label: impl Into<String>, stimulus: Stimulus, config: SimulationConfig) -> Self {
+        Scenario {
+            label: label.into(),
+            stimulus,
+            config,
+        }
+    }
+
+    /// The canonical DDM/CDM scenario pair for one stimulus: element 0 runs
+    /// the degradation model (label `<label>/ddm`), element 1 the
+    /// conventional model (label `<label>/cdm`), both deriving their other
+    /// settings from `base`.
+    ///
+    /// Sweeps that compare the two models submit these pairs and read the
+    /// report back in `chunks(2)` — keeping the pairing order defined here,
+    /// in one place.
+    pub fn both_models(
+        label: impl AsRef<str>,
+        stimulus: Stimulus,
+        base: SimulationConfig,
+    ) -> [Scenario; 2] {
+        let mut ddm = base;
+        ddm.model = halotis_delay::DelayModelKind::Degradation;
+        let mut cdm = base;
+        cdm.model = halotis_delay::DelayModelKind::Conventional;
+        [
+            Scenario::new(format!("{}/ddm", label.as_ref()), stimulus.clone(), ddm),
+            Scenario::new(format!("{}/cdm", label.as_ref()), stimulus, cdm),
+        ]
+    }
+}
+
+/// The outcome of one scenario within a batch.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario label, copied from the input.
+    pub label: String,
+    /// The simulation result, or the error that aborted this scenario.
+    /// One failing scenario does not abort the rest of the batch.
+    pub result: Result<SimulationResult, SimulationError>,
+}
+
+/// Everything a batch run produces: per-scenario outcomes in input order
+/// plus aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    outcomes: Vec<ScenarioOutcome>,
+    totals: SimulationStats,
+    succeeded: usize,
+    wall_time: Duration,
+    threads: usize,
+}
+
+impl BatchReport {
+    /// Per-scenario outcomes, in the order the scenarios were submitted.
+    pub fn outcomes(&self) -> &[ScenarioOutcome] {
+        &self.outcomes
+    }
+
+    /// The successful results, in submission order.
+    pub fn results(&self) -> impl Iterator<Item = &SimulationResult> {
+        self.outcomes
+            .iter()
+            .filter_map(|outcome| outcome.result.as_ref().ok())
+    }
+
+    /// Statistics summed over every successful scenario.
+    pub fn totals(&self) -> &SimulationStats {
+        &self.totals
+    }
+
+    /// Number of scenarios in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` when the batch contained no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Number of scenarios that completed successfully.
+    pub fn succeeded(&self) -> usize {
+        self.succeeded
+    }
+
+    /// Number of scenarios that failed.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.succeeded
+    }
+
+    /// Wall-clock time of the whole batch, including scheduling overhead.
+    pub fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    /// Number of worker threads the batch actually used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Executes many scenarios against one [`CompiledCircuit`], in parallel.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{LogicLevel, Time};
+/// use halotis_netlist::{generators, technology};
+/// use halotis_sim::{BatchRunner, CompiledCircuit, Scenario, SimulationConfig};
+/// use halotis_waveform::Stimulus;
+///
+/// let netlist = generators::inverter_chain(4);
+/// let library = technology::cmos06();
+/// let circuit = CompiledCircuit::compile(&netlist, &library)?;
+///
+/// let scenarios: Vec<Scenario> = (1..=8)
+///     .map(|i| {
+///         let mut stimulus = Stimulus::new(library.default_input_slew());
+///         stimulus.set_initial("in", LogicLevel::Low);
+///         stimulus.drive("in", Time::from_ns(i as f64), LogicLevel::High);
+///         Scenario::new(format!("edge@{i}ns"), stimulus, SimulationConfig::ddm())
+///     })
+///     .collect();
+///
+/// let report = BatchRunner::new().run(&circuit, &scenarios);
+/// assert_eq!(report.len(), 8);
+/// assert_eq!(report.failed(), 0);
+/// assert!(report.totals().events_processed > 0);
+/// # Ok::<(), halotis_sim::SimulationError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    threads: NonZeroUsize,
+}
+
+impl BatchRunner {
+    /// A runner using every hardware thread the platform reports (at least
+    /// one).
+    pub fn new() -> Self {
+        BatchRunner {
+            threads: std::thread::available_parallelism()
+                .unwrap_or(NonZeroUsize::new(1).expect("1 is non-zero")),
+        }
+    }
+
+    /// A runner with an explicit worker count; `0` is clamped to `1`.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchRunner {
+            threads: NonZeroUsize::new(threads.max(1)).expect("clamped to at least 1"),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Runs every scenario and collects outcomes in submission order.
+    ///
+    /// Workers pull scenarios from a shared cursor, so an expensive scenario
+    /// does not serialise the rest of the sweep behind it.  Each worker
+    /// reuses one [`SimState`](crate::SimState) arena across all scenarios
+    /// it executes.  Failures are recorded per scenario and never abort the
+    /// batch.
+    pub fn run(&self, circuit: &CompiledCircuit<'_>, scenarios: &[Scenario]) -> BatchReport {
+        let started = Instant::now();
+        let threads = self.threads.get().min(scenarios.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<ScenarioOutcome>>> =
+            Mutex::new((0..scenarios.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut state = circuit.new_state();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(scenario) = scenarios.get(index) else {
+                            break;
+                        };
+                        let result =
+                            circuit.run_with(&mut state, &scenario.stimulus, &scenario.config);
+                        let outcome = ScenarioOutcome {
+                            label: scenario.label.clone(),
+                            result,
+                        };
+                        slots.lock().expect("no worker panicked holding the lock")[index] =
+                            Some(outcome);
+                    }
+                });
+            }
+        });
+
+        let outcomes: Vec<ScenarioOutcome> = slots
+            .into_inner()
+            .expect("all workers joined")
+            .into_iter()
+            .map(|slot| slot.expect("every index below the cursor was filled"))
+            .collect();
+        let mut totals = SimulationStats::default();
+        let mut succeeded = 0;
+        for outcome in &outcomes {
+            if let Ok(result) = &outcome.result {
+                totals.merge(result.stats());
+                succeeded += 1;
+            }
+        }
+        BatchReport {
+            outcomes,
+            totals,
+            succeeded,
+            wall_time: started.elapsed(),
+            threads,
+        }
+    }
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::{LogicLevel, Time};
+    use halotis_netlist::{generators, technology};
+
+    fn chain_scenarios(library: &halotis_netlist::Library, count: usize) -> Vec<Scenario> {
+        (0..count)
+            .map(|i| {
+                let mut stimulus = Stimulus::new(library.default_input_slew());
+                stimulus.set_initial("in", LogicLevel::Low);
+                stimulus.drive("in", Time::from_ns(1.0 + 0.25 * i as f64), LogicLevel::High);
+                Scenario::new(format!("s{i}"), stimulus, SimulationConfig::ddm())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_preserve_submission_order_and_labels() {
+        let netlist = generators::inverter_chain(3);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let scenarios = chain_scenarios(&library, 7);
+        let report = BatchRunner::with_threads(3).run(&circuit, &scenarios);
+        assert_eq!(report.len(), 7);
+        assert!(!report.is_empty());
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.succeeded(), 7);
+        assert_eq!(report.threads(), 3);
+        for (index, outcome) in report.outcomes().iter().enumerate() {
+            assert_eq!(outcome.label, format!("s{index}"));
+        }
+        assert_eq!(report.results().count(), 7);
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_results() {
+        let netlist = generators::multiplier(3, 3);
+        let ports = generators::MultiplierPorts::new(3, 3);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let scenarios: Vec<Scenario> = (0u64..12)
+            .map(|i| {
+                let mut stimulus = Stimulus::new(library.default_input_slew());
+                for bit in ports.a_refs().iter().chain(ports.b_refs().iter()) {
+                    stimulus.set_initial(*bit, LogicLevel::Low);
+                }
+                stimulus.drive_bus_value(&ports.a_refs(), i % 8, Time::from_ns(1.0));
+                stimulus.drive_bus_value(&ports.b_refs(), (i * 3) % 8, Time::from_ns(1.0));
+                Scenario::new(format!("{i}"), stimulus, SimulationConfig::ddm())
+            })
+            .collect();
+        let sequential = BatchRunner::with_threads(1).run(&circuit, &scenarios);
+        let parallel = BatchRunner::with_threads(4).run(&circuit, &scenarios);
+        assert_eq!(sequential.totals(), parallel.totals());
+        for (a, b) in sequential.outcomes().iter().zip(parallel.outcomes()) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.stats(), b.stats());
+            for (name, waveform) in a.waveforms().iter() {
+                assert_eq!(Some(waveform), b.waveform(name));
+            }
+        }
+    }
+
+    #[test]
+    fn one_failing_scenario_does_not_abort_the_batch() {
+        let netlist = generators::inverter_chain(2);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let mut scenarios = chain_scenarios(&library, 3);
+        // An empty stimulus leaves the primary input undriven.
+        scenarios.insert(
+            1,
+            Scenario::new(
+                "broken",
+                Stimulus::new(library.default_input_slew()),
+                SimulationConfig::ddm(),
+            ),
+        );
+        let report = BatchRunner::with_threads(2).run(&circuit, &scenarios);
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.succeeded(), 3);
+        assert!(matches!(
+            report.outcomes()[1].result,
+            Err(SimulationError::UndrivenPrimaryInput { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let netlist = generators::inverter_chain(1);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let report = BatchRunner::new().run(&circuit, &[]);
+        assert!(report.is_empty());
+        assert_eq!(report.totals(), &SimulationStats::default());
+    }
+
+    #[test]
+    fn thread_count_clamps() {
+        assert_eq!(BatchRunner::with_threads(0).threads(), 1);
+        assert!(BatchRunner::default().threads() >= 1);
+    }
+}

@@ -20,7 +20,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use halotis_core::{Capacitance, Edge, LogicLevel, NetId, Time, TimeDelta};
+use halotis_core::{Capacitance, LogicLevel, NetId, Time, TimeDelta};
 use halotis_delay::{inertial, nominal};
 use halotis_netlist::eval;
 use halotis_netlist::{Library, Netlist};
@@ -28,6 +28,7 @@ use halotis_waveform::{DigitalWaveform, Stimulus, Trace, Transition};
 
 use crate::config::SimulationConfig;
 use crate::error::SimulationError;
+use crate::ramp;
 use crate::result::SimulationResult;
 use crate::stats::SimulationStats;
 
@@ -161,11 +162,7 @@ pub fn run(
         }
         let previous_level = net_levels[net.index()];
         net_levels[net.index()] = commit.level;
-        if let Some(edge) = Edge::between(previous_level, commit.level).or(match commit.level {
-            LogicLevel::High => Some(Edge::Rise),
-            LogicLevel::Low => Some(Edge::Fall),
-            LogicLevel::Unknown => None,
-        }) {
+        if let Some(edge) = ramp::edge_toward(previous_level, commit.level) {
             net_waveforms[net.index()].push(Transition::new(commit.time, commit.slew, edge));
             stats.output_transitions += 1;
         }
@@ -191,11 +188,7 @@ pub fn run(
             if new_value == projected {
                 continue;
             }
-            let Some(edge) = Edge::between(projected, new_value).or(match new_value {
-                LogicLevel::High => Some(Edge::Rise),
-                LogicLevel::Low => Some(Edge::Fall),
-                LogicLevel::Unknown => None,
-            }) else {
+            let Some(edge) = ramp::edge_toward(projected, new_value) else {
                 continue;
             };
             let arc = library.pin(gate.kind(), pin.input_index())?.timing;

@@ -1,0 +1,549 @@
+//! The compile-once/run-many simulation core.
+//!
+//! [`Simulator::run`](crate::Simulator::run) used to rebuild every static
+//! table — dense pin indices, per-pin thresholds, timing arcs, gate loads,
+//! fanout lists — on every invocation, so multi-run workloads (the Table 1/2
+//! sweeps, the pulse-width scan, Monte-Carlo stimulus sets) paid the full
+//! circuit-compilation cost per stimulus.  [`CompiledCircuit`] splits that
+//! work off: it is built **once** per netlist + library and owns every
+//! immutable table in flat, cache-friendly arrays, while the per-run mutable
+//! state lives in a reusable [`SimState`] arena.
+//!
+//! ```text
+//! Netlist + Library ──compile()──▶ CompiledCircuit   (immutable, Sync)
+//!                                       │
+//!                         run_with(&mut SimState, stimulus, config)
+//!                                       │  (repeat at will, zero static
+//!                                       ▼   re-preparation per run)
+//!                                SimulationResult
+//! ```
+//!
+//! The tables are laid out CSR-style: per-pin quantities (threshold voltage,
+//! timing arcs) are indexed by the dense pin index of
+//! [`PinMap`], and the fanout adjacency of every net is
+//! flattened into one `Vec` with a per-net offset array, so the hot loop of
+//! the engine only chases one level of indirection.
+//!
+//! # Example: one compile, many runs
+//!
+//! ```
+//! use halotis_core::{LogicLevel, Time};
+//! use halotis_netlist::{generators, technology};
+//! use halotis_sim::{CompiledCircuit, SimulationConfig};
+//! use halotis_waveform::Stimulus;
+//!
+//! let netlist = generators::inverter_chain(3);
+//! let library = technology::cmos06();
+//! let circuit = CompiledCircuit::compile(&netlist, &library)?;
+//! let mut state = circuit.new_state();
+//! for at_ns in [1.0, 2.0, 3.0] {
+//!     let mut stimulus = Stimulus::new(library.default_input_slew());
+//!     stimulus.set_initial("in", LogicLevel::Low);
+//!     stimulus.drive("in", Time::from_ns(at_ns), LogicLevel::High);
+//!     let result = circuit.run_with(&mut state, &stimulus, &SimulationConfig::ddm())?;
+//!     assert_eq!(
+//!         result.ideal_waveform("out").unwrap().final_level(),
+//!         LogicLevel::Low
+//!     );
+//! }
+//! # Ok::<(), halotis_sim::SimulationError>(())
+//! ```
+
+use std::time::Instant;
+
+use halotis_core::{Capacitance, LogicLevel, PinRef, TimeDelta, Voltage};
+use halotis_delay::{model, DelayContext, DelayModelKind, PinTiming};
+use halotis_netlist::{eval, Library, Netlist};
+use halotis_waveform::{DigitalWaveform, Stimulus, Trace, Transition};
+
+use crate::config::SimulationConfig;
+use crate::error::SimulationError;
+use crate::event::Event;
+use crate::pins::PinMap;
+use crate::ramp;
+use crate::result::SimulationResult;
+use crate::state::SimState;
+use crate::stats::SimulationStats;
+
+/// One fanout destination of a net, with everything the scheduling loop
+/// needs resolved ahead of time.
+#[derive(Clone, Copy, Debug)]
+struct FanoutPin {
+    /// The gate input pin the net drives.
+    pin: PinRef,
+    /// Its dense index (see [`PinMap`]).
+    dense: usize,
+    /// The threshold voltage of that input.
+    threshold: Voltage,
+}
+
+/// A netlist + library compiled into flat lookup tables, ready to execute
+/// any number of stimuli without re-preparation.
+///
+/// `CompiledCircuit` is immutable and `Sync`: one instance can be shared by
+/// the worker threads of a [`BatchRunner`](crate::BatchRunner).  All per-run
+/// mutable state lives in [`SimState`], obtained from [`new_state`] and
+/// reusable across runs.
+///
+/// [`new_state`]: CompiledCircuit::new_state
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit<'a> {
+    netlist: &'a Netlist,
+    library: &'a Library,
+    vdd: Voltage,
+    pins: PinMap,
+    /// Threshold voltage per dense pin index.
+    pin_thresholds: Vec<Voltage>,
+    /// Timing arcs per dense pin index.
+    pin_timing: Vec<PinTiming>,
+    /// Output load per gate.
+    gate_loads: Vec<Capacitance>,
+    /// Switched capacitance per net (also used by
+    /// [`power::estimate_compiled`](crate::power::estimate_compiled)).
+    net_loads: Vec<Capacitance>,
+    /// CSR fanout adjacency: net `n` drives
+    /// `fanout[fanout_offsets[n]..fanout_offsets[n + 1]]`.
+    fanout_offsets: Vec<usize>,
+    fanout: Vec<FanoutPin>,
+    /// Primary-output names in netlist declaration order.
+    output_names: Vec<String>,
+}
+
+impl<'a> CompiledCircuit<'a> {
+    /// Compiles `netlist` against `library` into flat tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::Library`] when a gate uses a cell or pin
+    /// the library does not characterise — the same condition the legacy
+    /// single-shot path reported per run.
+    pub fn compile(netlist: &'a Netlist, library: &'a Library) -> Result<Self, SimulationError> {
+        let vdd = library.vdd();
+        let pins = PinMap::new(netlist);
+
+        let mut pin_thresholds: Vec<Voltage> = vec![Voltage::ZERO; pins.len()];
+        let mut pin_timing: Vec<PinTiming> = Vec::with_capacity(pins.len());
+        for gate in netlist.gates() {
+            for input in 0..gate.inputs().len() {
+                let pin = PinRef::new(gate.id(), input as u32);
+                let dense = pins.index(pin);
+                let fraction = netlist.input_threshold_fraction(pin, library)?;
+                pin_thresholds[dense] = vdd.fraction(fraction);
+                pin_timing.push(library.pin(gate.kind(), input)?.timing);
+            }
+        }
+
+        let net_loads: Vec<Capacitance> = netlist
+            .nets()
+            .iter()
+            .map(|net| netlist.net_load(net.id(), library))
+            .collect::<Result<_, _>>()?;
+        let gate_loads: Vec<Capacitance> = netlist
+            .gates()
+            .iter()
+            .map(|gate| net_loads[gate.output().index()])
+            .collect();
+
+        let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
+        let mut fanout = Vec::new();
+        for net in netlist.nets() {
+            fanout_offsets.push(fanout.len());
+            for &pin in net.loads() {
+                let dense = pins.index(pin);
+                fanout.push(FanoutPin {
+                    pin,
+                    dense,
+                    threshold: pin_thresholds[dense],
+                });
+            }
+        }
+        fanout_offsets.push(fanout.len());
+
+        let output_names = netlist
+            .primary_outputs()
+            .iter()
+            .map(|&net| netlist.net(net).name().to_string())
+            .collect();
+
+        Ok(CompiledCircuit {
+            netlist,
+            library,
+            vdd,
+            pins,
+            pin_thresholds,
+            pin_timing,
+            gate_loads,
+            net_loads,
+            fanout_offsets,
+            fanout,
+            output_names,
+        })
+    }
+
+    /// The compiled netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The cell library the circuit was compiled against.
+    pub fn library(&self) -> &'a Library {
+        self.library
+    }
+
+    /// The supply voltage of the library.
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+
+    /// The dense pin indexing of the circuit.
+    pub fn pins(&self) -> &PinMap {
+        &self.pins
+    }
+
+    /// The precomputed switched capacitance of every net, indexed by net id.
+    pub fn net_loads(&self) -> &[Capacitance] {
+        &self.net_loads
+    }
+
+    /// The threshold voltage of one gate input pin (the per-input `V_T` of
+    /// the paper's Fig. 3).
+    pub fn pin_threshold(&self, pin: PinRef) -> Voltage {
+        self.pin_thresholds[self.pins.index(pin)]
+    }
+
+    /// Allocates a fresh state arena sized for this circuit.
+    ///
+    /// The arena is reusable: every [`run_with`](CompiledCircuit::run_with)
+    /// resets it, so repeated runs perform no per-run allocation of the
+    /// static structures (gate state, pin levels, queue slots).
+    pub fn new_state(&self) -> SimState {
+        SimState::for_circuit(
+            self.pins.len(),
+            self.netlist.gate_count(),
+            self.netlist.net_count(),
+        )
+    }
+
+    /// Runs one simulation with a throwaway state arena.
+    ///
+    /// Convenience for one-off runs; multi-run workloads should allocate the
+    /// arena once via [`new_state`](CompiledCircuit::new_state) and call
+    /// [`run_with`](CompiledCircuit::run_with).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_with`](CompiledCircuit::run_with).
+    pub fn run(
+        &self,
+        stimulus: &Stimulus,
+        config: &SimulationConfig,
+    ) -> Result<SimulationResult, SimulationError> {
+        let mut state = self.new_state();
+        self.run_with(&mut state, stimulus, config)
+    }
+
+    /// Runs one simulation, reusing the caller's state arena.
+    ///
+    /// The arena is reset on entry, so the produced waveforms and statistics
+    /// are bit-identical to a run with a freshly allocated state.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::UndrivenPrimaryInput`] if the stimulus does not
+    ///   cover every primary input,
+    /// * [`SimulationError::EventBudgetExhausted`] if the configured event
+    ///   budget is exceeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was created for a differently sized circuit.
+    pub fn run_with(
+        &self,
+        state: &mut SimState,
+        stimulus: &Stimulus,
+        config: &SimulationConfig,
+    ) -> Result<SimulationResult, SimulationError> {
+        let started = Instant::now();
+        let netlist = self.netlist;
+        state.check_capacity(self.pins.len(), netlist.gate_count(), netlist.net_count());
+
+        // --- initial state --------------------------------------------------
+        let mut assignments = Vec::with_capacity(netlist.primary_inputs().len());
+        for &input in netlist.primary_inputs() {
+            let name = netlist.net(input).name();
+            let Some(waveform) = stimulus.waveform(name) else {
+                return Err(SimulationError::UndrivenPrimaryInput {
+                    net: name.to_string(),
+                });
+            };
+            assignments.push((input, waveform.initial()));
+        }
+        let initial_levels = eval::evaluate(netlist, &assignments);
+        state.reset(netlist, &self.pins, &initial_levels);
+
+        // --- stimulus events ------------------------------------------------
+        let mut stats = SimulationStats::default();
+        for &input in netlist.primary_inputs() {
+            let net = netlist.net(input);
+            let waveform = stimulus
+                .waveform(net.name())
+                .expect("checked above: every primary input is driven");
+            for transition in waveform.transitions() {
+                state.net_waveforms[input.index()].push(*transition);
+                stats.output_transitions += 1;
+                for fanout in self.net_fanout(input.index()) {
+                    if let Some(crossing) = transition.crossing_time(fanout.threshold, self.vdd) {
+                        state.queue.schedule(
+                            fanout.dense,
+                            Event::new(
+                                crossing,
+                                fanout.pin,
+                                transition.edge().target_level(),
+                                transition.slew(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // --- main loop (paper Fig. 4) ---------------------------------------
+        while let Some(event) = state.queue.pop() {
+            if let Some(limit) = config.time_limit {
+                if event.time > limit {
+                    break;
+                }
+            }
+            stats.events_processed += 1;
+            if stats.events_processed > config.max_events {
+                return Err(SimulationError::EventBudgetExhausted {
+                    budget: config.max_events,
+                });
+            }
+
+            let gate = netlist.gate(event.pin.gate());
+            let gate_index = gate.id().index();
+            let dense = self.pins.index(event.pin);
+            state.pin_levels[dense] = event.new_level;
+            let block = self.pins.gate_offset(gate.id());
+            let new_output = gate
+                .kind()
+                .evaluate(&state.pin_levels[block..block + gate.inputs().len()]);
+            if new_output == state.output_target[gate_index] {
+                continue;
+            }
+            let Some(edge) = ramp::edge_toward(state.output_target[gate_index], new_output) else {
+                state.output_target[gate_index] = new_output;
+                continue;
+            };
+
+            let arc = self.pin_timing[dense].for_edge(edge);
+            let elapsed = state.last_output_start[gate_index].map(|previous| {
+                let delta = event.time - previous;
+                if delta.is_negative() {
+                    TimeDelta::ZERO
+                } else {
+                    delta
+                }
+            });
+            let ctx = DelayContext {
+                vdd: self.vdd,
+                load: self.gate_loads[gate_index],
+                input_slew: event.input_slew,
+                time_since_last_output: elapsed,
+            };
+            let outcome = model::evaluate(arc, config.model, &ctx);
+            if outcome.is_degraded() {
+                stats.degraded_transitions += 1;
+            }
+            if outcome.is_fully_collapsed() {
+                stats.collapsed_transitions += 1;
+            }
+
+            let start = ramp::ramp_start(
+                event.time,
+                outcome.delay,
+                outcome.output_slew,
+                state.last_output_start[gate_index],
+            );
+            let transition = Transition::new(start, outcome.output_slew, edge);
+            state.net_waveforms[gate.output().index()].push(transition);
+            stats.output_transitions += 1;
+            state.last_output_start[gate_index] = Some(transition.start());
+            state.output_target[gate_index] = new_output;
+
+            for fanout in self.net_fanout(gate.output().index()) {
+                if let Some(crossing) = transition.crossing_time(fanout.threshold, self.vdd) {
+                    state.queue.schedule(
+                        fanout.dense,
+                        Event::new(crossing, fanout.pin, new_output, transition.slew()),
+                    );
+                }
+            }
+        }
+
+        stats.events_scheduled = state.queue.scheduled();
+        stats.events_filtered = state.queue.filtered();
+
+        // --- package --------------------------------------------------------
+        let mut waveforms = Trace::new();
+        for net in netlist.nets() {
+            waveforms.insert(
+                net.name(),
+                std::mem::replace(
+                    &mut state.net_waveforms[net.id().index()],
+                    DigitalWaveform::new(LogicLevel::Unknown),
+                ),
+            );
+        }
+        Ok(SimulationResult::new(
+            config.model,
+            self.vdd,
+            waveforms,
+            self.output_names.clone(),
+            stats,
+            started.elapsed(),
+        ))
+    }
+
+    /// Runs the same stimulus under both delay models through one shared
+    /// state arena and returns `(ddm, cdm)` — the comparison the paper's
+    /// Table 1 makes, without compiling or allocating twice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of either run.
+    pub fn run_both_models(
+        &self,
+        stimulus: &Stimulus,
+        base: &SimulationConfig,
+    ) -> Result<(SimulationResult, SimulationResult), SimulationError> {
+        let mut state = self.new_state();
+        let mut ddm_config = *base;
+        ddm_config.model = DelayModelKind::Degradation;
+        let mut cdm_config = *base;
+        cdm_config.model = DelayModelKind::Conventional;
+        Ok((
+            self.run_with(&mut state, stimulus, &ddm_config)?,
+            self.run_with(&mut state, stimulus, &cdm_config)?,
+        ))
+    }
+
+    fn net_fanout(&self, net_index: usize) -> &[FanoutPin] {
+        &self.fanout[self.fanout_offsets[net_index]..self.fanout_offsets[net_index + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::Time;
+    use halotis_netlist::{generators, technology};
+
+    fn chain_stimulus(library: &Library) -> Stimulus {
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        stimulus.drive("in", Time::from_ns(6.0), LogicLevel::Low);
+        stimulus
+    }
+
+    #[test]
+    fn fanout_tables_cover_every_load_in_declaration_order() {
+        let netlist = generators::c17();
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        for net in netlist.nets() {
+            let entries = circuit.net_fanout(net.id().index());
+            assert_eq!(entries.len(), net.loads().len());
+            for (entry, &pin) in entries.iter().zip(net.loads()) {
+                assert_eq!(entry.pin, pin);
+                assert_eq!(entry.dense, circuit.pins().index(pin));
+                assert_eq!(
+                    entry.threshold,
+                    circuit.pin_thresholds[circuit.pins().index(pin)]
+                );
+            }
+        }
+        assert_eq!(circuit.net_loads().len(), netlist.net_count());
+        assert_eq!(circuit.vdd(), library.vdd());
+        assert_eq!(circuit.netlist().name(), netlist.name());
+        assert_eq!(circuit.library().name(), library.name());
+    }
+
+    #[test]
+    fn reused_state_reproduces_a_fresh_run_exactly() {
+        let netlist = generators::multiplier(3, 3);
+        let ports = generators::MultiplierPorts::new(3, 3);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        for bit in ports.a_refs().iter().chain(ports.b_refs().iter()) {
+            stimulus.set_initial(*bit, LogicLevel::Low);
+        }
+        stimulus.drive_bus_value(&ports.a_refs(), 0x5, Time::from_ns(1.0));
+        stimulus.drive_bus_value(&ports.b_refs(), 0x6, Time::from_ns(1.0));
+
+        let fresh = circuit.run(&stimulus, &SimulationConfig::ddm()).unwrap();
+        let mut state = circuit.new_state();
+        // Dirty the arena with an unrelated run, then repeat the stimulus.
+        circuit
+            .run_with(&mut state, &stimulus, &SimulationConfig::cdm())
+            .unwrap();
+        let reused = circuit
+            .run_with(&mut state, &stimulus, &SimulationConfig::ddm())
+            .unwrap();
+        assert_eq!(fresh.stats(), reused.stats());
+        for net in netlist.nets() {
+            assert_eq!(
+                fresh.waveform(net.name()),
+                reused.waveform(net.name()),
+                "waveform mismatch on {}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn run_both_models_shares_one_arena() {
+        let netlist = generators::inverter_chain(6);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let (ddm, cdm) = circuit
+            .run_both_models(&chain_stimulus(&library), &SimulationConfig::default())
+            .unwrap();
+        assert_eq!(ddm.model(), DelayModelKind::Degradation);
+        assert_eq!(cdm.model(), DelayModelKind::Conventional);
+        assert!(ddm.stats().events_processed > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimState sized for")]
+    fn mismatched_state_is_rejected() {
+        let small = generators::inverter_chain(2);
+        let big = generators::inverter_chain(5);
+        let library = technology::cmos06();
+        let small_circuit = CompiledCircuit::compile(&small, &library).unwrap();
+        let big_circuit = CompiledCircuit::compile(&big, &library).unwrap();
+        let mut state = small_circuit.new_state();
+        let _ = big_circuit.run_with(
+            &mut state,
+            &chain_stimulus(&library),
+            &SimulationConfig::ddm(),
+        );
+    }
+
+    #[test]
+    fn undriven_input_is_reported() {
+        let netlist = generators::c17();
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let err = circuit
+            .run(
+                &Stimulus::new(library.default_input_slew()),
+                &SimulationConfig::ddm(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::UndrivenPrimaryInput { .. }));
+    }
+}

@@ -1,6 +1,8 @@
-//! The HALOTIS simulation engine (paper Fig. 4).
+//! The single-shot convenience front end of the HALOTIS engine.
 //!
-//! For every event popped from the queue the engine:
+//! The actual Fig. 4 simulation loop lives in
+//! [`CompiledCircuit`]: for every event popped from
+//! the queue it
 //!
 //! 1. updates the level of the gate input where the event occurred,
 //! 2. re-evaluates the gate; if the output value changes, it computes the
@@ -13,38 +15,33 @@
 //! 4. generates one candidate event per fanout input at the instant the new
 //!    ramp crosses that input's own threshold (Fig. 3), letting the queue's
 //!    per-input rule insert it or cancel the pulse for that input.
+//!
+//! [`Simulator`] wraps that core for one-off runs: each call to
+//! [`Simulator::run`] compiles the circuit and executes once.  Multi-run
+//! workloads should compile once via
+//! [`CompiledCircuit::compile`](crate::CompiledCircuit::compile) and reuse
+//! the compiled tables (and a [`SimState`](crate::SimState) arena, or a
+//! [`BatchRunner`](crate::BatchRunner)) across stimuli.
 
-use std::time::Instant;
-
-use halotis_core::{Capacitance, Edge, LogicLevel, Time, TimeDelta, Voltage};
-use halotis_delay::{model, DelayContext, PinTiming};
-use halotis_netlist::eval;
 use halotis_netlist::{Library, NetDriver, Netlist};
-use halotis_waveform::{DigitalWaveform, Stimulus, Trace, Transition};
+use halotis_waveform::Stimulus;
 
+use crate::compiled::CompiledCircuit;
 use crate::config::SimulationConfig;
 use crate::error::SimulationError;
-use crate::event::Event;
-use crate::pins::PinMap;
-use crate::queue::EventQueue;
 use crate::result::SimulationResult;
-use crate::stats::SimulationStats;
 
 /// The HALOTIS simulator: a netlist plus a characterised library, ready to
 /// run stimuli under either delay model.
 ///
-/// See the [crate-level example](crate) for end-to-end usage.
+/// This type compiles the circuit on every [`run`](Simulator::run) — the
+/// right trade-off for a single stimulus.  See the
+/// [crate-level example](crate) for end-to-end usage and
+/// [`CompiledCircuit`] for the compile-once/run-many path.
 #[derive(Clone, Copy, Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
     library: &'a Library,
-}
-
-/// Per-gate mutable simulation state.
-struct GateState {
-    input_levels: Vec<LogicLevel>,
-    output_target: LogicLevel,
-    last_output_start: Option<Time>,
 }
 
 impl<'a> Simulator<'a> {
@@ -63,7 +60,7 @@ impl<'a> Simulator<'a> {
         self.library
     }
 
-    /// Runs one simulation.
+    /// Compiles the circuit and runs one simulation.
     ///
     /// # Errors
     ///
@@ -77,214 +74,14 @@ impl<'a> Simulator<'a> {
         stimulus: &Stimulus,
         config: &SimulationConfig,
     ) -> Result<SimulationResult, SimulationError> {
-        let started = Instant::now();
-        let netlist = self.netlist;
-        let library = self.library;
-        let vdd = library.vdd();
-
-        // --- static preparation -------------------------------------------------
-        let pins = PinMap::new(netlist);
-        let mut pin_thresholds: Vec<Voltage> = vec![Voltage::ZERO; pins.len()];
-        let mut pin_timing: Vec<PinTiming> = Vec::with_capacity(pins.len());
-        for gate in netlist.gates() {
-            for input in 0..gate.inputs().len() {
-                let pin = halotis_core::PinRef::new(gate.id(), input as u32);
-                let dense = pins.index(pin);
-                let fraction = netlist.input_threshold_fraction(pin, library)?;
-                pin_thresholds[dense] = vdd.fraction(fraction);
-                pin_timing.push(library.pin(gate.kind(), input)?.timing);
-            }
-        }
-        let gate_loads: Vec<Capacitance> = netlist
-            .gates()
-            .iter()
-            .map(|gate| netlist.net_load(gate.output(), library))
-            .collect::<Result<_, _>>()?;
-
-        // --- initial state ------------------------------------------------------
-        let mut assignments = Vec::with_capacity(netlist.primary_inputs().len());
-        for &input in netlist.primary_inputs() {
-            let name = netlist.net(input).name();
-            let Some(waveform) = stimulus.waveform(name) else {
-                return Err(SimulationError::UndrivenPrimaryInput {
-                    net: name.to_string(),
-                });
-            };
-            assignments.push((input, waveform.initial()));
-        }
-        let initial_levels = eval::evaluate(netlist, &assignments);
-
-        let mut gate_states: Vec<GateState> = netlist
-            .gates()
-            .iter()
-            .map(|gate| GateState {
-                input_levels: gate
-                    .inputs()
-                    .iter()
-                    .map(|&net| initial_levels[net.index()])
-                    .collect(),
-                output_target: initial_levels[gate.output().index()],
-                last_output_start: None,
-            })
-            .collect();
-
-        let mut net_waveforms: Vec<DigitalWaveform> = netlist
-            .nets()
-            .iter()
-            .map(|net| DigitalWaveform::new(initial_levels[net.id().index()]))
-            .collect();
-
-        // --- stimulus events ----------------------------------------------------
-        let mut queue = EventQueue::new(pins.len());
-        let mut stats = SimulationStats::default();
-        for &input in netlist.primary_inputs() {
-            let net = netlist.net(input);
-            let waveform = stimulus
-                .waveform(net.name())
-                .expect("checked above: every primary input is driven");
-            for transition in waveform.transitions() {
-                net_waveforms[input.index()].push(*transition);
-                stats.output_transitions += 1;
-                for &pin in net.loads() {
-                    let dense = pins.index(pin);
-                    if let Some(crossing) = transition.crossing_time(pin_thresholds[dense], vdd) {
-                        queue.schedule(
-                            dense,
-                            Event::new(
-                                crossing,
-                                pin,
-                                transition.edge().target_level(),
-                                transition.slew(),
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-
-        // --- main loop (paper Fig. 4) -------------------------------------------
-        while let Some(event) = queue.pop() {
-            if let Some(limit) = config.time_limit {
-                if event.time > limit {
-                    break;
-                }
-            }
-            stats.events_processed += 1;
-            if stats.events_processed > config.max_events {
-                return Err(SimulationError::EventBudgetExhausted {
-                    budget: config.max_events,
-                });
-            }
-
-            let gate = netlist.gate(event.pin.gate());
-            let state = &mut gate_states[gate.id().index()];
-            state.input_levels[event.pin.input_index()] = event.new_level;
-            let new_output = gate.kind().evaluate(&state.input_levels);
-            if new_output == state.output_target {
-                continue;
-            }
-            let edge = match Edge::between(state.output_target, new_output) {
-                Some(edge) => edge,
-                None => match new_output {
-                    LogicLevel::High => Edge::Rise,
-                    LogicLevel::Low => Edge::Fall,
-                    LogicLevel::Unknown => {
-                        state.output_target = LogicLevel::Unknown;
-                        continue;
-                    }
-                },
-            };
-
-            let dense = pins.index(event.pin);
-            let arc = pin_timing[dense].for_edge(edge);
-            let elapsed = state.last_output_start.map(|previous| {
-                let delta = event.time - previous;
-                if delta.is_negative() {
-                    TimeDelta::ZERO
-                } else {
-                    delta
-                }
-            });
-            let ctx = DelayContext {
-                vdd,
-                load: gate_loads[gate.id().index()],
-                input_slew: event.input_slew,
-                time_since_last_output: elapsed,
-            };
-            let outcome = model::evaluate(arc, config.model, &ctx);
-            if outcome.is_degraded() {
-                stats.degraded_transitions += 1;
-            }
-            if outcome.is_fully_collapsed() {
-                stats.collapsed_transitions += 1;
-            }
-
-            // The propagation delay is measured to the half-swing point of
-            // the output ramp, so the ramp itself starts half an output slew
-            // earlier (clamped to the triggering event for causality).  Two
-            // further constraints keep the net waveform well formed: a
-            // heavily degraded transition cannot start before the gate's
-            // previous output transition did — it can only cut it short.
-            let half_slew = outcome.output_slew / 2;
-            let mut start = if outcome.delay > half_slew {
-                event.time + outcome.delay - half_slew
-            } else {
-                event.time
-            };
-            if let Some(previous) = state.last_output_start {
-                if start <= previous {
-                    start = previous + TimeDelta::from_fs(1);
-                }
-            }
-            let transition = Transition::new(start, outcome.output_slew, edge);
-            net_waveforms[gate.output().index()].push(transition);
-            stats.output_transitions += 1;
-            state.last_output_start = Some(transition.start());
-            state.output_target = new_output;
-
-            for &pin in netlist.net(gate.output()).loads() {
-                let fanout_dense = pins.index(pin);
-                if let Some(crossing) = transition.crossing_time(pin_thresholds[fanout_dense], vdd)
-                {
-                    queue.schedule(
-                        fanout_dense,
-                        Event::new(crossing, pin, new_output, transition.slew()),
-                    );
-                }
-            }
-        }
-
-        stats.events_scheduled = queue.scheduled();
-        stats.events_filtered = queue.filtered();
-
-        // --- package ------------------------------------------------------------
-        let mut waveforms = Trace::new();
-        for net in netlist.nets() {
-            waveforms.insert(
-                net.name(),
-                std::mem::replace(
-                    &mut net_waveforms[net.id().index()],
-                    DigitalWaveform::new(LogicLevel::Unknown),
-                ),
-            );
-        }
-        let output_names = netlist
-            .primary_outputs()
-            .iter()
-            .map(|&net| netlist.net(net).name().to_string())
-            .collect();
-        Ok(SimulationResult::new(
-            config.model,
-            vdd,
-            waveforms,
-            output_names,
-            stats,
-            started.elapsed(),
-        ))
+        CompiledCircuit::compile(self.netlist, self.library)?.run(stimulus, config)
     }
 
     /// Convenience: runs the same stimulus under both delay models and
     /// returns `(ddm, cdm)` — the comparison the paper's Table 1 makes.
+    ///
+    /// The circuit is compiled once and both runs share one state arena, so
+    /// this costs one static preparation, not two.
     ///
     /// # Errors
     ///
@@ -294,14 +91,7 @@ impl<'a> Simulator<'a> {
         stimulus: &Stimulus,
         base: &SimulationConfig,
     ) -> Result<(SimulationResult, SimulationResult), SimulationError> {
-        let mut ddm_config = *base;
-        ddm_config.model = halotis_delay::DelayModelKind::Degradation;
-        let mut cdm_config = *base;
-        cdm_config.model = halotis_delay::DelayModelKind::Conventional;
-        Ok((
-            self.run(stimulus, &ddm_config)?,
-            self.run(stimulus, &cdm_config)?,
-        ))
+        CompiledCircuit::compile(self.netlist, self.library)?.run_both_models(stimulus, base)
     }
 }
 
@@ -315,6 +105,7 @@ pub fn is_primary_input_net(netlist: &Netlist, net: halotis_core::NetId) -> bool
 #[cfg(test)]
 mod tests {
     use super::*;
+    use halotis_core::{LogicLevel, Time};
     use halotis_delay::DelayModelKind;
     use halotis_netlist::{generators, technology};
 

@@ -11,14 +11,30 @@
 //! * [`queue`] — the event queue with the per-input insert/cancel rule of
 //!   Fig. 4 (an event arriving *before* the pending previous event on the
 //!   same input deletes it: that is where runt pulses die, per input),
-//! * [`engine`] — the simulation algorithm of Fig. 4: pop event, evaluate
+//! * [`compiled`] / [`state`] — the compile-once/run-many core: a
+//!   [`CompiledCircuit`] holds every static table in flat arrays, a
+//!   [`SimState`] arena holds the per-run mutable state and is reset (not
+//!   reallocated) between runs,
+//! * [`engine`] — the single-shot [`Simulator`] front end over the compiled
+//!   core, executing the simulation algorithm of Fig. 4: pop event, evaluate
 //!   the gate through the DDM (or the conventional model), emit the output
 //!   transition, generate one event per fanout input threshold (Fig. 3),
+//! * [`batch`] — the [`BatchRunner`], executing many `(stimulus, config)`
+//!   scenarios across scoped threads sharing one [`CompiledCircuit`],
 //! * [`classical`] — a conventional single-threshold, inertial-delay
 //!   event-driven simulator, the baseline whose wrong behaviour Fig. 1
 //!   demonstrates,
+//! * [`ramp`] — output-ramp shaping rules shared by both engines,
 //! * [`stats`] / [`result`] — event counts, filtered-event counts and
 //!   switching activity (Table 1) plus the recorded waveforms (Figs. 6–7).
+//!
+//! # Which API should I use?
+//!
+//! * One stimulus, one circuit: [`Simulator::run`].
+//! * Many stimuli on one circuit, sequential:
+//!   [`CompiledCircuit::compile`] + [`CompiledCircuit::run_with`] with one
+//!   reused [`SimState`].
+//! * Many stimuli on one circuit, parallel: [`BatchRunner::run`].
 //!
 //! # Quick start
 //!
@@ -47,7 +63,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod classical;
+pub mod compiled;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -55,12 +73,17 @@ pub mod event;
 pub mod pins;
 pub mod power;
 pub mod queue;
+pub mod ramp;
 pub mod result;
+pub mod state;
 pub mod stats;
 
+pub use batch::{BatchReport, BatchRunner, Scenario, ScenarioOutcome};
+pub use compiled::CompiledCircuit;
 pub use config::SimulationConfig;
 pub use engine::Simulator;
 pub use error::SimulationError;
 pub use event::Event;
 pub use result::SimulationResult;
+pub use state::SimState;
 pub use stats::SimulationStats;

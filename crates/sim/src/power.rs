@@ -12,6 +12,7 @@ use halotis_core::{Capacitance, Voltage};
 use halotis_netlist::library::LibraryError;
 use halotis_netlist::{Library, Netlist};
 
+use crate::compiled::CompiledCircuit;
 use crate::result::SimulationResult;
 
 /// Dynamic-energy estimate of one simulation run.
@@ -112,6 +113,49 @@ pub fn estimate(
     library: &Library,
     result: &SimulationResult,
 ) -> Result<PowerReport, LibraryError> {
+    let net_loads: Vec<Capacitance> = netlist
+        .nets()
+        .iter()
+        .map(|net| netlist.net_load(net.id(), library))
+        .collect::<Result<_, _>>()?;
+    Ok(estimate_from_loads(netlist, &net_loads, result))
+}
+
+/// As [`estimate`], but reusing the net capacitances a [`CompiledCircuit`]
+/// already computed — the right call inside a batch sweep, where recomputing
+/// every net load per scenario would repeat part of the static preparation
+/// the compiled core exists to avoid.
+///
+/// Infallible: the compilation step already validated every fanout cell.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{LogicLevel, Time};
+/// use halotis_netlist::{generators, technology};
+/// use halotis_sim::{power, CompiledCircuit, SimulationConfig};
+/// use halotis_waveform::Stimulus;
+///
+/// let netlist = generators::inverter_chain(3);
+/// let library = technology::cmos06();
+/// let circuit = CompiledCircuit::compile(&netlist, &library)?;
+/// let mut stimulus = Stimulus::new(library.default_input_slew());
+/// stimulus.set_initial("in", LogicLevel::Low);
+/// stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+/// let result = circuit.run(&stimulus, &SimulationConfig::ddm())?;
+/// let report = power::estimate_compiled(&circuit, &result);
+/// assert!(report.total_joules() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_compiled(circuit: &CompiledCircuit<'_>, result: &SimulationResult) -> PowerReport {
+    estimate_from_loads(circuit.netlist(), circuit.net_loads(), result)
+}
+
+fn estimate_from_loads(
+    netlist: &Netlist,
+    net_loads: &[Capacitance],
+    result: &SimulationResult,
+) -> PowerReport {
     let vdd = result.vdd();
     let vdd_squared = vdd.as_volts() * vdd.as_volts();
     let mut per_net = Vec::with_capacity(netlist.net_count());
@@ -122,7 +166,7 @@ pub fn estimate(
             .waveform(net.name())
             .map(|waveform| waveform.len())
             .unwrap_or(0);
-        let capacitance = netlist.net_load(net.id(), library)?;
+        let capacitance = net_loads[net.id().index()];
         let energy = capacitance.as_farads() * vdd_squared * transitions as f64;
         total_joules += energy;
         total_transitions += transitions;
@@ -138,12 +182,12 @@ pub fn estimate(
             .partial_cmp(&a.energy_joules)
             .expect("energies are finite")
     });
-    Ok(PowerReport {
+    PowerReport {
         vdd,
         per_net,
         total_joules,
         total_transitions,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +260,20 @@ mod tests {
         assert_eq!(report.total_transitions(), 0);
         assert_eq!(report.total_joules(), 0.0);
         assert_eq!(report.overestimation_percent(&report.clone()), 0.0);
+    }
+
+    #[test]
+    fn compiled_estimate_matches_the_library_walking_estimate() {
+        let netlist = generators::inverter_chain(4);
+        let library = technology::cmos06();
+        let circuit = crate::CompiledCircuit::compile(&netlist, &library).unwrap();
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        let result = circuit.run(&stimulus, &SimulationConfig::ddm()).unwrap();
+        let walked = estimate(&netlist, &library, &result).unwrap();
+        let compiled = estimate_compiled(&circuit, &result);
+        assert_eq!(walked, compiled);
     }
 
     #[test]

@@ -125,6 +125,25 @@ impl EventQueue {
         ScheduleOutcome::Inserted
     }
 
+    /// Clears the queue back to its freshly constructed condition while
+    /// keeping every allocation (heap storage, per-pin pending slots), so a
+    /// reused [`SimState`](crate::SimState) arena schedules its next run
+    /// without reallocating.
+    ///
+    /// The serial counter restarts at zero too: equal-time events are
+    /// ordered by insertion serial, so a reset queue must hand out the same
+    /// serials a fresh queue would for runs to be bit-identical.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        for slot in &mut self.pending {
+            slot.clear();
+        }
+        self.cancelled.clear();
+        self.next_serial = 0;
+        self.scheduled = 0;
+        self.filtered = 0;
+    }
+
     /// Pops the earliest live event, skipping lazily cancelled entries.
     pub fn pop(&mut self) -> Option<Event> {
         while let Some(Reverse(entry)) = self.heap.pop() {
@@ -247,6 +266,26 @@ mod tests {
         // new event is simply inserted.
         assert_eq!(queue.schedule(0, event(0.5, 0)), ScheduleOutcome::Inserted);
         assert_eq!(queue.pop().unwrap().time, Time::from_ns(0.5));
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_queue() {
+        let mut queue = EventQueue::new(2);
+        queue.schedule(0, event(2.0, 0));
+        queue.schedule(0, event(1.5, 0)); // cancels the pending event
+        queue.schedule(1, event(3.0, 1));
+        queue.reset();
+        assert!(queue.is_empty());
+        assert_eq!(queue.scheduled(), 0);
+        assert_eq!(queue.filtered(), 0);
+        // Scheduling after a reset behaves exactly like a fresh queue,
+        // including the serial-based tie-break for equal-time events.
+        assert_eq!(queue.schedule(0, event(1.0, 0)), ScheduleOutcome::Inserted);
+        assert_eq!(queue.schedule(1, event(1.0, 1)), ScheduleOutcome::Inserted);
+        let order: Vec<usize> = std::iter::from_fn(|| queue.pop())
+            .map(|e| e.pin.gate().index())
+            .collect();
+        assert_eq!(order, vec![0, 1]);
     }
 
     #[test]

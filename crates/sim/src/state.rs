@@ -1,0 +1,161 @@
+//! The reusable per-run state arena of the compile-once core.
+//!
+//! A [`SimState`] owns every mutable structure one simulation run needs —
+//! dense pin levels, per-gate output bookkeeping, per-net waveform buffers
+//! and the event queue — sized once for a
+//! [`CompiledCircuit`](crate::CompiledCircuit) and reset in place between
+//! runs, so repeated runs perform zero per-run allocation of the static
+//! structures.
+
+use halotis_core::{LogicLevel, Time};
+use halotis_netlist::Netlist;
+use halotis_waveform::DigitalWaveform;
+
+use crate::pins::PinMap;
+use crate::queue::EventQueue;
+
+/// The mutable arena one simulation run works in.
+///
+/// Obtain one from
+/// [`CompiledCircuit::new_state`](crate::CompiledCircuit::new_state) and
+/// pass it to [`run_with`](crate::CompiledCircuit::run_with) as often as
+/// needed; each run resets the arena, so results are independent of what ran
+/// before.
+///
+/// # Example
+///
+/// ```
+/// use halotis_core::{LogicLevel, Time};
+/// use halotis_netlist::{generators, technology};
+/// use halotis_sim::{CompiledCircuit, SimulationConfig};
+/// use halotis_waveform::Stimulus;
+///
+/// let netlist = generators::c17();
+/// let library = technology::cmos06();
+/// let circuit = CompiledCircuit::compile(&netlist, &library)?;
+/// let mut state = circuit.new_state();
+/// let mut stimulus = Stimulus::new(library.default_input_slew());
+/// for &input in netlist.primary_inputs() {
+///     stimulus.set_initial(netlist.net(input).name(), LogicLevel::Low);
+/// }
+/// // The same arena serves both model configurations.
+/// let ddm = circuit.run_with(&mut state, &stimulus, &SimulationConfig::ddm())?;
+/// let cdm = circuit.run_with(&mut state, &stimulus, &SimulationConfig::cdm())?;
+/// assert_eq!(ddm.stats().events_processed, cdm.stats().events_processed);
+/// # Ok::<(), halotis_sim::SimulationError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimState {
+    /// Current level of every gate input, by dense pin index.
+    pub(crate) pin_levels: Vec<LogicLevel>,
+    /// The level each gate's output is moving toward, by gate index.
+    pub(crate) output_target: Vec<LogicLevel>,
+    /// Start instant of each gate's previous output ramp, by gate index.
+    pub(crate) last_output_start: Vec<Option<Time>>,
+    /// Recorded transitions per net; drained into the result when a run
+    /// completes.
+    pub(crate) net_waveforms: Vec<DigitalWaveform>,
+    /// The event queue, reset (allocation kept) between runs.
+    pub(crate) queue: EventQueue,
+}
+
+impl SimState {
+    /// Builds an arena for a circuit with the given table sizes.
+    pub(crate) fn for_circuit(pin_count: usize, gate_count: usize, net_count: usize) -> Self {
+        SimState {
+            pin_levels: vec![LogicLevel::Unknown; pin_count],
+            output_target: vec![LogicLevel::Unknown; gate_count],
+            last_output_start: vec![None; gate_count],
+            net_waveforms: vec![DigitalWaveform::new(LogicLevel::Unknown); net_count],
+            queue: EventQueue::new(pin_count),
+        }
+    }
+
+    /// Number of dense pin slots the arena was sized for.
+    pub fn pin_count(&self) -> usize {
+        self.pin_levels.len()
+    }
+
+    /// Number of gate slots the arena was sized for.
+    pub fn gate_count(&self) -> usize {
+        self.output_target.len()
+    }
+
+    /// Number of net waveform buffers the arena was sized for.
+    pub fn net_count(&self) -> usize {
+        self.net_waveforms.len()
+    }
+
+    /// Panics with a descriptive message when the arena does not match the
+    /// circuit about to use it.
+    pub(crate) fn check_capacity(&self, pin_count: usize, gate_count: usize, net_count: usize) {
+        assert!(
+            self.pin_count() == pin_count
+                && self.gate_count() == gate_count
+                && self.net_count() == net_count,
+            "SimState sized for {} pins / {} gates / {} nets used with a circuit of {} pins / {} gates / {} nets",
+            self.pin_count(),
+            self.gate_count(),
+            self.net_count(),
+            pin_count,
+            gate_count,
+            net_count,
+        );
+    }
+
+    /// Re-initialises the arena from the initial net levels of a new run,
+    /// keeping every allocation of the static structures.
+    pub(crate) fn reset(
+        &mut self,
+        netlist: &Netlist,
+        pins: &PinMap,
+        initial_levels: &[LogicLevel],
+    ) {
+        for gate in netlist.gates() {
+            let block = pins.gate_offset(gate.id());
+            for (slot, &net) in self.pin_levels[block..].iter_mut().zip(gate.inputs()) {
+                *slot = initial_levels[net.index()];
+            }
+            self.output_target[gate.id().index()] = initial_levels[gate.output().index()];
+            self.last_output_start[gate.id().index()] = None;
+        }
+        for (buffer, net) in self.net_waveforms.iter_mut().zip(netlist.nets()) {
+            *buffer = DigitalWaveform::new(initial_levels[net.id().index()]);
+        }
+        self.queue.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_netlist::generators;
+
+    #[test]
+    fn arena_dimensions_match_the_circuit() {
+        let netlist = generators::c17();
+        let pins = PinMap::new(&netlist);
+        let state = SimState::for_circuit(pins.len(), netlist.gate_count(), netlist.net_count());
+        assert_eq!(state.pin_count(), 12);
+        assert_eq!(state.gate_count(), netlist.gate_count());
+        assert_eq!(state.net_count(), netlist.net_count());
+        state.check_capacity(12, netlist.gate_count(), netlist.net_count());
+    }
+
+    #[test]
+    fn reset_restores_initial_levels_everywhere() {
+        let netlist = generators::inverter_chain(3);
+        let pins = PinMap::new(&netlist);
+        let mut state =
+            SimState::for_circuit(pins.len(), netlist.gate_count(), netlist.net_count());
+        let levels = vec![LogicLevel::High; netlist.net_count()];
+        state.reset(&netlist, &pins, &levels);
+        assert!(state.pin_levels.iter().all(|&l| l == LogicLevel::High));
+        assert!(state.output_target.iter().all(|&l| l == LogicLevel::High));
+        assert!(state.last_output_start.iter().all(|s| s.is_none()));
+        assert!(state
+            .net_waveforms
+            .iter()
+            .all(|w| w.initial() == LogicLevel::High && w.is_empty()));
+    }
+}

@@ -36,6 +36,31 @@ impl SimulationStats {
             * 100.0
     }
 
+    /// Accumulates another run's counters into `self` — used by the
+    /// [`BatchRunner`](crate::BatchRunner) to aggregate a whole scenario
+    /// sweep.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use halotis_sim::SimulationStats;
+    ///
+    /// let mut totals = SimulationStats::default();
+    /// let run = SimulationStats { events_scheduled: 10, events_processed: 8, ..Default::default() };
+    /// totals.merge(&run);
+    /// totals.merge(&run);
+    /// assert_eq!(totals.events_scheduled, 20);
+    /// assert_eq!(totals.events_processed, 16);
+    /// ```
+    pub fn merge(&mut self, other: &SimulationStats) {
+        self.events_scheduled += other.events_scheduled;
+        self.events_filtered += other.events_filtered;
+        self.events_processed += other.events_processed;
+        self.output_transitions += other.output_transitions;
+        self.degraded_transitions += other.degraded_transitions;
+        self.collapsed_transitions += other.collapsed_transitions;
+    }
+
     /// Fraction of processed events that produced an output transition.
     pub fn activity_ratio(&self) -> f64 {
         if self.events_processed == 0 {

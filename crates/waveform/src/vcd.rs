@@ -1,6 +1,6 @@
 //! Value-change-dump (VCD) export.
 //!
-//! Writes [`IdealWaveform`](crate::IdealWaveform) traces in the standard
+//! Writes [`IdealWaveform`] traces in the standard
 //! IEEE 1364 VCD text format so simulation results can be inspected in any
 //! waveform viewer (GTKWave, Surfer, ...).
 
@@ -96,7 +96,7 @@ pub fn write<W: Write>(mut out: W, scope: &str, trace: &Trace<IdealWaveform>) ->
 }
 
 /// Renders the VCD document into a `String` (convenience wrapper over
-/// [`write`]).
+/// [`write()`]).
 pub fn to_string(scope: &str, trace: &Trace<IdealWaveform>) -> String {
     let mut buffer = Vec::new();
     write(&mut buffer, scope, trace).expect("writing to a Vec cannot fail");

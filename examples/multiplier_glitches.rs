@@ -9,7 +9,7 @@
 use halotis::analog::{AnalogConfig, AnalogSimulator};
 use halotis::core::{Time, TimeDelta};
 use halotis::experiments::{multiplier_fixture, multiplier_stimulus, SEQUENCE_FIG6};
-use halotis::sim::{SimulationConfig, Simulator};
+use halotis::sim::{CompiledCircuit, SimulationConfig};
 use halotis::waveform::compare::{compare_traces, switching_activity};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,10 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let stimulus = multiplier_stimulus(&fixture.ports, SEQUENCE_FIG6);
-    let simulator = Simulator::new(&fixture.netlist, &fixture.library);
+    let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library)?;
 
-    // HALOTIS with and without degradation.
-    let (ddm, cdm) = simulator.run_both_models(&stimulus, &SimulationConfig::default())?;
+    // HALOTIS with and without degradation, sharing one compiled circuit.
+    let (ddm, cdm) = circuit.run_both_models(&stimulus, &SimulationConfig::default())?;
     println!("\nHALOTIS-DDM: {}", ddm.stats());
     println!("HALOTIS-CDM: {}", cdm.stats());
     println!(

@@ -13,7 +13,7 @@
 //! ```
 
 use halotis::experiments::{multiplier_fixture_sized, multiplier_stimulus, sequence_label};
-use halotis::sim::{SimulationConfig, Simulator};
+use halotis::sim::{CompiledCircuit, SimulationConfig};
 
 /// Small deterministic pseudo-random operand generator (SplitMix64), so the
 /// example's output is reproducible without extra dependencies.
@@ -35,11 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("|------|---------|------------|------------|----------------|--------------|");
     for &(a_bits, b_bits) in &[(4usize, 4usize), (6, 6), (8, 8)] {
         let fixture = multiplier_fixture_sized(a_bits, b_bits);
-        let simulator = Simulator::new(&fixture.netlist, &fixture.library);
+        // One compilation per multiplier size serves every vector count.
+        let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library)?;
         for &vectors in &[5usize, 10, 20] {
             let pairs = operands(0xDA7E_2001 + vectors as u64, vectors, a_bits.min(b_bits));
             let stimulus = multiplier_stimulus(&fixture.ports, &pairs);
-            let (ddm, cdm) = simulator.run_both_models(&stimulus, &SimulationConfig::default())?;
+            let (ddm, cdm) = circuit.run_both_models(&stimulus, &SimulationConfig::default())?;
             println!(
                 "| {a_bits}x{b_bits}  | {vectors:7} | {:10} | {:10} | {:13.0}% | {:12} |",
                 ddm.stats().events_scheduled,

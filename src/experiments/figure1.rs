@@ -15,7 +15,7 @@ use halotis_analog::{AnalogConfig, AnalogResult, AnalogSimulator};
 use halotis_core::{LogicLevel, Time, TimeDelta};
 use halotis_netlist::generators::{figure1_default, Figure1Nets};
 use halotis_netlist::{technology, Library, Netlist};
-use halotis_sim::{classical, SimulationConfig, SimulationResult, Simulator};
+use halotis_sim::{classical, CompiledCircuit, SimState, SimulationConfig, SimulationResult};
 use halotis_waveform::ascii::{render_trace, AsciiOptions};
 use halotis_waveform::{IdealWaveform, Stimulus, Trace};
 
@@ -191,10 +191,25 @@ pub fn figure1_experiment_on(
     library: &Library,
     pulse_width: TimeDelta,
 ) -> Figure1Report {
+    let circuit = CompiledCircuit::compile(netlist, library).expect("figure1 circuit compiles");
+    let mut state = circuit.new_state();
+    figure1_experiment_compiled(&circuit, &mut state, nets, pulse_width)
+}
+
+/// As [`figure1_experiment_on`], but reusing a caller-compiled circuit and
+/// state arena — the sweep in [`find_selective_pulse`] compiles once and
+/// runs every width through the same tables.
+pub fn figure1_experiment_compiled(
+    circuit: &CompiledCircuit<'_>,
+    state: &mut SimState,
+    nets: &Figure1Nets,
+    pulse_width: TimeDelta,
+) -> Figure1Report {
+    let netlist = circuit.netlist();
+    let library = circuit.library();
     let stimulus = pulse_stimulus(library, pulse_width);
-    let simulator = Simulator::new(netlist, library);
-    let halotis = simulator
-        .run(&stimulus, &SimulationConfig::ddm())
+    let halotis = circuit
+        .run_with(state, &stimulus, &SimulationConfig::ddm())
         .expect("figure1 circuit simulates under HALOTIS");
     let classical = classical::run(netlist, library, &stimulus, &SimulationConfig::cdm())
         .expect("figure1 circuit simulates under the classical engine");
@@ -219,9 +234,11 @@ pub fn figure1_experiment_on(
 pub fn find_selective_pulse(widths_ps: &[f64]) -> Option<Figure1Report> {
     let (netlist, nets) = figure1_default();
     let library = technology::cmos06();
+    let circuit = CompiledCircuit::compile(&netlist, &library).expect("figure1 circuit compiles");
+    let mut state = circuit.new_state();
     widths_ps
         .iter()
-        .map(|&w| figure1_experiment_on(&netlist, &nets, &library, TimeDelta::from_ps(w)))
+        .map(|&w| figure1_experiment_compiled(&circuit, &mut state, &nets, TimeDelta::from_ps(w)))
         .find(|report| report.analog_activity().is_selective())
 }
 

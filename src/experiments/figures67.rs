@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use halotis_analog::{AnalogConfig, AnalogSimulator};
 use halotis_core::{Time, TimeDelta};
-use halotis_sim::{SimulationConfig, Simulator};
+use halotis_sim::{CompiledCircuit, SimulationConfig};
 use halotis_waveform::ascii::{render_axis, render_trace, AsciiOptions};
 use halotis_waveform::compare::{compare_traces, WaveformComparison};
 use halotis_waveform::{IdealWaveform, Trace};
@@ -121,8 +121,9 @@ pub fn waveform_figure_on(
     analog_step: TimeDelta,
 ) -> WaveformFigure {
     let stimulus = multiplier_stimulus(&fixture.ports, pairs);
-    let simulator = Simulator::new(&fixture.netlist, &fixture.library);
-    let (ddm, cdm) = simulator
+    let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library)
+        .expect("multiplier fixture compiles");
+    let (ddm, cdm) = circuit
         .run_both_models(&stimulus, &SimulationConfig::default())
         .expect("multiplier fixture simulates under both models");
     let analog = AnalogSimulator::new(&fixture.netlist, &fixture.library)

@@ -12,7 +12,7 @@ use halotis_analog::{AnalogConfig, AnalogSimulator};
 use halotis_core::{LogicLevel, Time, TimeDelta};
 use halotis_netlist::generators::inverter_chain;
 use halotis_netlist::{technology, Library, Netlist};
-use halotis_sim::{SimulationConfig, Simulator};
+use halotis_sim::{BatchRunner, CompiledCircuit, Scenario, SimulationConfig, SimulationResult};
 use halotis_waveform::{IdealWaveform, Stimulus};
 
 /// One point of the sweep.
@@ -53,17 +53,13 @@ fn pulse_stimulus(library: &Library, width: TimeDelta) -> Stimulus {
     stimulus
 }
 
-fn sweep_point(
+fn analog_point(
     netlist: &Netlist,
     library: &Library,
     width: TimeDelta,
     analog_step: TimeDelta,
-) -> PulseWidthPoint {
+) -> Option<TimeDelta> {
     let stimulus = pulse_stimulus(library, width);
-    let simulator = Simulator::new(netlist, library);
-    let (ddm, cdm) = simulator
-        .run_both_models(&stimulus, &SimulationConfig::default())
-        .expect("inverter chain simulates under both models");
     let analog = AnalogSimulator::new(netlist, library)
         .run(
             &stimulus,
@@ -72,16 +68,20 @@ fn sweep_point(
                 .with_end_time(Time::from_ns(12.0)),
         )
         .expect("inverter chain simulates under the analog engine");
-    PulseWidthPoint {
-        input_width: width,
-        analog_output: analog.ideal_waveform("out").and_then(|w| widest_pulse(&w)),
-        ddm_output: ddm.ideal_waveform("out").and_then(|w| widest_pulse(&w)),
-        cdm_output: cdm.ideal_waveform("out").and_then(|w| widest_pulse(&w)),
-    }
+    analog.ideal_waveform("out").and_then(|w| widest_pulse(&w))
+}
+
+fn output_width(result: &SimulationResult) -> Option<TimeDelta> {
+    result.ideal_waveform("out").and_then(|w| widest_pulse(&w))
 }
 
 /// Runs the sweep over `widths_ps` through an inverter chain of `stages`
 /// stages.
+///
+/// The chain is compiled once; every `(width, model)` combination then runs
+/// as one scenario of a parallel [`BatchRunner`] sweep over the shared
+/// compiled tables.  Only the (far slower) analog reference points run
+/// sequentially.
 pub fn pulse_width_sweep(
     stages: usize,
     widths_ps: &[f64],
@@ -89,9 +89,41 @@ pub fn pulse_width_sweep(
 ) -> PulseWidthSweep {
     let netlist = inverter_chain(stages);
     let library = technology::cmos06();
+    let circuit = CompiledCircuit::compile(&netlist, &library).expect("inverter chain compiles");
+    let scenarios: Vec<Scenario> = widths_ps
+        .iter()
+        .flat_map(|&w| {
+            Scenario::both_models(
+                format!("width={w}ps"),
+                pulse_stimulus(&library, TimeDelta::from_ps(w)),
+                SimulationConfig::default(),
+            )
+        })
+        .collect();
+    let report = BatchRunner::new().run(&circuit, &scenarios);
     let points = widths_ps
         .iter()
-        .map(|&w| sweep_point(&netlist, &library, TimeDelta::from_ps(w), analog_step))
+        .zip(report.outcomes().chunks(2))
+        .map(|(&w, chunk)| {
+            let [ddm, cdm] = chunk else {
+                unreachable!("two scenarios per width");
+            };
+            let width = TimeDelta::from_ps(w);
+            PulseWidthPoint {
+                input_width: width,
+                analog_output: analog_point(&netlist, &library, width, analog_step),
+                ddm_output: output_width(
+                    ddm.result
+                        .as_ref()
+                        .expect("inverter chain simulates under DDM"),
+                ),
+                cdm_output: output_width(
+                    cdm.result
+                        .as_ref()
+                        .expect("inverter chain simulates under CDM"),
+                ),
+            }
+        })
         .collect();
     PulseWidthSweep { stages, points }
 }

@@ -1,9 +1,14 @@
 //! Reproduction of the paper's Table 1: event counts and filtered-event
 //! counts of HALOTIS-DDM and HALOTIS-CDM on the two multiplication
 //! sequences, plus the CDM overestimation percentage.
+//!
+//! The table is produced through the compile-once/run-many core: the
+//! multiplier is compiled a single time and all four runs (two sequences ×
+//! two delay models) execute as one [`BatchRunner`] sweep sharing the
+//! compiled tables.
 
 use halotis_sim::stats::ComparisonRow;
-use halotis_sim::{SimulationConfig, Simulator};
+use halotis_sim::{BatchRunner, CompiledCircuit, Scenario, SimulationConfig};
 
 use super::{
     multiplier_fixture, multiplier_stimulus, sequence_label, MultiplierFixture, SEQUENCE_FIG6,
@@ -12,9 +17,19 @@ use super::{
 
 /// Runs both delay models on one sequence and packages the Table 1 row.
 pub fn table1_row(fixture: &MultiplierFixture, pairs: &[(u64, u64)]) -> ComparisonRow {
+    let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library)
+        .expect("multiplier fixture compiles");
+    table1_row_on(&circuit, fixture, pairs)
+}
+
+/// As [`table1_row`], but reusing a caller-compiled circuit.
+pub fn table1_row_on(
+    circuit: &CompiledCircuit<'_>,
+    fixture: &MultiplierFixture,
+    pairs: &[(u64, u64)],
+) -> ComparisonRow {
     let stimulus = multiplier_stimulus(&fixture.ports, pairs);
-    let simulator = Simulator::new(&fixture.netlist, &fixture.library);
-    let (ddm, cdm) = simulator
+    let (ddm, cdm) = circuit
         .run_both_models(&stimulus, &SimulationConfig::default())
         .expect("multiplier fixture simulates under both models");
     ComparisonRow {
@@ -24,13 +39,46 @@ pub fn table1_row(fixture: &MultiplierFixture, pairs: &[(u64, u64)]) -> Comparis
     }
 }
 
-/// Reproduces the full Table 1 (both sequences).
+/// Reproduces the full Table 1 (both sequences) as one parallel batch over
+/// a single compiled circuit.
 pub fn table1() -> Vec<ComparisonRow> {
     let fixture = multiplier_fixture();
-    vec![
-        table1_row(&fixture, SEQUENCE_FIG6),
-        table1_row(&fixture, SEQUENCE_FIG7),
-    ]
+    let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library)
+        .expect("multiplier fixture compiles");
+    let sequences = [SEQUENCE_FIG6, SEQUENCE_FIG7];
+    let scenarios: Vec<Scenario> = sequences
+        .iter()
+        .flat_map(|pairs| {
+            Scenario::both_models(
+                sequence_label(pairs),
+                multiplier_stimulus(&fixture.ports, pairs),
+                SimulationConfig::default(),
+            )
+        })
+        .collect();
+    let report = BatchRunner::new().run(&circuit, &scenarios);
+    sequences
+        .iter()
+        .zip(report.outcomes().chunks(2))
+        .map(|(pairs, chunk)| {
+            let [ddm, cdm] = chunk else {
+                unreachable!("two scenarios per sequence");
+            };
+            ComparisonRow {
+                sequence: sequence_label(pairs),
+                ddm: *ddm
+                    .result
+                    .as_ref()
+                    .expect("multiplier fixture simulates under DDM")
+                    .stats(),
+                cdm: *cdm
+                    .result
+                    .as_ref()
+                    .expect("multiplier fixture simulates under CDM")
+                    .stats(),
+            }
+        })
+        .collect()
 }
 
 /// Renders Table 1 in the paper's column layout.
@@ -86,6 +134,17 @@ mod tests {
                 row.cdm.events_filtered
             );
         }
+    }
+
+    #[test]
+    fn batched_table_matches_the_sequential_rows() {
+        let fixture = multiplier_fixture();
+        let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library).unwrap();
+        let sequential = vec![
+            table1_row_on(&circuit, &fixture, SEQUENCE_FIG6),
+            table1_row_on(&circuit, &fixture, SEQUENCE_FIG7),
+        ];
+        assert_eq!(table1(), sequential);
     }
 
     #[test]

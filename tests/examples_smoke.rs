@@ -10,11 +10,12 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 4] = [
+const EXAMPLES: [&str; 5] = [
     "quickstart",
     "inertial_chain",
     "multiplier_glitches",
     "switching_activity",
+    "batch_sweep",
 ];
 
 #[test]
