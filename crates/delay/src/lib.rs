@@ -13,7 +13,11 @@
 //!   simulators, needed as a baseline ([`inertial`]),
 //! * a small **characterisation** module that fits degradation coefficients
 //!   from measurement points, as a cell-library bring-up aid
-//!   ([`characterize`]).
+//!   ([`characterize`]),
+//! * the **pluggable model contract** ([`traits`]): the [`DelayModel`] trait
+//!   with the built-ins as implementations ([`Degradation`],
+//!   [`Conventional`]), the [`PerCellOverride`] composite and the
+//!   [`DelayModelHandle`] the simulation configuration carries.
 //!
 //! The cell library (in `halotis-netlist`) stores one [`EdgeTiming`] per
 //! (input pin, output edge) pair; the simulator evaluates it through
@@ -31,6 +35,7 @@
 //!     load: Capacitance::from_femtofarads(30.0),
 //!     input_slew: TimeDelta::from_ps(200.0),
 //!     time_since_last_output: None,
+//!     cell_class: Default::default(),
 //! };
 //! let fresh = model::evaluate(&timing, DelayModelKind::Degradation, &ctx);
 //! // A gate that has been quiet for a long time sees no degradation.
@@ -46,7 +51,9 @@ pub mod degradation;
 pub mod inertial;
 pub mod model;
 pub mod nominal;
+pub mod traits;
 
 pub use coeffs::{DegradationCoeffs, EdgeTiming, PinTiming, PropagationCoeffs, SlewCoeffs};
 pub use degradation::DegradationEvaluation;
-pub use model::{DelayContext, DelayModelKind, DelayOutcome};
+pub use model::{CellClass, DelayContext, DelayModelKind, DelayOutcome};
+pub use traits::{Conventional, Degradation, DelayModel, DelayModelHandle, PerCellOverride};

@@ -49,6 +49,31 @@ impl fmt::Display for DelayModelKind {
     }
 }
 
+/// Opaque cell-classification tag carried by [`DelayContext`].
+///
+/// Composite delay models (e.g.
+/// [`PerCellOverride`](crate::PerCellOverride)) dispatch on the kind of cell
+/// being evaluated, but this crate sits *below* the netlist layer and cannot
+/// name cell kinds.  `CellClass` is the decoupling: the netlist crate maps
+/// each `CellKind` to a stable tag (`CellKind::class()`), the simulation
+/// engine stamps it into every [`DelayContext`], and composite models match
+/// on it without either crate depending on the other's vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellClass(pub u16);
+
+impl CellClass {
+    /// Tag used when the caller has no cell identity (standalone arc
+    /// evaluations, documentation examples).  Composite models fall back to
+    /// their default model for it.
+    pub const UNSPECIFIED: CellClass = CellClass(u16::MAX);
+}
+
+impl Default for CellClass {
+    fn default() -> Self {
+        CellClass::UNSPECIFIED
+    }
+}
+
 /// Everything the delay model needs to know about the switching situation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DelayContext {
@@ -61,6 +86,9 @@ pub struct DelayContext {
     /// `T`: time elapsed since the gate's previous output transition, or
     /// `None` when the output has never switched (no degradation possible).
     pub time_since_last_output: Option<TimeDelta>,
+    /// Classification tag of the cell being evaluated, for composite models;
+    /// [`CellClass::UNSPECIFIED`] when the caller has no cell identity.
+    pub cell_class: CellClass,
 }
 
 /// The evaluated timing of one output transition.
@@ -105,6 +133,7 @@ impl DelayOutcome {
 ///     load: Capacitance::from_femtofarads(15.0),
 ///     input_slew: TimeDelta::from_ps(150.0),
 ///     time_since_last_output: Some(TimeDelta::from_ps(80.0)),
+///     cell_class: Default::default(),
 /// };
 /// let ddm = model::evaluate(&arc, DelayModelKind::Degradation, &ctx);
 /// let cdm = model::evaluate(&arc, DelayModelKind::Conventional, &ctx);
@@ -159,6 +188,7 @@ mod tests {
             load: Capacitance::from_femtofarads(20.0),
             input_slew: TimeDelta::from_ps(150.0),
             time_since_last_output: elapsed_ps.map(TimeDelta::from_ps),
+            cell_class: CellClass::default(),
         }
     }
 
@@ -209,6 +239,7 @@ mod tests {
                 load: Capacitance::from_femtofarads(load),
                 input_slew: TimeDelta::from_ps(slew),
                 time_since_last_output: Some(TimeDelta::from_ps(elapsed)),
+                cell_class: CellClass::default(),
             };
             let ddm = evaluate(&arc, DelayModelKind::Degradation, &ctx);
             let cdm = evaluate(&arc, DelayModelKind::Conventional, &ctx);

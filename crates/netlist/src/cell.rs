@@ -82,6 +82,25 @@ impl CellKind {
         }
     }
 
+    /// The delay-model dispatch tag of this cell kind.
+    ///
+    /// Composite delay models (e.g. `halotis_delay::PerCellOverride`) select
+    /// a model per [`CellClass`](halotis_delay::CellClass); this is the
+    /// canonical mapping the simulation engine stamps into every
+    /// `DelayContext`.  Stable per kind within one build of the library.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use halotis_netlist::CellKind;
+    ///
+    /// assert_ne!(CellKind::Inv.class(), CellKind::Nand2.class());
+    /// assert_eq!(CellKind::Xor2.class(), CellKind::Xor2.class());
+    /// ```
+    pub const fn class(self) -> halotis_delay::CellClass {
+        halotis_delay::CellClass(self as u16)
+    }
+
     /// `true` for cells whose output is the complement of the underlying
     /// AND/OR/identity function (inverting cells are a transistor stage
     /// cheaper in CMOS and get slightly different default characterisation).

@@ -32,4 +32,6 @@ pub mod writer;
 
 pub use cell::CellKind;
 pub use library::{CellTiming, Library, PinSpec};
-pub use netlist::{Gate, Net, NetDriver, Netlist, NetlistBuilder, NetlistError};
+pub use netlist::{
+    is_primary_input_net, Gate, Net, NetDriver, Netlist, NetlistBuilder, NetlistError,
+};

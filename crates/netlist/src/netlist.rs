@@ -117,6 +117,23 @@ impl Net {
     }
 }
 
+/// Returns `true` when the driver of `net` is a primary input — convenient
+/// for distinguishing stimulus transitions from gate activity (e.g. when
+/// attributing switching counts in tests and reports).
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{generators, is_primary_input_net};
+///
+/// let netlist = generators::inverter_chain(2);
+/// assert!(is_primary_input_net(&netlist, netlist.net_id("in").unwrap()));
+/// assert!(!is_primary_input_net(&netlist, netlist.net_id("out").unwrap()));
+/// ```
+pub fn is_primary_input_net(netlist: &Netlist, net: NetId) -> bool {
+    netlist.net(net).is_primary_input()
+}
+
 /// Errors detected while constructing a netlist.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetlistError {

@@ -5,7 +5,7 @@
 //! `(stimulus, config)` pairs.  [`BatchRunner`] executes such a sweep across
 //! `std::thread::scope` workers that share one immutable
 //! [`CompiledCircuit`]; each worker owns a single
-//! [`SimState`](crate::SimState) arena reused for every scenario it picks
+//! [`SimState`] arena reused for every scenario it picks
 //! up, so the whole batch performs one static preparation and `threads`
 //! arena allocations, total.
 //!
@@ -23,7 +23,9 @@ use halotis_waveform::Stimulus;
 use crate::compiled::CompiledCircuit;
 use crate::config::SimulationConfig;
 use crate::error::SimulationError;
+use crate::observer::SimObserver;
 use crate::result::SimulationResult;
+use crate::state::SimState;
 use crate::stats::SimulationStats;
 
 /// One unit of batch work: a stimulus plus the configuration to run it
@@ -61,10 +63,10 @@ impl Scenario {
         stimulus: Stimulus,
         base: SimulationConfig,
     ) -> [Scenario; 2] {
-        let mut ddm = base;
-        ddm.model = halotis_delay::DelayModelKind::Degradation;
-        let mut cdm = base;
-        cdm.model = halotis_delay::DelayModelKind::Conventional;
+        let ddm = base
+            .clone()
+            .model(halotis_delay::DelayModelKind::Degradation);
+        let cdm = base.model(halotis_delay::DelayModelKind::Conventional);
         [
             Scenario::new(format!("{}/ddm", label.as_ref()), stimulus.clone(), ddm),
             Scenario::new(format!("{}/cdm", label.as_ref()), stimulus, cdm),
@@ -82,28 +84,49 @@ pub struct ScenarioOutcome {
     pub result: Result<SimulationResult, SimulationError>,
 }
 
-/// Everything a batch run produces: per-scenario outcomes in input order
-/// plus aggregate statistics.
+/// The outcome of one scenario of an observed batch run
+/// ([`BatchRunner::run_observed`]): the populated per-scenario observer plus
+/// the run statistics (or the error that aborted the scenario).
+#[derive(Debug)]
+pub struct ObservedOutcome<O> {
+    /// The scenario label, copied from the input.
+    pub label: String,
+    /// The run statistics, or the error that aborted this scenario.  One
+    /// failing scenario does not abort the rest of the batch.
+    pub stats: Result<SimulationStats, SimulationError>,
+    /// The observer that watched this scenario, carrying whatever it chose
+    /// to retain.  On error it holds whatever was observed before the abort.
+    pub observer: O,
+}
+
+/// Everything a batch run produces: per-scenario outcomes in submission
+/// order plus aggregate statistics, generic over the outcome type
+/// ([`ScenarioOutcome`] for [`BatchRunner::run`], [`ObservedOutcome`] for
+/// [`BatchRunner::run_observed`]).
 #[derive(Clone, Debug)]
-pub struct BatchReport {
-    outcomes: Vec<ScenarioOutcome>,
+pub struct BatchSummary<T> {
+    outcomes: Vec<T>,
     totals: SimulationStats,
     succeeded: usize,
     wall_time: Duration,
     threads: usize,
 }
 
-impl BatchReport {
+/// The report of a full-result batch run ([`BatchRunner::run`]).
+pub type BatchReport = BatchSummary<ScenarioOutcome>;
+
+/// The report of an observed batch run ([`BatchRunner::run_observed`]).
+pub type ObservedReport<O> = BatchSummary<ObservedOutcome<O>>;
+
+impl<T> BatchSummary<T> {
     /// Per-scenario outcomes, in the order the scenarios were submitted.
-    pub fn outcomes(&self) -> &[ScenarioOutcome] {
+    pub fn outcomes(&self) -> &[T] {
         &self.outcomes
     }
 
-    /// The successful results, in submission order.
-    pub fn results(&self) -> impl Iterator<Item = &SimulationResult> {
+    /// Consumes the report, yielding the outcomes in submission order.
+    pub fn into_outcomes(self) -> Vec<T> {
         self.outcomes
-            .iter()
-            .filter_map(|outcome| outcome.result.as_ref().ok())
     }
 
     /// Statistics summed over every successful scenario.
@@ -139,6 +162,25 @@ impl BatchReport {
     /// Number of worker threads the batch actually used.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+}
+
+impl BatchSummary<ScenarioOutcome> {
+    /// The successful results, in submission order.
+    pub fn results(&self) -> impl Iterator<Item = &SimulationResult> {
+        self.outcomes
+            .iter()
+            .filter_map(|outcome| outcome.result.as_ref().ok())
+    }
+}
+
+impl<O> BatchSummary<ObservedOutcome<O>> {
+    /// The observers of the successful scenarios, in submission order.
+    pub fn observers(&self) -> impl Iterator<Item = &O> {
+        self.outcomes
+            .iter()
+            .filter(|outcome| outcome.stats.is_ok())
+            .map(|outcome| &outcome.observer)
     }
 }
 
@@ -198,35 +240,127 @@ impl BatchRunner {
         self.threads.get()
     }
 
+    /// Runs every scenario through a per-scenario [`SimObserver`], collecting
+    /// the observers (and run statistics) in submission order.
+    ///
+    /// This is the no-waveform batch path: nothing is recorded beyond what
+    /// each observer keeps.  `make_observer` is called once per scenario
+    /// (with its index and the scenario) on the worker thread about to run
+    /// it; the populated observer is handed back in the report.
+    ///
+    /// # Example: glitch statistics for thousands of stimuli, no waveforms
+    ///
+    /// ```
+    /// use halotis_core::{LogicLevel, Time};
+    /// use halotis_netlist::{generators, technology};
+    /// use halotis_sim::{ActivityCounter, BatchRunner, CompiledCircuit, Scenario, SimulationConfig};
+    /// use halotis_waveform::Stimulus;
+    ///
+    /// let netlist = generators::inverter_chain(4);
+    /// let library = technology::cmos06();
+    /// let circuit = CompiledCircuit::compile(&netlist, &library)?;
+    /// let scenarios: Vec<Scenario> = (1..=16)
+    ///     .map(|i| {
+    ///         let mut stimulus = Stimulus::new(library.default_input_slew());
+    ///         stimulus.set_initial("in", LogicLevel::Low);
+    ///         stimulus.drive("in", Time::from_ns(i as f64), LogicLevel::High);
+    ///         Scenario::new(format!("edge@{i}ns"), stimulus, SimulationConfig::ddm())
+    ///     })
+    ///     .collect();
+    ///
+    /// let report = BatchRunner::new().run_observed(&circuit, &scenarios, |_, _| ActivityCounter::new());
+    /// assert_eq!(report.len(), 16);
+    /// let out = netlist.net_id("out").unwrap();
+    /// for outcome in report.outcomes() {
+    ///     assert!(outcome.stats.is_ok());
+    ///     assert_eq!(outcome.observer.transitions(out), 1);
+    /// }
+    /// # Ok::<(), halotis_sim::SimulationError>(())
+    /// ```
+    pub fn run_observed<O, F>(
+        &self,
+        circuit: &CompiledCircuit<'_>,
+        scenarios: &[Scenario],
+        make_observer: F,
+    ) -> ObservedReport<O>
+    where
+        O: SimObserver + Send,
+        F: Fn(usize, &Scenario) -> O + Sync,
+    {
+        self.execute(
+            scenarios,
+            |state, index, scenario| {
+                let mut observer = make_observer(index, scenario);
+                let stats = circuit.run_observed(
+                    state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                );
+                ObservedOutcome {
+                    label: scenario.label.clone(),
+                    stats,
+                    observer,
+                }
+            },
+            |outcome| outcome.stats.as_ref().ok(),
+            || circuit.new_state(),
+        )
+    }
+
     /// Runs every scenario and collects outcomes in submission order.
     ///
     /// Workers pull scenarios from a shared cursor, so an expensive scenario
     /// does not serialise the rest of the sweep behind it.  Each worker
-    /// reuses one [`SimState`](crate::SimState) arena across all scenarios
+    /// reuses one [`SimState`] arena across all scenarios
     /// it executes.  Failures are recorded per scenario and never abort the
     /// batch.
     pub fn run(&self, circuit: &CompiledCircuit<'_>, scenarios: &[Scenario]) -> BatchReport {
+        self.execute(
+            scenarios,
+            |state, _, scenario| ScenarioOutcome {
+                label: scenario.label.clone(),
+                result: circuit.run_with(state, &scenario.stimulus, &scenario.config),
+            },
+            |outcome| outcome.result.as_ref().ok().map(SimulationResult::stats),
+            || circuit.new_state(),
+        )
+    }
+
+    /// The work-stealing driver shared by [`run`](BatchRunner::run) and
+    /// [`run_observed`](BatchRunner::run_observed): workers pull scenario
+    /// indices from an atomic cursor, each reusing one arena (from
+    /// `new_state`) across every scenario it executes, and `job` outcomes
+    /// land in submission order; `stats_of` extracts the per-scenario
+    /// statistics (or `None` for a failed scenario) for the aggregates.
+    fn execute<T, F, S, N>(
+        &self,
+        scenarios: &[Scenario],
+        job: F,
+        stats_of: S,
+        new_state: N,
+    ) -> BatchSummary<T>
+    where
+        T: Send,
+        F: Fn(&mut SimState, usize, &Scenario) -> T + Sync,
+        S: Fn(&T) -> Option<&SimulationStats>,
+        N: Fn() -> SimState + Sync,
+    {
         let started = Instant::now();
         let threads = self.threads.get().min(scenarios.len()).max(1);
         let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<ScenarioOutcome>>> =
-            Mutex::new((0..scenarios.len()).map(|_| None).collect());
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..scenarios.len()).map(|_| None).collect());
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let mut state = circuit.new_state();
+                    let mut state = new_state();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(scenario) = scenarios.get(index) else {
                             break;
                         };
-                        let result =
-                            circuit.run_with(&mut state, &scenario.stimulus, &scenario.config);
-                        let outcome = ScenarioOutcome {
-                            label: scenario.label.clone(),
-                            result,
-                        };
+                        let outcome = job(&mut state, index, scenario);
                         slots.lock().expect("no worker panicked holding the lock")[index] =
                             Some(outcome);
                     }
@@ -234,7 +368,7 @@ impl BatchRunner {
             }
         });
 
-        let outcomes: Vec<ScenarioOutcome> = slots
+        let outcomes: Vec<T> = slots
             .into_inner()
             .expect("all workers joined")
             .into_iter()
@@ -243,12 +377,12 @@ impl BatchRunner {
         let mut totals = SimulationStats::default();
         let mut succeeded = 0;
         for outcome in &outcomes {
-            if let Ok(result) = &outcome.result {
-                totals.merge(result.stats());
+            if let Some(stats) = stats_of(outcome) {
+                totals.merge(stats);
                 succeeded += 1;
             }
         }
-        BatchReport {
+        BatchSummary {
             outcomes,
             totals,
             succeeded,

@@ -243,7 +243,7 @@ pub fn run(
         .map(|&net| netlist.net(net).name().to_string())
         .collect();
     Ok(SimulationResult::new(
-        halotis_delay::DelayModelKind::Conventional,
+        halotis_delay::DelayModelKind::Conventional.into(),
         vdd,
         waveforms,
         output_names,

@@ -12,11 +12,17 @@
 //! ```text
 //! Netlist + Library ──compile()──▶ CompiledCircuit   (immutable, Sync)
 //!                                       │
-//!                         run_with(&mut SimState, stimulus, config)
+//!              run_observed(&mut SimState, stimulus, config, &mut observer)
 //!                                       │  (repeat at will, zero static
 //!                                       ▼   re-preparation per run)
-//!                                SimulationResult
+//!                               SimulationStats + whatever the
+//!                               observer retained
 //! ```
+//!
+//! [`run_with`](CompiledCircuit::run_with) (full-waveform
+//! [`SimulationResult`]) and [`run_stats`](CompiledCircuit::run_stats)
+//! (statistics only) are thin wrappers plugging a
+//! [`WaveformRecorder`] or the null observer into that one loop.
 //!
 //! The tables are laid out CSR-style: per-pin quantities (threshold voltage,
 //! timing arcs) are indexed by the dense pin index of
@@ -51,15 +57,17 @@
 
 use std::time::Instant;
 
-use halotis_core::{Capacitance, LogicLevel, PinRef, TimeDelta, Voltage};
-use halotis_delay::{model, DelayContext, DelayModelKind, PinTiming};
+use halotis_core::{Capacitance, PinRef, TimeDelta, Voltage};
+use halotis_delay::{CellClass, DelayContext, DelayModel, DelayModelKind, PinTiming};
 use halotis_netlist::{eval, Library, Netlist};
-use halotis_waveform::{DigitalWaveform, Stimulus, Trace, Transition};
+use halotis_waveform::{Stimulus, Transition};
 
 use crate::config::SimulationConfig;
 use crate::error::SimulationError;
 use crate::event::Event;
+use crate::observer::{SimObserver, WaveformRecorder};
 use crate::pins::PinMap;
+use crate::queue::ScheduleOutcome;
 use crate::ramp;
 use crate::result::SimulationResult;
 use crate::state::SimState;
@@ -98,6 +106,8 @@ pub struct CompiledCircuit<'a> {
     pin_timing: Vec<PinTiming>,
     /// Output load per gate.
     gate_loads: Vec<Capacitance>,
+    /// Delay-model dispatch tag per gate (see [`CellClass`]).
+    gate_classes: Vec<CellClass>,
     /// Switched capacitance per net (also used by
     /// [`power::estimate_compiled`](crate::power::estimate_compiled)).
     net_loads: Vec<Capacitance>,
@@ -143,6 +153,11 @@ impl<'a> CompiledCircuit<'a> {
             .iter()
             .map(|gate| net_loads[gate.output().index()])
             .collect();
+        let gate_classes: Vec<CellClass> = netlist
+            .gates()
+            .iter()
+            .map(|gate| gate.kind().class())
+            .collect();
 
         let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
         let mut fanout = Vec::new();
@@ -173,6 +188,7 @@ impl<'a> CompiledCircuit<'a> {
             pin_thresholds,
             pin_timing,
             gate_loads,
+            gate_classes,
             net_loads,
             fanout_offsets,
             fanout,
@@ -242,10 +258,13 @@ impl<'a> CompiledCircuit<'a> {
         self.run_with(&mut state, stimulus, config)
     }
 
-    /// Runs one simulation, reusing the caller's state arena.
+    /// Runs one simulation, reusing the caller's state arena and recording
+    /// full waveforms.
     ///
-    /// The arena is reset on entry, so the produced waveforms and statistics
-    /// are bit-identical to a run with a freshly allocated state.
+    /// This is [`run_observed`](CompiledCircuit::run_observed) with a
+    /// [`WaveformRecorder`], packaged as a [`SimulationResult`].  The arena
+    /// is reset on entry, so the produced waveforms and statistics are
+    /// bit-identical to a run with a freshly allocated state.
     ///
     /// # Errors
     ///
@@ -264,7 +283,61 @@ impl<'a> CompiledCircuit<'a> {
         config: &SimulationConfig,
     ) -> Result<SimulationResult, SimulationError> {
         let started = Instant::now();
+        let mut recorder = WaveformRecorder::new();
+        let stats = self.run_observed(state, stimulus, config, &mut recorder)?;
+        Ok(SimulationResult::new(
+            config.model.clone(),
+            self.vdd,
+            recorder.into_trace(self.netlist),
+            self.output_names.clone(),
+            stats,
+            started.elapsed(),
+        ))
+    }
+
+    /// Runs one simulation for its statistics only — no waveform recording,
+    /// no per-net allocation (the null observer `()` under the hood).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run_with`](CompiledCircuit::run_with).
+    pub fn run_stats(
+        &self,
+        state: &mut SimState,
+        stimulus: &Stimulus,
+        config: &SimulationConfig,
+    ) -> Result<SimulationStats, SimulationError> {
+        self.run_observed(state, stimulus, config, &mut ())
+    }
+
+    /// Runs one simulation, streaming activity into `observer` (the paper's
+    /// Fig. 4 loop, observation decoupled from execution).
+    ///
+    /// The engine pushes every emitted transition, filtered event and gate
+    /// evaluation to the [`SimObserver`]; what (if anything) is retained is
+    /// the observer's choice.  See [`observer`](crate::observer) for the
+    /// shipped implementations.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::UndrivenPrimaryInput`] if the stimulus does not
+    ///   cover every primary input,
+    /// * [`SimulationError::EventBudgetExhausted`] if the configured event
+    ///   budget is exceeded.  The observer's `finish` is *not* called on
+    ///   error paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was created for a differently sized circuit.
+    pub fn run_observed<O: SimObserver + ?Sized>(
+        &self,
+        state: &mut SimState,
+        stimulus: &Stimulus,
+        config: &SimulationConfig,
+        observer: &mut O,
+    ) -> Result<SimulationStats, SimulationError> {
         let netlist = self.netlist;
+        let model: &dyn DelayModel = config.model.as_dyn();
         state.check_capacity(self.pins.len(), netlist.gate_count(), netlist.net_count());
 
         // --- initial state --------------------------------------------------
@@ -280,6 +353,7 @@ impl<'a> CompiledCircuit<'a> {
         }
         let initial_levels = eval::evaluate(netlist, &assignments);
         state.reset(netlist, &self.pins, &initial_levels);
+        observer.begin(self, &initial_levels);
 
         // --- stimulus events ------------------------------------------------
         let mut stats = SimulationStats::default();
@@ -289,11 +363,11 @@ impl<'a> CompiledCircuit<'a> {
                 .waveform(net.name())
                 .expect("checked above: every primary input is driven");
             for transition in waveform.transitions() {
-                state.net_waveforms[input.index()].push(*transition);
+                observer.on_transition(input, transition);
                 stats.output_transitions += 1;
                 for fanout in self.net_fanout(input.index()) {
                     if let Some(crossing) = transition.crossing_time(fanout.threshold, self.vdd) {
-                        state.queue.schedule(
+                        let outcome = state.queue.schedule(
                             fanout.dense,
                             Event::new(
                                 crossing,
@@ -302,6 +376,9 @@ impl<'a> CompiledCircuit<'a> {
                                 transition.slew(),
                             ),
                         );
+                        if outcome == ScheduleOutcome::CancelledPrevious {
+                            observer.on_event_filtered(fanout.pin, crossing);
+                        }
                     }
                 }
             }
@@ -351,8 +428,10 @@ impl<'a> CompiledCircuit<'a> {
                 load: self.gate_loads[gate_index],
                 input_slew: event.input_slew,
                 time_since_last_output: elapsed,
+                cell_class: self.gate_classes[gate_index],
             };
-            let outcome = model::evaluate(arc, config.model, &ctx);
+            let outcome = model.evaluate(arc, &ctx);
+            observer.on_gate_evaluated(gate.id(), &event, &outcome);
             if outcome.is_degraded() {
                 stats.degraded_transitions += 1;
             }
@@ -367,43 +446,28 @@ impl<'a> CompiledCircuit<'a> {
                 state.last_output_start[gate_index],
             );
             let transition = Transition::new(start, outcome.output_slew, edge);
-            state.net_waveforms[gate.output().index()].push(transition);
+            observer.on_transition(gate.output(), &transition);
             stats.output_transitions += 1;
             state.last_output_start[gate_index] = Some(transition.start());
             state.output_target[gate_index] = new_output;
 
             for fanout in self.net_fanout(gate.output().index()) {
                 if let Some(crossing) = transition.crossing_time(fanout.threshold, self.vdd) {
-                    state.queue.schedule(
+                    let scheduled = state.queue.schedule(
                         fanout.dense,
                         Event::new(crossing, fanout.pin, new_output, transition.slew()),
                     );
+                    if scheduled == ScheduleOutcome::CancelledPrevious {
+                        observer.on_event_filtered(fanout.pin, crossing);
+                    }
                 }
             }
         }
 
         stats.events_scheduled = state.queue.scheduled();
         stats.events_filtered = state.queue.filtered();
-
-        // --- package --------------------------------------------------------
-        let mut waveforms = Trace::new();
-        for net in netlist.nets() {
-            waveforms.insert(
-                net.name(),
-                std::mem::replace(
-                    &mut state.net_waveforms[net.id().index()],
-                    DigitalWaveform::new(LogicLevel::Unknown),
-                ),
-            );
-        }
-        Ok(SimulationResult::new(
-            config.model,
-            self.vdd,
-            waveforms,
-            self.output_names.clone(),
-            stats,
-            started.elapsed(),
-        ))
+        observer.finish(&stats);
+        Ok(stats)
     }
 
     /// Runs the same stimulus under both delay models through one shared
@@ -419,10 +483,8 @@ impl<'a> CompiledCircuit<'a> {
         base: &SimulationConfig,
     ) -> Result<(SimulationResult, SimulationResult), SimulationError> {
         let mut state = self.new_state();
-        let mut ddm_config = *base;
-        ddm_config.model = DelayModelKind::Degradation;
-        let mut cdm_config = *base;
-        cdm_config.model = DelayModelKind::Conventional;
+        let ddm_config = base.clone().model(DelayModelKind::Degradation);
+        let cdm_config = base.clone().model(DelayModelKind::Conventional);
         Ok((
             self.run_with(&mut state, stimulus, &ddm_config)?,
             self.run_with(&mut state, stimulus, &cdm_config)?,
@@ -437,7 +499,7 @@ impl<'a> CompiledCircuit<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use halotis_core::Time;
+    use halotis_core::{LogicLevel, Time};
     use halotis_netlist::{generators, technology};
 
     fn chain_stimulus(library: &Library) -> Stimulus {
@@ -512,8 +574,8 @@ mod tests {
         let (ddm, cdm) = circuit
             .run_both_models(&chain_stimulus(&library), &SimulationConfig::default())
             .unwrap();
-        assert_eq!(ddm.model(), DelayModelKind::Degradation);
-        assert_eq!(cdm.model(), DelayModelKind::Conventional);
+        assert_eq!(ddm.model_kind(), Some(DelayModelKind::Degradation));
+        assert_eq!(cdm.model_kind(), Some(DelayModelKind::Conventional));
         assert!(ddm.stats().events_processed > 0);
     }
 

@@ -1,26 +1,40 @@
 //! Simulation configuration.
 
 use halotis_core::{Time, TimeDelta};
-use halotis_delay::DelayModelKind;
+use halotis_delay::{DelayModelHandle, DelayModelKind};
 
 /// Knobs controlling one simulation run.
+///
+/// The configuration is built combinator-style: start from a preset
+/// ([`ddm`](SimulationConfig::ddm), [`cdm`](SimulationConfig::cdm) or
+/// [`default`](SimulationConfig::default)) and chain `with_*` /
+/// [`model`](SimulationConfig::model) calls.  Cloning is cheap — the delay
+/// model is held behind a shared [`DelayModelHandle`].
 ///
 /// # Example
 ///
 /// ```
-/// use halotis_delay::DelayModelKind;
+/// use halotis_delay::{Conventional, DelayModelHandle, DelayModelKind, PerCellOverride};
 /// use halotis_sim::SimulationConfig;
 ///
 /// let config = SimulationConfig::ddm();
 /// assert_eq!(config.model, DelayModelKind::Degradation);
+///
 /// let cdm = SimulationConfig::cdm().with_settle_margin_ns(10.0);
 /// assert_eq!(cdm.model, DelayModelKind::Conventional);
+///
+/// // Any `DelayModel` implementation plugs in through the same knob.
+/// let mixed = SimulationConfig::default()
+///     .model(DelayModelHandle::new(PerCellOverride::new(Conventional)));
+/// assert_eq!(mixed.model.label(), "CDM+overrides");
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimulationConfig {
-    /// Which delay model the engine applies (the paper's HALOTIS-DDM vs
-    /// HALOTIS-CDM configurations).
-    pub model: DelayModelKind,
+    /// The delay model the engine applies to every gate evaluation.  The
+    /// paper's HALOTIS-DDM / HALOTIS-CDM configurations are the two built-in
+    /// handles; any [`DelayModel`](halotis_delay::DelayModel) implementation
+    /// can be plugged in.
+    pub model: DelayModelHandle,
     /// Hard stop: no event later than this instant is processed.  `None`
     /// lets the simulation run until the event queue drains.
     pub time_limit: Option<Time>,
@@ -38,26 +52,31 @@ pub struct SimulationConfig {
 impl SimulationConfig {
     /// Configuration using the degradation delay model (HALOTIS-DDM).
     pub fn ddm() -> Self {
-        SimulationConfig {
-            model: DelayModelKind::Degradation,
-            ..Self::default()
-        }
+        Self::default().model(DelayModelKind::Degradation)
     }
 
     /// Configuration using the conventional delay model (HALOTIS-CDM).
     pub fn cdm() -> Self {
-        SimulationConfig {
-            model: DelayModelKind::Conventional,
-            ..Self::default()
-        }
+        Self::default().model(DelayModelKind::Conventional)
+    }
+
+    /// Replaces the delay model.
+    ///
+    /// Accepts anything convertible into a [`DelayModelHandle`]: a
+    /// [`DelayModelKind`], the built-in model structs, a composite, or a
+    /// handle wrapping a custom implementation.
+    pub fn model(mut self, model: impl Into<DelayModelHandle>) -> Self {
+        self.model = model.into();
+        self
     }
 
     /// Configuration for an explicit delay-model kind.
+    #[deprecated(
+        since = "0.1.0",
+        note = "constructor posing as a combinator; use `SimulationConfig::default().model(kind)`"
+    )]
     pub fn with_model(model: DelayModelKind) -> Self {
-        SimulationConfig {
-            model,
-            ..Self::default()
-        }
+        Self::default().model(model)
     }
 
     /// Replaces the settle margin (given in nanoseconds).
@@ -82,7 +101,7 @@ impl SimulationConfig {
 impl Default for SimulationConfig {
     fn default() -> Self {
         SimulationConfig {
-            model: DelayModelKind::Degradation,
+            model: DelayModelHandle::default(),
             time_limit: None,
             max_events: 10_000_000,
             settle_margin: TimeDelta::from_ns(5.0),
@@ -93,19 +112,35 @@ impl Default for SimulationConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use halotis_delay::{Conventional, Degradation, DelayModelHandle};
 
     #[test]
     fn presets_select_the_right_model() {
         assert_eq!(SimulationConfig::ddm().model, DelayModelKind::Degradation);
         assert_eq!(SimulationConfig::cdm().model, DelayModelKind::Conventional);
         assert_eq!(
-            SimulationConfig::with_model(DelayModelKind::Conventional).model,
-            DelayModelKind::Conventional
-        );
-        assert_eq!(
             SimulationConfig::default().model,
             DelayModelKind::Degradation
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_still_selects_the_model() {
+        assert_eq!(
+            SimulationConfig::with_model(DelayModelKind::Conventional).model,
+            DelayModelKind::Conventional
+        );
+    }
+
+    #[test]
+    fn model_combinator_accepts_kinds_structs_and_handles() {
+        let from_kind = SimulationConfig::default().model(DelayModelKind::Conventional);
+        let from_struct = SimulationConfig::default().model(Conventional);
+        let from_handle = SimulationConfig::default().model(DelayModelHandle::new(Conventional));
+        assert_eq!(from_kind, from_struct);
+        assert_eq!(from_struct, from_handle);
+        assert_ne!(from_kind, SimulationConfig::default().model(Degradation));
     }
 
     #[test]
@@ -117,5 +152,7 @@ mod tests {
         assert_eq!(config.settle_margin, TimeDelta::from_ns(2.5));
         assert_eq!(config.max_events, 100);
         assert_eq!(config.time_limit, Some(Time::from_ns(50.0)));
+        // Combinators preserve the model.
+        assert_eq!(config.model, DelayModelKind::Degradation);
     }
 }

@@ -23,8 +23,13 @@
 //! the compiled tables (and a [`SimState`](crate::SimState) arena, or a
 //! [`BatchRunner`](crate::BatchRunner)) across stimuli.
 
-use halotis_netlist::{Library, NetDriver, Netlist};
+use halotis_netlist::{Library, Netlist};
 use halotis_waveform::Stimulus;
+
+// The helper lived here historically; it is netlist vocabulary and moved to
+// `halotis_netlist`.  Re-exported so `halotis_sim::engine::is_primary_input_net`
+// keeps resolving.
+pub use halotis_netlist::is_primary_input_net;
 
 use crate::compiled::CompiledCircuit;
 use crate::config::SimulationConfig;
@@ -93,13 +98,6 @@ impl<'a> Simulator<'a> {
     ) -> Result<(SimulationResult, SimulationResult), SimulationError> {
         CompiledCircuit::compile(self.netlist, self.library)?.run_both_models(stimulus, base)
     }
-}
-
-/// Returns `true` when the driver of a net is a primary input — small helper
-/// used by integration tests to distinguish stimulus transitions from gate
-/// activity.
-pub fn is_primary_input_net(netlist: &Netlist, net: halotis_core::NetId) -> bool {
-    matches!(netlist.net(net).driver(), NetDriver::PrimaryInput)
 }
 
 #[cfg(test)]
@@ -284,7 +282,8 @@ mod tests {
         let result = simulator
             .run(&chain_stimulus(&library), &SimulationConfig::cdm())
             .unwrap();
-        assert_eq!(result.model(), DelayModelKind::Conventional);
+        assert_eq!(result.model_kind(), Some(DelayModelKind::Conventional));
+        assert_eq!(result.model_label(), "CDM");
         assert!(is_primary_input_net(
             &netlist,
             netlist.net_id("in").unwrap()

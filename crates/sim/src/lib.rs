@@ -15,10 +15,15 @@
 //!   [`CompiledCircuit`] holds every static table in flat arrays, a
 //!   [`SimState`] arena holds the per-run mutable state and is reset (not
 //!   reallocated) between runs,
+//! * [`observer`] — the streaming [`SimObserver`] contract the engine
+//!   drives: the engine executes, observers decide what to retain
+//!   ([`WaveformRecorder`], [`ActivityCounter`], [`VcdStreamer`],
+//!   [`PowerAccumulator`]),
 //! * [`engine`] — the single-shot [`Simulator`] front end over the compiled
 //!   core, executing the simulation algorithm of Fig. 4: pop event, evaluate
-//!   the gate through the DDM (or the conventional model), emit the output
-//!   transition, generate one event per fanout input threshold (Fig. 3),
+//!   the gate through the configured
+//!   [`DelayModel`], emit the output transition,
+//!   generate one event per fanout input threshold (Fig. 3),
 //! * [`batch`] — the [`BatchRunner`], executing many `(stimulus, config)`
 //!   scenarios across scoped threads sharing one [`CompiledCircuit`],
 //! * [`classical`] — a conventional single-threshold, inertial-delay
@@ -30,11 +35,40 @@
 //!
 //! # Which API should I use?
 //!
-//! * One stimulus, one circuit: [`Simulator::run`].
-//! * Many stimuli on one circuit, sequential:
-//!   [`CompiledCircuit::compile`] + [`CompiledCircuit::run_with`] with one
-//!   reused [`SimState`].
-//! * Many stimuli on one circuit, parallel: [`BatchRunner::run`].
+//! | Workload | Call | Produces |
+//! |---|---|---|
+//! | One stimulus, full waveforms | [`Simulator::run`] | [`SimulationResult`] |
+//! | Both models on one stimulus | [`Simulator::run_both_models`] / [`CompiledCircuit::run_both_models`] | `(ddm, cdm)` results |
+//! | Many stimuli, sequential, full waveforms | [`CompiledCircuit::run_with`] + reused [`SimState`] | [`SimulationResult`] per run |
+//! | Many stimuli, statistics only | [`CompiledCircuit::run_stats`] | [`SimulationStats`] per run, zero waveform memory |
+//! | Custom retention (counts, VCD, power, your own) | [`CompiledCircuit::run_observed`] | whatever the [`SimObserver`] keeps |
+//! | Many stimuli, parallel, full waveforms | [`BatchRunner::run`] | [`BatchReport`] of results |
+//! | Many stimuli, parallel, streaming observers | [`BatchRunner::run_observed`] | [`ObservedReport`] of observers |
+//!
+//! The delay model is part of the [`SimulationConfig`]
+//! (`config.model(...)`), never of the call: every row above runs under the
+//! built-in DDM/CDM kinds, a
+//! [`PerCellOverride`](halotis_delay::PerCellOverride) mix, or any custom
+//! [`DelayModel`] implementation alike.
+//!
+//! # Migrating from the enum-only API
+//!
+//! The engine used to branch on a `DelayModelKind` enum and always record
+//! waveforms.  Call sites migrate mechanically:
+//!
+//! * `SimulationConfig::with_model(kind)` →
+//!   `SimulationConfig::default().model(kind)` (the old constructor remains
+//!   as a deprecated alias; `ddm()` / `cdm()` are unchanged),
+//! * assignments `config.model = kind` → `config.model = kind.into()` (the
+//!   field now holds a [`DelayModelHandle`],
+//!   which any `DelayModel` implementation converts into),
+//! * `result.model()` now returns the handle; use
+//!   [`SimulationResult::model_kind`] where the built-in kind was matched
+//!   and [`SimulationResult::model_label`] for report text,
+//! * code that only consumed statistics or counts from a
+//!   [`SimulationResult`] should switch to [`CompiledCircuit::run_stats`],
+//!   an [`ActivityCounter`], or [`BatchRunner::run_observed`] and skip
+//!   waveform retention entirely.
 //!
 //! # Quick start
 //!
@@ -70,6 +104,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod observer;
 pub mod pins;
 pub mod power;
 pub mod queue;
@@ -78,12 +113,20 @@ pub mod result;
 pub mod state;
 pub mod stats;
 
-pub use batch::{BatchReport, BatchRunner, Scenario, ScenarioOutcome};
+pub use batch::{
+    BatchReport, BatchRunner, BatchSummary, ObservedOutcome, ObservedReport, Scenario,
+    ScenarioOutcome,
+};
 pub use compiled::CompiledCircuit;
 pub use config::SimulationConfig;
 pub use engine::Simulator;
 pub use error::SimulationError;
 pub use event::Event;
+pub use observer::{ActivityCounter, PowerAccumulator, SimObserver, VcdStreamer, WaveformRecorder};
 pub use result::SimulationResult;
 pub use state::SimState;
 pub use stats::SimulationStats;
+
+// The model vocabulary a configuration needs, re-exported so downstream code
+// can plug in models without importing `halotis_delay` directly.
+pub use halotis_delay::{DelayModel, DelayModelHandle, DelayModelKind};

@@ -156,16 +156,34 @@ fn estimate_from_loads(
     net_loads: &[Capacitance],
     result: &SimulationResult,
 ) -> PowerReport {
-    let vdd = result.vdd();
+    let counts: Vec<usize> = netlist
+        .nets()
+        .iter()
+        .map(|net| {
+            result
+                .waveform(net.name())
+                .map(|waveform| waveform.len())
+                .unwrap_or(0)
+        })
+        .collect();
+    report_from_counts(netlist, net_loads, result.vdd(), &counts)
+}
+
+/// Builds a report from per-net transition counts (indexed by net id) — the
+/// shared core behind the result-walking estimators and the streaming
+/// [`PowerAccumulator`](crate::PowerAccumulator) observer.
+pub(crate) fn report_from_counts(
+    netlist: &Netlist,
+    net_loads: &[Capacitance],
+    vdd: Voltage,
+    counts: &[usize],
+) -> PowerReport {
     let vdd_squared = vdd.as_volts() * vdd.as_volts();
     let mut per_net = Vec::with_capacity(netlist.net_count());
     let mut total_joules = 0.0;
     let mut total_transitions = 0usize;
     for net in netlist.nets() {
-        let transitions = result
-            .waveform(net.name())
-            .map(|waveform| waveform.len())
-            .unwrap_or(0);
+        let transitions = counts.get(net.id().index()).copied().unwrap_or(0);
         let capacitance = net_loads[net.id().index()];
         let energy = capacitance.as_farads() * vdd_squared * transitions as f64;
         total_joules += energy;

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use halotis_core::Voltage;
-use halotis_delay::DelayModelKind;
+use halotis_delay::{DelayModelHandle, DelayModelKind};
 use halotis_waveform::{DigitalWaveform, IdealWaveform, Trace};
 
 use crate::stats::SimulationStats;
@@ -11,7 +11,7 @@ use crate::stats::SimulationStats;
 /// Everything one simulation run produces.
 #[derive(Clone, Debug)]
 pub struct SimulationResult {
-    model: DelayModelKind,
+    model: DelayModelHandle,
     vdd: Voltage,
     waveforms: Trace<DigitalWaveform>,
     output_names: Vec<String>,
@@ -22,7 +22,7 @@ pub struct SimulationResult {
 impl SimulationResult {
     /// Assembles a result (used by the engines).
     pub(crate) fn new(
-        model: DelayModelKind,
+        model: DelayModelHandle,
         vdd: Voltage,
         waveforms: Trace<DigitalWaveform>,
         output_names: Vec<String>,
@@ -40,8 +40,20 @@ impl SimulationResult {
     }
 
     /// The delay model the run used.
-    pub fn model(&self) -> DelayModelKind {
-        self.model
+    pub fn model(&self) -> &DelayModelHandle {
+        &self.model
+    }
+
+    /// The built-in [`DelayModelKind`] the run's model corresponds to, or
+    /// `None` for custom and composite models.
+    pub fn model_kind(&self) -> Option<DelayModelKind> {
+        self.model.kind()
+    }
+
+    /// The report label of the run's model (`"DDM"`, `"CDM"`, or whatever a
+    /// custom model declares).
+    pub fn model_label(&self) -> &str {
+        self.model.label()
     }
 
     /// The supply voltage of the run.
@@ -129,7 +141,7 @@ mod tests {
         waveforms.insert("out", out);
         waveforms.insert("internal", DigitalWaveform::new(LogicLevel::High));
         SimulationResult::new(
-            DelayModelKind::Degradation,
+            DelayModelKind::Degradation.into(),
             vdd,
             waveforms,
             vec!["out".to_string()],
@@ -141,7 +153,9 @@ mod tests {
     #[test]
     fn accessors_expose_run_metadata() {
         let result = sample_result();
-        assert_eq!(result.model(), DelayModelKind::Degradation);
+        assert_eq!(result.model_kind(), Some(DelayModelKind::Degradation));
+        assert_eq!(result.model_label(), "DDM");
+        assert_eq!(*result.model(), DelayModelKind::Degradation);
         assert_eq!(result.vdd(), Voltage::from_volts(5.0));
         assert_eq!(result.wall_time(), Duration::from_millis(3));
         assert_eq!(result.output_names(), &["out".to_string()]);

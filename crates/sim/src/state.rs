@@ -1,15 +1,15 @@
 //! The reusable per-run state arena of the compile-once core.
 //!
 //! A [`SimState`] owns every mutable structure one simulation run needs —
-//! dense pin levels, per-gate output bookkeeping, per-net waveform buffers
-//! and the event queue — sized once for a
-//! [`CompiledCircuit`](crate::CompiledCircuit) and reset in place between
-//! runs, so repeated runs perform zero per-run allocation of the static
-//! structures.
+//! dense pin levels, per-gate output bookkeeping and the event queue — sized
+//! once for a [`CompiledCircuit`](crate::CompiledCircuit) and reset in place
+//! between runs, so repeated runs perform zero per-run allocation of the
+//! static structures.  What (if anything) a run *retains* — waveforms,
+//! activity counts, a VCD document — lives in the run's
+//! [`SimObserver`](crate::SimObserver), not here.
 
 use halotis_core::{LogicLevel, Time};
 use halotis_netlist::Netlist;
-use halotis_waveform::DigitalWaveform;
 
 use crate::pins::PinMap;
 use crate::queue::EventQueue;
@@ -52,9 +52,9 @@ pub struct SimState {
     pub(crate) output_target: Vec<LogicLevel>,
     /// Start instant of each gate's previous output ramp, by gate index.
     pub(crate) last_output_start: Vec<Option<Time>>,
-    /// Recorded transitions per net; drained into the result when a run
-    /// completes.
-    pub(crate) net_waveforms: Vec<DigitalWaveform>,
+    /// Net count of the circuit the arena was sized for (waveform retention
+    /// itself lives in the run's [`SimObserver`](crate::SimObserver)).
+    net_count: usize,
     /// The event queue, reset (allocation kept) between runs.
     pub(crate) queue: EventQueue,
 }
@@ -66,7 +66,7 @@ impl SimState {
             pin_levels: vec![LogicLevel::Unknown; pin_count],
             output_target: vec![LogicLevel::Unknown; gate_count],
             last_output_start: vec![None; gate_count],
-            net_waveforms: vec![DigitalWaveform::new(LogicLevel::Unknown); net_count],
+            net_count,
             queue: EventQueue::new(pin_count),
         }
     }
@@ -81,9 +81,9 @@ impl SimState {
         self.output_target.len()
     }
 
-    /// Number of net waveform buffers the arena was sized for.
+    /// Number of nets of the circuit the arena was sized for.
     pub fn net_count(&self) -> usize {
-        self.net_waveforms.len()
+        self.net_count
     }
 
     /// Panics with a descriptive message when the arena does not match the
@@ -119,9 +119,6 @@ impl SimState {
             self.output_target[gate.id().index()] = initial_levels[gate.output().index()];
             self.last_output_start[gate.id().index()] = None;
         }
-        for (buffer, net) in self.net_waveforms.iter_mut().zip(netlist.nets()) {
-            *buffer = DigitalWaveform::new(initial_levels[net.id().index()]);
-        }
         self.queue.reset();
     }
 }
@@ -153,9 +150,5 @@ mod tests {
         assert!(state.pin_levels.iter().all(|&l| l == LogicLevel::High));
         assert!(state.output_target.iter().all(|&l| l == LogicLevel::High));
         assert!(state.last_output_start.iter().all(|s| s.is_none()));
-        assert!(state
-            .net_waveforms
-            .iter()
-            .all(|w| w.initial() == LogicLevel::High && w.is_empty()));
     }
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Convert the bench harness's stdout into machine-readable JSON.
+
+The vendored criterion stand-in prints one line per measurement:
+
+    group/function/param    median 45.438µs  mean 46.1µs  min 44.9µs [rate]
+
+This script parses any number of such capture files and writes a single JSON
+document mapping every measurement to nanosecond numbers, so successive runs
+can be diffed mechanically (the BENCH_api.json perf trajectory).
+
+Usage:
+    bench_to_json.py OUTPUT.json CAPTURE.txt [CAPTURE.txt ...]
+"""
+
+import json
+import re
+import sys
+
+# Duration rendering of Rust's `std::fmt::Debug for Duration`.
+_UNIT_NS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+_LINE = re.compile(
+    r"^(?P<name>\S+)\s+"
+    r"median\s+(?P<median>[\d.]+)(?P<median_unit>ns|µs|us|ms|s)\s+"
+    r"mean\s+(?P<mean>[\d.]+)(?P<mean_unit>ns|µs|us|ms|s)\s+"
+    r"min\s+(?P<min>[\d.]+)(?P<min_unit>ns|µs|us|ms|s)"
+)
+
+
+def _ns(value: str, unit: str) -> float:
+    return float(value) * _UNIT_NS[unit]
+
+
+def parse_capture(path: str) -> list[dict]:
+    measurements = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            match = _LINE.match(line.strip())
+            if not match:
+                continue
+            measurements.append(
+                {
+                    "name": match["name"],
+                    "median_ns": _ns(match["median"], match["median_unit"]),
+                    "mean_ns": _ns(match["mean"], match["mean_unit"]),
+                    "min_ns": _ns(match["min"], match["min_unit"]),
+                }
+            )
+    return measurements
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    output, captures = argv[1], argv[2:]
+    benches = []
+    for capture in captures:
+        measurements = parse_capture(capture)
+        if not measurements:
+            print(f"warning: no measurements parsed from {capture}", file=sys.stderr)
+        benches.append({"capture": capture, "measurements": measurements})
+    document = {
+        "schema": "halotis-bench-v1",
+        "unit": "nanoseconds",
+        "benches": benches,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    total = sum(len(b["measurements"]) for b in benches)
+    print(f"wrote {total} measurements from {len(captures)} capture(s) to {output}")
+    return 0 if total else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,11 +2,13 @@
 //! counts of HALOTIS-DDM and HALOTIS-CDM on the two multiplication
 //! sequences, plus the CDM overestimation percentage.
 //!
-//! The table is produced through the compile-once/run-many core: the
-//! multiplier is compiled a single time and all four runs (two sequences ×
-//! two delay models) execute as one [`BatchRunner`] sweep sharing the
-//! compiled tables.
+//! The table is pure statistics, so it runs through the no-waveform observer
+//! path: the multiplier is compiled a single time and all four runs (two
+//! sequences × two delay models) execute as one
+//! [`BatchRunner::run_observed`] sweep sharing the compiled tables — no
+//! waveform is allocated anywhere.
 
+use halotis_delay::DelayModelKind;
 use halotis_sim::stats::ComparisonRow;
 use halotis_sim::{BatchRunner, CompiledCircuit, Scenario, SimulationConfig};
 
@@ -29,18 +31,31 @@ pub fn table1_row_on(
     pairs: &[(u64, u64)],
 ) -> ComparisonRow {
     let stimulus = multiplier_stimulus(&fixture.ports, pairs);
-    let (ddm, cdm) = circuit
-        .run_both_models(&stimulus, &SimulationConfig::default())
-        .expect("multiplier fixture simulates under both models");
+    let mut state = circuit.new_state();
+    let base = SimulationConfig::default();
+    let ddm = circuit
+        .run_stats(
+            &mut state,
+            &stimulus,
+            &base.clone().model(DelayModelKind::Degradation),
+        )
+        .expect("multiplier fixture simulates under DDM");
+    let cdm = circuit
+        .run_stats(
+            &mut state,
+            &stimulus,
+            &base.model(DelayModelKind::Conventional),
+        )
+        .expect("multiplier fixture simulates under CDM");
     ComparisonRow {
         sequence: sequence_label(pairs),
-        ddm: *ddm.stats(),
-        cdm: *cdm.stats(),
+        ddm,
+        cdm,
     }
 }
 
-/// Reproduces the full Table 1 (both sequences) as one parallel batch over
-/// a single compiled circuit.
+/// Reproduces the full Table 1 (both sequences) as one parallel
+/// statistics-only batch over a single compiled circuit.
 pub fn table1() -> Vec<ComparisonRow> {
     let fixture = multiplier_fixture();
     let circuit = CompiledCircuit::compile(&fixture.netlist, &fixture.library)
@@ -56,7 +71,7 @@ pub fn table1() -> Vec<ComparisonRow> {
             )
         })
         .collect();
-    let report = BatchRunner::new().run(&circuit, &scenarios);
+    let report = BatchRunner::new().run_observed(&circuit, &scenarios, |_, _| ());
     sequences
         .iter()
         .zip(report.outcomes().chunks(2))
@@ -67,15 +82,13 @@ pub fn table1() -> Vec<ComparisonRow> {
             ComparisonRow {
                 sequence: sequence_label(pairs),
                 ddm: *ddm
-                    .result
+                    .stats
                     .as_ref()
-                    .expect("multiplier fixture simulates under DDM")
-                    .stats(),
+                    .expect("multiplier fixture simulates under DDM"),
                 cdm: *cdm
-                    .result
+                    .stats
                     .as_ref()
-                    .expect("multiplier fixture simulates under CDM")
-                    .stats(),
+                    .expect("multiplier fixture simulates under CDM"),
             }
         })
         .collect()

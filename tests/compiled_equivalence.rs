@@ -66,15 +66,12 @@ fn check_all_paths(context: &str, netlist: &Netlist, library: &Library, stimulus
 
         // Dirty the arena with the *other* model first so a stale-state bug
         // cannot hide behind identical consecutive runs.
-        let mut other = config;
-        other.model = match config.model {
-            halotis::delay::DelayModelKind::Degradation => {
+        let other = config.clone().model(match config.model.kind() {
+            Some(halotis::delay::DelayModelKind::Degradation) => {
                 halotis::delay::DelayModelKind::Conventional
             }
-            halotis::delay::DelayModelKind::Conventional => {
-                halotis::delay::DelayModelKind::Degradation
-            }
-        };
+            _ => halotis::delay::DelayModelKind::Degradation,
+        });
         circuit
             .run_with(&mut state, stimulus, &other)
             .expect("arena-dirtying run succeeds");

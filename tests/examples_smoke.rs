@@ -10,12 +10,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "inertial_chain",
     "multiplier_glitches",
     "switching_activity",
     "batch_sweep",
+    "custom_model_observer",
 ];
 
 #[test]
