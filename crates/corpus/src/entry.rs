@@ -1,0 +1,240 @@
+//! Corpus entry definitions and the standard corpus.
+
+use halotis_core::TimeDelta;
+use halotis_netlist::{generators, Library, Netlist};
+use halotis_sim::{Scenario, SimulationConfig};
+
+use crate::stimuli::StimulusSuite;
+
+/// One corpus workload: a circuit paired with a stimulus suite.  Every
+/// stimulus the suite produces runs under **both** delay models
+/// (DDM and CDM), so one entry expands into `2 × stimuli` scenarios.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Unique entry name, the first segment of its scenario labels.
+    pub name: String,
+    /// The circuit under test.
+    pub netlist: Netlist,
+    /// The stimulus recipe.
+    pub suite: StimulusSuite,
+}
+
+impl CorpusEntry {
+    /// Creates an entry.
+    pub fn new(name: impl Into<String>, netlist: Netlist, suite: StimulusSuite) -> Self {
+        CorpusEntry {
+            name: name.into(),
+            netlist,
+            suite,
+        }
+    }
+
+    /// Expands the entry into its scenario set: every stimulus of the suite
+    /// under both delay models, labelled `entry/stimulus/model`.
+    pub fn scenarios(&self, library: &Library) -> Vec<Scenario> {
+        self.suite
+            .stimuli(&self.netlist, library)
+            .into_iter()
+            .flat_map(|(stimulus_label, stimulus)| {
+                Scenario::both_models(
+                    format!("{}/{}", self.name, stimulus_label),
+                    stimulus,
+                    SimulationConfig::default(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The standard HALOTIS corpus: scalable multipliers, ripple- and
+/// carry-skip adders, parity trees, layered random logic and the ISCAS-85
+/// c17, each paired with the stimulus suite that stresses it best.
+///
+/// The definition is **frozen by the golden-stats gate**: any change here
+/// (an entry, a seed, a size) changes `CORPUS_stats.json` and must
+/// regenerate the committed golden in the same commit.
+pub fn standard_corpus() -> Vec<CorpusEntry> {
+    let ns = TimeDelta::from_ns;
+    let ps = TimeDelta::from_ps;
+    vec![
+        CorpusEntry::new(
+            "mult4x4",
+            generators::multiplier(4, 4),
+            StimulusSuite::RandomVectors {
+                vectors: 16,
+                period: ns(5.0),
+                seed: 0xA11CE,
+            },
+        ),
+        CorpusEntry::new(
+            "mult5x3",
+            generators::multiplier(5, 3),
+            StimulusSuite::RandomVectors {
+                vectors: 12,
+                period: ns(5.0),
+                seed: 0xB0B5,
+            },
+        ),
+        CorpusEntry::new(
+            "rca8",
+            generators::ripple_carry_adder(8),
+            StimulusSuite::RandomVectors {
+                vectors: 16,
+                period: ns(5.0),
+                seed: 0xADD8,
+            },
+        ),
+        CorpusEntry::new(
+            "rca12",
+            generators::ripple_carry_adder(12),
+            StimulusSuite::RandomVectors {
+                vectors: 8,
+                period: ns(5.0),
+                seed: 0xADD12,
+            },
+        ),
+        CorpusEntry::new(
+            "cska8b2",
+            generators::carry_skip_adder(8, 2),
+            StimulusSuite::RandomVectors {
+                vectors: 16,
+                period: ns(5.0),
+                seed: 0x5C1B,
+            },
+        ),
+        CorpusEntry::new(
+            "cska12b4",
+            generators::carry_skip_adder(12, 4),
+            StimulusSuite::RandomVectors {
+                vectors: 8,
+                period: ns(5.0),
+                seed: 0x5C1C,
+            },
+        ),
+        CorpusEntry::new(
+            "parity6",
+            generators::parity_tree(6),
+            StimulusSuite::Exhaustive { period: ns(4.0) },
+        ),
+        CorpusEntry::new(
+            "parity8",
+            generators::parity_tree(8),
+            StimulusSuite::ToggleProbes {
+                seed: 0xF00D,
+                max_probes: 8,
+                pulse: ps(600.0),
+            },
+        ),
+        CorpusEntry::new(
+            "parity16",
+            generators::parity_tree(16),
+            StimulusSuite::RandomVectors {
+                vectors: 16,
+                period: ns(4.0),
+                seed: 0x9A9,
+            },
+        ),
+        CorpusEntry::new(
+            "c17",
+            generators::c17(),
+            StimulusSuite::Exhaustive { period: ns(4.0) },
+        ),
+        CorpusEntry::new(
+            "c17_probe",
+            generators::c17(),
+            StimulusSuite::ToggleProbes {
+                seed: 0x17,
+                max_probes: 5,
+                pulse: ps(500.0),
+            },
+        ),
+        CorpusEntry::new(
+            "random16x300",
+            generators::random_logic(16, 300, 0xC0FFEE),
+            StimulusSuite::RandomVectors {
+                vectors: 8,
+                period: ns(6.0),
+                seed: 0xFACADE,
+            },
+        ),
+        CorpusEntry::new(
+            "random24x600",
+            generators::random_logic(24, 600, 0xDECAF),
+            StimulusSuite::RandomVectors {
+                vectors: 4,
+                period: ns(6.0),
+                seed: 0xFEED,
+            },
+        ),
+        CorpusEntry::new(
+            "random12x150",
+            generators::random_logic(12, 150, 0x7E57),
+            StimulusSuite::ToggleProbes {
+                seed: 0x7E57,
+                max_probes: 6,
+                pulse: ps(700.0),
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_netlist::technology;
+    use std::collections::HashSet;
+
+    #[test]
+    fn standard_corpus_is_deterministic() {
+        let a = standard_corpus();
+        let b = standard_corpus();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.netlist, y.netlist);
+            assert_eq!(x.suite, y.suite);
+        }
+    }
+
+    #[test]
+    fn entry_names_are_unique() {
+        let corpus = standard_corpus();
+        let names: HashSet<&str> = corpus.iter().map(|entry| entry.name.as_str()).collect();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn corpus_meets_the_scenario_floor() {
+        // The acceptance floor: ≥ 12 distinct scenarios across both models.
+        let corpus = standard_corpus();
+        let library = technology::cmos06();
+        let mut labels = HashSet::new();
+        let mut ddm = 0;
+        let mut cdm = 0;
+        for entry in &corpus {
+            for scenario in entry.scenarios(&library) {
+                assert!(
+                    labels.insert(scenario.label.clone()),
+                    "dup {}",
+                    scenario.label
+                );
+                if scenario.label.ends_with("/ddm") {
+                    ddm += 1;
+                } else if scenario.label.ends_with("/cdm") {
+                    cdm += 1;
+                }
+            }
+        }
+        assert!(labels.len() >= 24, "only {} scenarios", labels.len());
+        assert_eq!(ddm, cdm, "every stimulus runs under both models");
+    }
+
+    #[test]
+    fn scenario_labels_carry_entry_suite_and_model() {
+        let corpus = standard_corpus();
+        let library = technology::cmos06();
+        let scenarios = corpus[0].scenarios(&library);
+        assert_eq!(scenarios[0].label, "mult4x4/rand16/ddm");
+        assert_eq!(scenarios[1].label, "mult4x4/rand16/cdm");
+    }
+}

@@ -1,0 +1,57 @@
+//! The HALOTIS benchmark corpus: deterministic workloads, golden
+//! statistics, and the substrate of the CI perf/correctness gates.
+//!
+//! The paper's central claim is that the degradation delay model changes
+//! event counts, glitch counts and power *on real circuit workloads* — so
+//! the repo needs more than a handful of hand-picked experiments.  This
+//! crate pins down a seeded, reproducible corpus:
+//!
+//! * [`entry`] — [`CorpusEntry`] (circuit × stimulus suite) and
+//!   [`standard_corpus`]: multipliers, ripple/carry-skip adders, parity
+//!   trees, layered random logic, and ISCAS-85 c17,
+//! * [`stimuli`] — [`StimulusSuite`]: seeded random vector sequences,
+//!   exhaustive small-input sweeps, and single-input-toggle glitch probes,
+//! * [`observer`] — [`GlitchProfile`] (glitch pulses on the half-swing
+//!   projection) and [`WallClockProbe`] (per-scenario timing), composed
+//!   with the engine's [`ActivityCounter`](halotis_sim::ActivityCounter)
+//!   and [`PowerAccumulator`](halotis_sim::PowerAccumulator),
+//! * [`runner`] — [`CorpusRunner`]: every entry compiled once and swept
+//!   through [`BatchRunner::run_observed`](halotis_sim::BatchRunner) under
+//!   both delay models, with zero waveform retention,
+//! * [`stats`] — [`CorpusStats`]: the canonical JSON document
+//!   (`CORPUS_stats.json`) whose non-timing fields are bit-exact
+//!   reproducible — the contract of the `corpus-golden` CI gate.
+//!
+//! # Example
+//!
+//! ```
+//! use halotis_corpus::{standard_corpus, CorpusRunner};
+//!
+//! let corpus = standard_corpus();
+//! let report = CorpusRunner::new().with_threads(2).run(&corpus)?;
+//! assert!(report.stats.scenario_count() >= 24);
+//! assert!(report.stats.totals().events_processed > 0);
+//!
+//! // The golden document: strip timing and the rendering is bit-exact
+//! // reproducible, run after run, thread count notwithstanding.
+//! let mut stats = report.stats;
+//! stats.strip_timing();
+//! let json = stats.to_json();
+//! assert!(json.starts_with("{\n  \"schema\": \"halotis-corpus-v1\""));
+//! # Ok::<(), halotis_corpus::CorpusError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entry;
+pub mod observer;
+pub mod runner;
+pub mod stats;
+pub mod stimuli;
+
+pub use entry::{standard_corpus, CorpusEntry};
+pub use observer::{GlitchProfile, WallClockProbe};
+pub use runner::{CorpusError, CorpusReport, CorpusRunner, EntryTiming};
+pub use stats::{CorpusStats, EntryRecord, ScenarioRecord, SCHEMA};
+pub use stimuli::StimulusSuite;

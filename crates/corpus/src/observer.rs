@@ -1,0 +1,214 @@
+//! Corpus-specific [`SimObserver`]s: glitch profiling and wall-clock
+//! probing, both allocation-light and batch-friendly.
+
+use std::time::{Duration, Instant};
+
+use halotis_core::{LogicLevel, NetId, Time, Voltage};
+use halotis_sim::{CompiledCircuit, SimObserver, SimulationStats};
+use halotis_waveform::Transition;
+
+/// Counts glitch pulses per net on the half-swing ideal projection.
+///
+/// Every transition is folded into the same incremental `(time, level)`
+/// change-point projection the VCD streamer uses (an overtaken change is
+/// revoked, a level-preserving crossing is dropped, sub-half-swing runt
+/// ramps never register).  A net that settles back to its initial level
+/// needed zero changes, one that settles to the opposite level needed one —
+/// everything beyond that is glitching, and each glitch pulse contributes
+/// exactly two settled change points.  Hence per net:
+///
+/// ```text
+/// glitch_pulses = settled_changes / 2   (integer division)
+/// ```
+///
+/// This is the corpus's "glitch count": the number of logically unnecessary
+/// full-swing pulses the run produced, the quantity the degradation model
+/// suppresses and a conventional model overestimates.
+#[derive(Clone, Debug, Default)]
+pub struct GlitchProfile {
+    vdd: Voltage,
+    initials: Vec<LogicLevel>,
+    changes: Vec<Vec<(Time, LogicLevel)>>,
+}
+
+impl GlitchProfile {
+    /// An empty profile; sized on [`begin`](SimObserver::begin).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Settled half-swing change points recorded on `net`.
+    pub fn settled_changes(&self, net: NetId) -> usize {
+        self.changes.get(net.index()).map_or(0, Vec::len)
+    }
+
+    /// Glitch pulses attributed to `net`.
+    pub fn glitches(&self, net: NetId) -> usize {
+        self.settled_changes(net) / 2
+    }
+
+    /// Total glitch pulses across all nets.
+    pub fn total_glitches(&self) -> usize {
+        self.changes.iter().map(|changes| changes.len() / 2).sum()
+    }
+}
+
+impl SimObserver for GlitchProfile {
+    fn begin(&mut self, circuit: &CompiledCircuit<'_>, initial_levels: &[LogicLevel]) {
+        self.vdd = circuit.vdd();
+        self.initials.clear();
+        self.initials.extend_from_slice(initial_levels);
+        self.changes.clear();
+        self.changes.resize(initial_levels.len(), Vec::new());
+    }
+
+    fn on_transition(&mut self, net: NetId, transition: &Transition) {
+        let Some(cross) = transition.crossing_time(self.vdd.half(), self.vdd) else {
+            return;
+        };
+        let changes = &mut self.changes[net.index()];
+        let target = transition.edge().target_level();
+        while let Some(&(last_time, _)) = changes.last() {
+            if cross <= last_time {
+                changes.pop();
+            } else {
+                break;
+            }
+        }
+        let current = changes
+            .last()
+            .map(|&(_, level)| level)
+            .unwrap_or(self.initials[net.index()]);
+        if current != target {
+            changes.push((cross, target));
+        }
+    }
+}
+
+/// Times one observed run from [`begin`](SimObserver::begin) to
+/// [`finish`](SimObserver::finish).
+///
+/// A run that aborts with an error never reaches `finish`, so
+/// [`elapsed`](WallClockProbe::elapsed) stays `None` for it.
+#[derive(Clone, Debug, Default)]
+pub struct WallClockProbe {
+    started: Option<Instant>,
+    elapsed: Option<Duration>,
+}
+
+impl WallClockProbe {
+    /// An idle probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock duration of the last completed run.
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.elapsed
+    }
+}
+
+impl SimObserver for WallClockProbe {
+    fn begin(&mut self, _circuit: &CompiledCircuit<'_>, _initial_levels: &[LogicLevel]) {
+        self.started = Some(Instant::now());
+        self.elapsed = None;
+    }
+
+    fn finish(&mut self, _stats: &SimulationStats) {
+        self.elapsed = self.started.map(|started| started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::Time;
+    use halotis_netlist::{generators, technology};
+    use halotis_sim::SimulationConfig;
+    use halotis_waveform::Stimulus;
+
+    #[test]
+    fn glitch_profile_matches_ideal_waveform_excess() {
+        // A staggered double edge into an XOR tree produces output glitching;
+        // the profile must equal the recorded ideal waveforms' excess-change
+        // count exactly.
+        let netlist = generators::parity_tree(4);
+        let library = technology::cmos06();
+        let circuit = halotis_sim::CompiledCircuit::compile(&netlist, &library).unwrap();
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        for i in 0..4 {
+            stimulus.set_initial(format!("in{i}"), LogicLevel::Low);
+        }
+        stimulus.drive("in0", Time::from_ns(1.0), LogicLevel::High);
+        stimulus.drive("in3", Time::from_ns(1.3), LogicLevel::High);
+
+        let result = circuit.run(&stimulus, &SimulationConfig::ddm()).unwrap();
+        let mut profile = GlitchProfile::new();
+        let mut state = circuit.new_state();
+        circuit
+            .run_observed(
+                &mut state,
+                &stimulus,
+                &SimulationConfig::ddm(),
+                &mut profile,
+            )
+            .unwrap();
+
+        let mut expected_total = 0;
+        for net in netlist.nets() {
+            let ideal = result.ideal_waveform(net.name()).unwrap();
+            let needed = usize::from(ideal.final_level() != ideal.initial());
+            let expected = (ideal.changes().len() - needed) / 2;
+            assert_eq!(
+                profile.glitches(net.id()),
+                expected,
+                "glitch mismatch on {}",
+                net.name()
+            );
+            assert_eq!(profile.settled_changes(net.id()), ideal.changes().len());
+            expected_total += expected;
+        }
+        assert_eq!(profile.total_glitches(), expected_total);
+    }
+
+    #[test]
+    fn quiet_run_has_zero_glitches() {
+        let netlist = generators::inverter_chain(3);
+        let library = technology::cmos06();
+        let circuit = halotis_sim::CompiledCircuit::compile(&netlist, &library).unwrap();
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        let mut profile = GlitchProfile::new();
+        let mut state = circuit.new_state();
+        circuit
+            .run_observed(
+                &mut state,
+                &stimulus,
+                &SimulationConfig::ddm(),
+                &mut profile,
+            )
+            .unwrap();
+        // One clean edge per net: no glitching anywhere in a chain.
+        assert_eq!(profile.total_glitches(), 0);
+        let out = netlist.net_id("out").unwrap();
+        assert_eq!(profile.settled_changes(out), 1);
+    }
+
+    #[test]
+    fn wall_clock_probe_times_completed_runs_only() {
+        let netlist = generators::inverter_chain(2);
+        let library = technology::cmos06();
+        let circuit = halotis_sim::CompiledCircuit::compile(&netlist, &library).unwrap();
+        let mut probe = WallClockProbe::new();
+        assert_eq!(probe.elapsed(), None);
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        stimulus.set_initial("in", LogicLevel::Low);
+        stimulus.drive("in", Time::from_ns(1.0), LogicLevel::High);
+        let mut state = circuit.new_state();
+        circuit
+            .run_observed(&mut state, &stimulus, &SimulationConfig::ddm(), &mut probe)
+            .unwrap();
+        assert!(probe.elapsed().is_some());
+    }
+}

@@ -1,0 +1,332 @@
+//! Executes a corpus through the no-waveform observed batch path.
+//!
+//! Every entry compiles once; its scenarios (each stimulus × both delay
+//! models) run through [`BatchRunner::run_observed`] with a composite
+//! observer — [`ActivityCounter`] + [`PowerAccumulator`] +
+//! [`GlitchProfile`] + [`WallClockProbe`] — so no waveform is ever
+//! allocated, exactly the configuration the paper's Table 1 statistics use.
+//! The per-entry batch can be repeated to collect timing samples for the
+//! criterion-style capture the perf gate consumes.
+
+use std::fmt;
+use std::time::Duration;
+
+use halotis_netlist::technology;
+use halotis_sim::{
+    ActivityCounter, BatchRunner, CompiledCircuit, PowerAccumulator, SimulationError,
+};
+
+use crate::entry::CorpusEntry;
+use crate::observer::{GlitchProfile, WallClockProbe};
+use crate::stats::{CorpusStats, EntryRecord, ScenarioRecord};
+
+/// A corpus scenario failed; the corpus is expected to be fully green, so
+/// one failure aborts the run with full context.
+#[derive(Debug)]
+pub struct CorpusError {
+    /// Entry whose batch failed.
+    pub entry: String,
+    /// Failing scenario label, when the failure is scenario-level.
+    pub scenario: Option<String>,
+    /// The underlying engine error.
+    pub source: SimulationError,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.scenario {
+            Some(scenario) => write!(
+                f,
+                "corpus entry {} scenario {} failed: {}",
+                self.entry, scenario, self.source
+            ),
+            None => write!(f, "corpus entry {} failed: {}", self.entry, self.source),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Wall-clock samples of one entry's batch, one per repeat.
+#[derive(Clone, Debug)]
+pub struct EntryTiming {
+    /// Corpus entry name.
+    pub name: String,
+    /// One batch wall-clock duration per repeat, in execution order.
+    pub samples: Vec<Duration>,
+}
+
+impl EntryTiming {
+    /// Renders the sample set as one line of the criterion-style capture
+    /// `scripts/bench_to_json.py` parses:
+    ///
+    /// ```text
+    /// corpus/mult4x4    median 1.2ms  mean 1.3ms  min 1.1ms
+    /// ```
+    pub fn criterion_line(&self) -> String {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let min = sorted[0];
+        format!(
+            "corpus/{}    median {median:?}  mean {mean:?}  min {min:?}",
+            self.name
+        )
+    }
+}
+
+/// Everything one corpus run produces: the statistics document plus the
+/// per-entry timing samples.
+#[derive(Clone, Debug)]
+pub struct CorpusReport {
+    /// The statistics document (golden-gate material).
+    pub stats: CorpusStats,
+    /// Per-entry timing, in corpus order (perf-capture material).
+    pub timings: Vec<EntryTiming>,
+}
+
+/// The per-scenario observer bundle of a corpus run.
+type CorpusObserver = (
+    (ActivityCounter, PowerAccumulator),
+    (GlitchProfile, WallClockProbe),
+);
+
+/// Runs corpus entries through the observed batch path.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusRunner {
+    threads: usize,
+    repeats: usize,
+}
+
+impl CorpusRunner {
+    /// A runner using every hardware thread and a single timing repeat.
+    pub fn new() -> Self {
+        CorpusRunner {
+            threads: 0,
+            repeats: 1,
+        }
+    }
+
+    /// Fixes the worker-thread count; `0` selects hardware parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Repeats every entry's batch `repeats` times (clamped to at least 1)
+    /// to collect that many timing samples.  Statistics are identical on
+    /// every repeat — only wall-clock differs — so the records are taken
+    /// from the last repeat.
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// The configured repeat count.
+    pub fn repeats(&self) -> usize {
+        self.repeats.max(1)
+    }
+
+    /// Runs every entry, producing the statistics document and timing
+    /// samples.  The first scenario failure aborts the run.
+    pub fn run(&self, corpus: &[CorpusEntry]) -> Result<CorpusReport, CorpusError> {
+        let library = technology::cmos06();
+        let batch = if self.threads == 0 {
+            BatchRunner::new()
+        } else {
+            BatchRunner::with_threads(self.threads)
+        };
+        let mut stats = CorpusStats::default();
+        let mut timings = Vec::with_capacity(corpus.len());
+
+        for entry in corpus {
+            let circuit = CompiledCircuit::compile(&entry.netlist, &library).map_err(|source| {
+                CorpusError {
+                    entry: entry.name.clone(),
+                    scenario: None,
+                    source,
+                }
+            })?;
+            let scenarios = entry.scenarios(&library);
+
+            let mut samples = Vec::with_capacity(self.repeats());
+            let mut last_report = None;
+            for _ in 0..self.repeats() {
+                let report = batch.run_observed(&circuit, &scenarios, |_, _| {
+                    (
+                        (ActivityCounter::new(), PowerAccumulator::new()),
+                        (GlitchProfile::new(), WallClockProbe::new()),
+                    )
+                });
+                samples.push(report.wall_time());
+                last_report = Some(report);
+            }
+            let report = last_report.expect("at least one repeat ran");
+
+            let mut records = Vec::with_capacity(scenarios.len());
+            for (scenario, outcome) in scenarios.iter().zip(report.outcomes()) {
+                let run_stats = outcome.stats.as_ref().map_err(|source| CorpusError {
+                    entry: entry.name.clone(),
+                    scenario: Some(outcome.label.clone()),
+                    source: source.clone(),
+                })?;
+                let ((activity, power), (glitches, clock)): &CorpusObserver = &outcome.observer;
+                debug_assert_eq!(activity.total_transitions(), run_stats.output_transitions);
+                records.push(ScenarioRecord {
+                    label: outcome.label.clone(),
+                    model: scenario.config.model.label().to_string(),
+                    stats: *run_stats,
+                    glitch_pulses: glitches.total_glitches(),
+                    energy_joules: power.total_joules(),
+                    wall_time_ns: clock.elapsed().map(|elapsed| elapsed.as_nanos()),
+                });
+            }
+
+            stats.entries.push(EntryRecord {
+                name: entry.name.clone(),
+                circuit: entry.netlist.name().to_string(),
+                gates: entry.netlist.gate_count(),
+                nets: entry.netlist.net_count(),
+                suite: entry.suite.label(),
+                scenarios: records,
+                wall_time_ns: Some(report.wall_time().as_nanos()),
+            });
+            timings.push(EntryTiming {
+                name: entry.name.clone(),
+                samples,
+            });
+        }
+        Ok(CorpusReport { stats, timings })
+    }
+}
+
+impl Default for CorpusRunner {
+    fn default() -> Self {
+        CorpusRunner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::standard_corpus;
+    use crate::stimuli::StimulusSuite;
+    use halotis_core::TimeDelta;
+    use halotis_netlist::generators;
+
+    fn small_corpus() -> Vec<CorpusEntry> {
+        vec![
+            CorpusEntry::new(
+                "c17",
+                generators::c17(),
+                StimulusSuite::Exhaustive {
+                    period: TimeDelta::from_ns(4.0),
+                },
+            ),
+            CorpusEntry::new(
+                "parity4",
+                generators::parity_tree(4),
+                StimulusSuite::ToggleProbes {
+                    seed: 7,
+                    max_probes: 2,
+                    pulse: TimeDelta::from_ps(600.0),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn runner_produces_one_record_per_scenario() {
+        let corpus = small_corpus();
+        let report = CorpusRunner::new().run(&corpus).unwrap();
+        assert_eq!(report.stats.entries.len(), 2);
+        assert_eq!(report.stats.entries[0].scenarios.len(), 2); // exh × 2 models
+        assert_eq!(report.stats.entries[1].scenarios.len(), 4); // 2 probes × 2
+        assert_eq!(report.stats.scenario_count(), 6);
+        assert_eq!(report.timings.len(), 2);
+        for entry in &report.stats.entries {
+            assert!(entry.wall_time_ns.is_some());
+            for scenario in &entry.scenarios {
+                assert!(scenario.stats.events_processed > 0, "{}", scenario.label);
+                assert!(scenario.energy_joules > 0.0, "{}", scenario.label);
+                assert!(scenario.wall_time_ns.is_some());
+                assert!(scenario.model == "DDM" || scenario.model == "CDM");
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_are_thread_count_independent() {
+        let corpus = small_corpus();
+        let mut one = CorpusRunner::new()
+            .with_threads(1)
+            .run(&corpus)
+            .unwrap()
+            .stats;
+        let mut four = CorpusRunner::new()
+            .with_threads(4)
+            .run(&corpus)
+            .unwrap()
+            .stats;
+        one.strip_timing();
+        four.strip_timing();
+        assert_eq!(one, four);
+        assert_eq!(one.to_json(), four.to_json());
+    }
+
+    #[test]
+    fn repeats_collect_that_many_samples() {
+        let corpus = small_corpus();
+        let report = CorpusRunner::new().with_repeats(3).run(&corpus).unwrap();
+        for timing in &report.timings {
+            assert_eq!(timing.samples.len(), 3);
+            let line = timing.criterion_line();
+            assert!(line.contains("median"), "{line}");
+            assert!(line.contains("mean"), "{line}");
+            assert!(line.contains("min"), "{line}");
+        }
+    }
+
+    #[test]
+    fn cdm_overestimates_activity_on_the_standard_corpus() {
+        // The paper's headline claim, asserted corpus-wide: summed over all
+        // entries, CDM schedules more events and produces at least as many
+        // glitches as DDM.
+        let corpus = standard_corpus();
+        let stats = CorpusRunner::new().run(&corpus).unwrap().stats;
+        let mut ddm = halotis_sim::SimulationStats::default();
+        let mut cdm = halotis_sim::SimulationStats::default();
+        let (mut ddm_glitches, mut cdm_glitches) = (0usize, 0usize);
+        for entry in &stats.entries {
+            for scenario in &entry.scenarios {
+                match scenario.model.as_str() {
+                    "DDM" => {
+                        ddm.merge(&scenario.stats);
+                        ddm_glitches += scenario.glitch_pulses;
+                    }
+                    "CDM" => {
+                        cdm.merge(&scenario.stats);
+                        cdm_glitches += scenario.glitch_pulses;
+                    }
+                    other => panic!("unexpected model {other}"),
+                }
+            }
+        }
+        assert!(
+            cdm.events_scheduled > ddm.events_scheduled,
+            "CDM {} <= DDM {}",
+            cdm.events_scheduled,
+            ddm.events_scheduled
+        );
+        assert!(
+            cdm_glitches >= ddm_glitches,
+            "CDM glitches {cdm_glitches} < DDM glitches {ddm_glitches}"
+        );
+        assert!(ddm.degraded_transitions > 0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Full-adder and ripple-carry-adder generators.
+//! Full-adder, ripple-carry-adder and carry-skip-adder generators.
 
 use halotis_core::NetId;
 
@@ -112,6 +112,120 @@ pub fn ripple_carry_adder(bits: usize) -> Netlist {
         .expect("ripple-carry adder is a valid netlist")
 }
 
+/// Builds an `n`-bit carry-skip adder: ripple-carry blocks of `block_bits`
+/// bits augmented with the classical AND-OR skip path (`cout_block =
+/// ripple_cout | (P_block & cin_block)`, where `P_block` is the AND of the
+/// per-bit propagate signals `a_i ^ b_i`).
+///
+/// The function computed is identical to [`ripple_carry_adder`]; what
+/// changes is the carry network's topology, which gives the corpus a
+/// structurally different glitching profile for the same arithmetic.
+/// Primary inputs are `a0..`, `b0..` and `cin`; primary outputs `s0..` and
+/// `cout`.  The per-bit propagate nets reuse the full adders' internal
+/// `fa{i}_axb` XOR outputs, so the skip logic adds only the AND tree and
+/// one AND/OR pair per block.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `block_bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let adder = generators::carry_skip_adder(8, 4);
+/// assert_eq!(adder.primary_inputs().len(), 17); // a0..a7, b0..b7, cin
+/// assert_eq!(adder.primary_outputs().len(), 9); // s0..s7, cout
+/// ```
+pub fn carry_skip_adder(bits: usize, block_bits: usize) -> Netlist {
+    assert!(bits > 0, "an adder needs at least one bit");
+    assert!(block_bits > 0, "a skip block needs at least one bit");
+    let mut builder = NetlistBuilder::new(format!("cska{bits}b{block_bits}"));
+    let a: Vec<NetId> = (0..bits)
+        .map(|i| builder.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<NetId> = (0..bits)
+        .map(|i| builder.add_input(format!("b{i}")))
+        .collect();
+    let cin = builder.add_input("cin");
+
+    let mut block_cin = cin;
+    let mut block_index = 0usize;
+    let mut bit = 0usize;
+    while bit < bits {
+        let block_end = (bit + block_bits).min(bits);
+        let block_cin_net = block_cin;
+        let mut carry = block_cin_net;
+        let mut propagates: Vec<NetId> = Vec::with_capacity(block_end - bit);
+        for i in bit..block_end {
+            let sum = builder.add_net(format!("s{i}"));
+            let ripple_cout = builder.add_net(format!("rc{}", i + 1));
+            full_adder_cell(
+                &mut builder,
+                &format!("fa{i}"),
+                a[i],
+                b[i],
+                Some(carry),
+                sum,
+                ripple_cout,
+            );
+            builder.mark_output(sum);
+            // The full adder already computed the propagate a_i ^ b_i as its
+            // internal `fa{i}_axb` net; look it up by name instead of
+            // duplicating the XOR.
+            propagates.push(builder.add_net(format!("fa{i}_axb")));
+            carry = ripple_cout;
+        }
+
+        // Block propagate: AND-fold the per-bit propagates.
+        let mut block_p = propagates[0];
+        for (fold, &p) in propagates.iter().enumerate().skip(1) {
+            let next = builder.add_net(format!("bp{block_index}_{fold}"));
+            builder
+                .add_gate(
+                    CellKind::And2,
+                    format!("bpand{block_index}_{fold}"),
+                    &[block_p, p],
+                    next,
+                )
+                .expect("block propagate net must be undriven");
+            block_p = next;
+        }
+
+        // Skip path: cout_block = ripple_cout | (P_block & cin_block).
+        let skip = builder.add_net(format!("skip{block_index}"));
+        builder
+            .add_gate(
+                CellKind::And2,
+                format!("skipand{block_index}"),
+                &[block_p, block_cin_net],
+                skip,
+            )
+            .expect("skip net must be undriven");
+        let block_cout = if block_end == bits {
+            builder.add_net("cout")
+        } else {
+            builder.add_net(format!("bc{block_index}"))
+        };
+        builder
+            .add_gate(
+                CellKind::Or2,
+                format!("skipor{block_index}"),
+                &[carry, skip],
+                block_cout,
+            )
+            .expect("block carry-out net must be undriven");
+
+        block_cin = block_cout;
+        block_index += 1;
+        bit = block_end;
+    }
+    builder.mark_output(block_cin);
+    builder
+        .build()
+        .expect("carry-skip adder is a valid netlist")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +303,51 @@ mod tests {
     #[should_panic(expected = "at least one bit")]
     fn zero_bit_adder_panics() {
         ripple_carry_adder(0);
+    }
+
+    #[test]
+    fn carry_skip_adder_matches_integer_addition() {
+        for (bits, block) in [(4usize, 2usize), (5, 3), (6, 2), (8, 4), (3, 8)] {
+            let adder = carry_skip_adder(bits, block);
+            let a: Vec<NetId> = (0..bits)
+                .map(|i| adder.net_id(&format!("a{i}")).unwrap())
+                .collect();
+            let b: Vec<NetId> = (0..bits)
+                .map(|i| adder.net_id(&format!("b{i}")).unwrap())
+                .collect();
+            let cin = adder.net_id("cin").unwrap();
+            let mut outputs: Vec<NetId> = (0..bits)
+                .map(|i| adder.net_id(&format!("s{i}")).unwrap())
+                .collect();
+            outputs.push(adder.net_id("cout").unwrap());
+            let max = 1u64 << bits;
+            for av in [0, 1, max / 2, max - 2, max - 1] {
+                for bv in [0, 1, 3, max / 2 + 1, max - 1] {
+                    for c in 0..2u64 {
+                        let mut assignment = eval::bus_assignment(&a, av);
+                        assignment.extend(eval::bus_assignment(&b, bv));
+                        assignment.extend(eval::bus_assignment(&[cin], c));
+                        let result = eval::evaluate_bus(&adder, &assignment, &outputs).unwrap();
+                        assert_eq!(result, av + bv + c, "{bits}b/{block}: {av} + {bv} + {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry_skip_adder_has_more_gates_than_ripple() {
+        // The skip network is an addition on top of the ripple structure.
+        let ripple = ripple_carry_adder(8);
+        let skip = carry_skip_adder(8, 4);
+        assert!(skip.gate_count() > ripple.gate_count());
+        assert_eq!(skip.primary_inputs().len(), ripple.primary_inputs().len());
+        assert_eq!(skip.primary_outputs().len(), ripple.primary_outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "skip block needs at least one bit")]
+    fn zero_block_carry_skip_panics() {
+        carry_skip_adder(4, 0);
     }
 }

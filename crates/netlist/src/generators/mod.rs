@@ -7,6 +7,10 @@
 //!   thresholds, which exposes the error of classical inertial filtering,
 //! * [`ripple_carry_adder`] — an n-bit adder built from XOR/AND/OR full
 //!   adders,
+//! * [`carry_skip_adder`] — the same arithmetic with AND-OR skip blocks,
+//!   giving the carry network a different glitching topology,
+//! * [`parity_tree`] — a balanced XOR reduction tree, the classic glitch
+//!   amplifier and the sharpest probe for pulse degradation,
 //! * [`multiplier`] — the paper's Fig. 5 array multiplier (parametric in
 //!   both operand widths; the paper uses 4×4),
 //! * [`c17`] — the tiny ISCAS-85 C17 benchmark, a convenient NAND-only test
@@ -17,12 +21,14 @@ mod adder;
 mod chains;
 mod figure1;
 mod multiplier;
+mod parity;
 mod random;
 
-pub use adder::{full_adder_cell, ripple_carry_adder};
+pub use adder::{carry_skip_adder, full_adder_cell, ripple_carry_adder};
 pub use chains::{buffer_fanout_tree, inverter_chain};
 pub use figure1::{figure1, figure1_default, Figure1Nets, FIGURE1_HIGH_VT, FIGURE1_LOW_VT};
 pub use multiplier::{multiplier, MultiplierPorts};
+pub use parity::parity_tree;
 pub use random::random_logic;
 
 use crate::cell::CellKind;

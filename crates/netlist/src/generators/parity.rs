@@ -1,0 +1,129 @@
+//! Balanced XOR-tree (parity) generator.
+//!
+//! Parity trees are the classic glitch amplifier: every input edge races
+//! through `log2(width)` XOR levels, and any arrival-time skew between the
+//! two operands of a node produces an output pulse.  That makes them a
+//! sharp probe for the degradation model — short pulses born in the first
+//! level must shrink (and eventually vanish) on their way up the tree,
+//! which a conventional delay model cannot reproduce.
+
+use halotis_core::NetId;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Builds a balanced XOR reduction tree over `width` primary inputs
+/// (`in0..in{width-1}`) with the single primary output `parity`.
+///
+/// Odd-sized levels forward their last net to the next level unchanged, so
+/// the tree uses exactly `width - 1` XOR gates at depth `ceil(log2(width))`.
+/// A `width` of 1 degenerates into a single buffer so the circuit still has
+/// one gate and one observable output.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::generators;
+/// let tree = generators::parity_tree(8);
+/// assert_eq!(tree.gate_count(), 7);
+/// assert_eq!(tree.primary_inputs().len(), 8);
+/// assert_eq!(tree.primary_outputs().len(), 1);
+/// ```
+pub fn parity_tree(width: usize) -> Netlist {
+    assert!(width > 0, "a parity tree needs at least one input");
+    let mut builder = NetlistBuilder::new(format!("parity{width}"));
+    let mut frontier: Vec<NetId> = (0..width)
+        .map(|i| builder.add_input(format!("in{i}")))
+        .collect();
+
+    if width == 1 {
+        let out = builder.add_net("parity");
+        builder
+            .add_gate(CellKind::Buf, "pbuf", &[frontier[0]], out)
+            .expect("buffer output net must be undriven");
+        builder.mark_output(out);
+        return builder.build().expect("parity tree is a valid netlist");
+    }
+
+    let mut level = 0usize;
+    let mut gate_index = 0usize;
+    while frontier.len() > 1 {
+        let mut next: Vec<NetId> = Vec::with_capacity(frontier.len().div_ceil(2));
+        for pair in frontier.chunks(2) {
+            match pair {
+                [left, right] => {
+                    let is_root = frontier.len() == 2;
+                    let out = if is_root {
+                        builder.add_net("parity")
+                    } else {
+                        builder.add_net(format!("x{}_{}", level, next.len()))
+                    };
+                    builder
+                        .add_gate(
+                            CellKind::Xor2,
+                            format!("xor{gate_index}"),
+                            &[*left, *right],
+                            out,
+                        )
+                        .expect("tree node net must be undriven");
+                    gate_index += 1;
+                    next.push(out);
+                }
+                [odd] => next.push(*odd),
+                _ => unreachable!("chunks(2) yields one or two elements"),
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    builder.mark_output(frontier[0]);
+    builder.build().expect("parity tree is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::levelize;
+
+    #[test]
+    fn parity_matches_popcount_for_exhaustive_patterns() {
+        for width in [1usize, 2, 3, 5, 8] {
+            let tree = parity_tree(width);
+            let inputs: Vec<NetId> = (0..width)
+                .map(|i| tree.net_id(&format!("in{i}")).unwrap())
+                .collect();
+            let out = tree.net_id("parity").unwrap();
+            for pattern in 0..(1u64 << width) {
+                let assignment = eval::bus_assignment(&inputs, pattern);
+                let value = eval::evaluate_bus(&tree, &assignment, &[out]).unwrap();
+                assert_eq!(
+                    value,
+                    u64::from(pattern.count_ones() % 2 == 1),
+                    "width {width}, pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_balanced_and_minimal() {
+        for width in [2usize, 4, 7, 16] {
+            let tree = parity_tree(width);
+            assert_eq!(tree.gate_count(), width - 1, "width {width}");
+            let depth = levelize::levelize(&tree).depth();
+            let expected = (usize::BITS - (width - 1).leading_zeros()) as usize;
+            assert_eq!(depth, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_width_parity_panics() {
+        parity_tree(0);
+    }
+}

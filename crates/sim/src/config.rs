@@ -70,15 +70,6 @@ impl SimulationConfig {
         self
     }
 
-    /// Configuration for an explicit delay-model kind.
-    #[deprecated(
-        since = "0.1.0",
-        note = "constructor posing as a combinator; use `SimulationConfig::default().model(kind)`"
-    )]
-    pub fn with_model(model: DelayModelKind) -> Self {
-        Self::default().model(model)
-    }
-
     /// Replaces the settle margin (given in nanoseconds).
     pub fn with_settle_margin_ns(mut self, margin_ns: f64) -> Self {
         self.settle_margin = TimeDelta::from_ns(margin_ns);
@@ -121,15 +112,6 @@ mod tests {
         assert_eq!(
             SimulationConfig::default().model,
             DelayModelKind::Degradation
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_still_selects_the_model() {
-        assert_eq!(
-            SimulationConfig::with_model(DelayModelKind::Conventional).model,
-            DelayModelKind::Conventional
         );
     }
 

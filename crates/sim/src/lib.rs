@@ -57,8 +57,8 @@
 //! waveforms.  Call sites migrate mechanically:
 //!
 //! * `SimulationConfig::with_model(kind)` →
-//!   `SimulationConfig::default().model(kind)` (the old constructor remains
-//!   as a deprecated alias; `ddm()` / `cdm()` are unchanged),
+//!   `SimulationConfig::default().model(kind)` (the old constructor has
+//!   been removed; `ddm()` / `cdm()` are unchanged),
 //! * assignments `config.model = kind` → `config.model = kind.into()` (the
 //!   field now holds a [`DelayModelHandle`],
 //!   which any `DelayModel` implementation converts into),

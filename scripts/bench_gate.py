@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over `bench_to_json.py` documents.
+
+Compares a freshly measured bench document against the committed baseline
+(`BENCH_api.json`) and fails when any shared measurement regressed beyond
+the tolerance, or when a baseline measurement disappeared from the fresh
+run (silent coverage shrink).  New measurements in the fresh document are
+reported but never fail the gate.
+
+The default tolerance is generous (±35%) because shared CI runners are
+noisy; the gate is meant to catch step-function regressions (an accidental
+recompile-per-run, a lost fast path), not single-digit drift.
+
+Usage:
+    bench_gate.py BASELINE.json FRESH.json [--tolerance 0.35] [--metric median_ns]
+    bench_gate.py --self-test
+
+Exit codes: 0 gate passed, 1 regression / lost coverage, 2 usage error.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+DEFAULT_TOLERANCE = 0.35
+DEFAULT_METRIC = "median_ns"
+
+
+def flatten(document: dict, metric: str) -> dict:
+    """Maps measurement name -> metric value for a halotis-bench-v1 doc."""
+    if document.get("schema") != "halotis-bench-v1":
+        raise ValueError(f"unexpected schema: {document.get('schema')!r}")
+    values = {}
+    for bench in document.get("benches", []):
+        for measurement in bench.get("measurements", []):
+            values[measurement["name"]] = float(measurement[metric])
+    return values
+
+
+def gate(baseline: dict, fresh: dict, tolerance: float, metric: str) -> list:
+    """Returns a list of failure strings; empty means the gate passes."""
+    base = flatten(baseline, metric)
+    new = flatten(fresh, metric)
+    failures = []
+    for name in sorted(base):
+        if name not in new:
+            failures.append(f"LOST: {name} present in baseline but not measured")
+            continue
+        ratio = new[name] / base[name] if base[name] > 0 else float("inf")
+        verdict = f"{name}: {base[name]:.0f} ns -> {new[name]:.0f} ns ({ratio:.2f}x)"
+        if ratio > 1.0 + tolerance:
+            failures.append(f"REGRESSION: {verdict} exceeds +{tolerance:.0%}")
+        else:
+            print(f"ok: {verdict}")
+    for name in sorted(set(new) - set(base)):
+        print(f"new measurement (not gated): {name}")
+    return failures
+
+
+def self_test() -> int:
+    """Verifies the gate trips on an injected 2x slowdown and stays quiet
+    inside the tolerance band."""
+    baseline = {
+        "schema": "halotis-bench-v1",
+        "unit": "nanoseconds",
+        "benches": [
+            {
+                "capture": "synthetic.txt",
+                "measurements": [
+                    {"name": "g/fast", "median_ns": 1000.0, "mean_ns": 1000.0, "min_ns": 900.0},
+                    {"name": "g/slow", "median_ns": 50000.0, "mean_ns": 50000.0, "min_ns": 48000.0},
+                ],
+            }
+        ],
+    }
+
+    # An injected 2x slowdown on one measurement must trip the gate.
+    slowed = copy.deepcopy(baseline)
+    slowed["benches"][0]["measurements"][0]["median_ns"] *= 2.0
+    failures = gate(baseline, slowed, DEFAULT_TOLERANCE, DEFAULT_METRIC)
+    assert any("REGRESSION" in f and "g/fast" in f for f in failures), failures
+    assert len(failures) == 1, failures
+
+    # Noise inside the tolerance band must pass.
+    noisy = copy.deepcopy(baseline)
+    for measurement in noisy["benches"][0]["measurements"]:
+        measurement["median_ns"] *= 1.0 + DEFAULT_TOLERANCE - 0.01
+    assert gate(baseline, noisy, DEFAULT_TOLERANCE, DEFAULT_METRIC) == []
+
+    # A measurement vanishing from the fresh run must trip the gate.
+    shrunk = copy.deepcopy(baseline)
+    del shrunk["benches"][0]["measurements"][1]
+    failures = gate(baseline, shrunk, DEFAULT_TOLERANCE, DEFAULT_METRIC)
+    assert any("LOST" in f and "g/slow" in f for f in failures), failures
+
+    # Speed-ups never fail.
+    faster = copy.deepcopy(baseline)
+    for measurement in faster["benches"][0]["measurements"]:
+        measurement["median_ns"] *= 0.5
+    assert gate(baseline, faster, DEFAULT_TOLERANCE, DEFAULT_METRIC) == []
+
+    print("bench_gate self-test passed: 2x slowdown trips, noise and speed-ups pass")
+    return 0
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("fresh", nargs="?", help="freshly measured JSON")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown fraction (default 0.35 = +35%%)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        choices=["median_ns", "mean_ns", "min_ns"])
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate trips on an injected 2x slowdown")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    failures = gate(baseline, fresh, args.tolerance, args.metric)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"bench gate FAILED ({len(failures)} problem(s), tolerance +{args.tolerance:.0%})",
+              file=sys.stderr)
+        print("note: the baseline is only meaningful on the hardware class that measured it; "
+              "if the runner hardware changed (not the code), re-baseline by committing the "
+              "fresh document over the baseline", file=sys.stderr)
+        return 1
+    print(f"bench gate passed (tolerance +{args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

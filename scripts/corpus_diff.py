@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Golden-stats gate: diff two `CORPUS_stats.json` documents bit-exactly,
+wall-clock timing excluded.
+
+Every field the corpus emits is a deterministic function of the corpus
+definition except the `wall_time_ns` timing fields, which this script masks
+on both sides before comparing the canonicalised documents.  Any other
+difference — one event, one glitch, one bit of an energy mantissa — fails
+the gate with a unified diff.
+
+Usage:
+    corpus_diff.py GOLDEN.json FRESH.json
+    corpus_diff.py --self-test
+
+Exit codes: 0 documents match, 1 mismatch, 2 usage error.
+"""
+
+import argparse
+import copy
+import difflib
+import json
+import math
+import sys
+
+TIMING_KEYS = {"wall_time_ns"}
+
+
+def mask_timing(node):
+    """Recursively nulls every timing field in place."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in TIMING_KEYS:
+                node[key] = None
+            else:
+                mask_timing(value)
+    elif isinstance(node, list):
+        for value in node:
+            mask_timing(value)
+
+
+def canonical(document: dict) -> str:
+    masked = copy.deepcopy(document)
+    mask_timing(masked)
+    return json.dumps(masked, indent=2, sort_keys=True)
+
+
+def diff(golden: dict, fresh: dict, golden_name: str, fresh_name: str) -> list:
+    """Returns unified-diff lines; empty means the documents match."""
+    return list(
+        difflib.unified_diff(
+            canonical(golden).splitlines(),
+            canonical(fresh).splitlines(),
+            fromfile=golden_name,
+            tofile=fresh_name,
+            lineterm="",
+        )
+    )
+
+
+def self_test() -> int:
+    golden = {
+        "schema": "halotis-corpus-v1",
+        "totals": {"events_processed": 100, "energy_joules": 1.25e-13},
+        "entries": [
+            {"name": "e", "wall_time_ns": None,
+             "scenarios": [{"label": "e/s/ddm", "glitch_pulses": 3, "wall_time_ns": None}]}
+        ],
+    }
+
+    # Timing differences alone must pass.
+    timed = copy.deepcopy(golden)
+    timed["entries"][0]["wall_time_ns"] = 123456
+    timed["entries"][0]["scenarios"][0]["wall_time_ns"] = 7890
+    assert diff(golden, timed, "golden", "timed") == []
+
+    # A single-count drift must fail.
+    drifted = copy.deepcopy(golden)
+    drifted["entries"][0]["scenarios"][0]["glitch_pulses"] = 4
+    assert diff(golden, drifted, "golden", "drifted") != []
+
+    # An energy drift of one ULP must fail (bit-exactness, not tolerance).
+    warmed = copy.deepcopy(golden)
+    warmed["totals"]["energy_joules"] = math.nextafter(1.25e-13, 1.0)
+    assert diff(golden, warmed, "golden", "warmed") != []
+
+    print("corpus_diff self-test passed: timing masked, counts and energy bit-exact")
+    return 0
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("golden", nargs="?", help="committed golden JSON")
+    parser.add_argument("fresh", nargs="?", help="freshly generated JSON")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the masking and bit-exactness rules")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.golden or not args.fresh:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    with open(args.golden, encoding="utf-8") as handle:
+        golden = json.load(handle)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    lines = diff(golden, fresh, args.golden, args.fresh)
+    if lines:
+        for line in lines:
+            print(line, file=sys.stderr)
+        print("corpus golden gate FAILED; regenerate the golden with "
+              "`cargo run --release --bin halotis-corpus -- --deterministic "
+              f"--out {args.golden}` if the change is intended", file=sys.stderr)
+        return 1
+    print(f"corpus golden gate passed: {args.fresh} matches {args.golden} (timing masked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,219 @@
+//! `halotis-corpus` — runs the standard benchmark corpus and emits the
+//! machine-readable statistics and timing documents the CI gates consume.
+//!
+//! ```text
+//! halotis-corpus [--out CORPUS_stats.json] [--timing PATH] [--threads N]
+//!                [--repeats N] [--deterministic] [--list] [--check GOLDEN]
+//! ```
+//!
+//! * `--out PATH` — write the statistics JSON (default `CORPUS_stats.json`),
+//! * `--timing PATH` — also write a criterion-style timing capture that
+//!   `scripts/bench_to_json.py` can convert to JSON,
+//! * `--threads N` — worker threads for the batch runner (default: all),
+//! * `--repeats N` — timing samples per entry (default 3 when `--timing`
+//!   is given, else 1 — repeats only matter for timing),
+//! * `--deterministic` — strip wall-clock fields so the output is bit-exact
+//!   reproducible (the mode the committed golden uses),
+//! * `--list` — print the corpus entries and scenario counts, run nothing,
+//! * `--check GOLDEN` — run deterministically and compare the rendered JSON
+//!   against `GOLDEN`, exiting non-zero on any mismatch (the Rust-only
+//!   variant of `scripts/corpus_diff.py`).
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use halotis::corpus::{standard_corpus, CorpusRunner};
+use halotis::netlist::technology;
+
+const USAGE: &str = "usage: halotis-corpus [--out PATH] [--timing PATH] [--threads N] \
+                     [--repeats N] [--deterministic] [--list] [--check GOLDEN]";
+
+struct Options {
+    out: String,
+    timing: Option<String>,
+    threads: usize,
+    repeats: Option<usize>,
+    deterministic: bool,
+    list: bool,
+    check: Option<String>,
+}
+
+impl Options {
+    /// Timing samples per entry: an explicit `--repeats` wins; otherwise 3
+    /// when a timing capture is wanted, 1 for a pure statistics/check run
+    /// (the extra repeats would only produce discarded timing samples).
+    fn repeats(&self) -> usize {
+        self.repeats
+            .unwrap_or(if self.timing.is_some() { 3 } else { 1 })
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        out: "CORPUS_stats.json".to_string(),
+        timing: None,
+        threads: 0,
+        repeats: None,
+        deterministic: false,
+        list: false,
+        check: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => options.out = value_of("--out")?,
+            "--timing" => options.timing = Some(value_of("--timing")?),
+            "--threads" => {
+                options.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?
+            }
+            "--repeats" => {
+                options.repeats = Some(
+                    value_of("--repeats")?
+                        .parse()
+                        .map_err(|_| "--repeats needs an integer".to_string())?,
+                )
+            }
+            "--deterministic" => options.deterministic = true,
+            "--list" => options.list = true,
+            "--check" => options.check = Some(value_of("--check")?),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let corpus = standard_corpus();
+
+    if options.list {
+        let library = technology::cmos06();
+        println!("{} corpus entries:", corpus.len());
+        let mut total = 0usize;
+        for entry in &corpus {
+            let scenarios = entry.scenarios(&library).len();
+            total += scenarios;
+            println!(
+                "  {:<14} {:<28} suite {:<9} {:>3} scenarios ({} gates, {} nets)",
+                entry.name,
+                entry.netlist.name(),
+                entry.suite.label(),
+                scenarios,
+                entry.netlist.gate_count(),
+                entry.netlist.net_count(),
+            );
+        }
+        println!("{total} scenarios total (both delay models)");
+        return ExitCode::SUCCESS;
+    }
+
+    let deterministic = options.deterministic || options.check.is_some();
+    let runner = CorpusRunner::new()
+        .with_threads(options.threads)
+        .with_repeats(options.repeats());
+    let report = match runner.run(&corpus) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("corpus run failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The timing capture is written whenever requested — also in --check
+    // mode, where the statistics document itself never lands on disk.
+    if let Some(timing_path) = &options.timing {
+        let mut capture = String::new();
+        for timing in &report.timings {
+            capture.push_str(&timing.criterion_line());
+            capture.push('\n');
+        }
+        if let Err(error) = fs::write(timing_path, &capture) {
+            eprintln!("cannot write {timing_path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {timing_path} ({} entries × {} repeats)",
+            report.timings.len(),
+            runner.repeats()
+        );
+    }
+
+    let mut stats = report.stats;
+    if deterministic {
+        stats.strip_timing();
+    }
+    let json = stats.to_json();
+
+    if let Some(golden_path) = &options.check {
+        let golden = match fs::read_to_string(golden_path) {
+            Ok(golden) => golden,
+            Err(error) => {
+                eprintln!("cannot read golden {golden_path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden == json {
+            println!(
+                "corpus golden OK: {} scenarios match {golden_path} bit-exactly",
+                stats.scenario_count()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for (index, (fresh_line, golden_line)) in json.lines().zip(golden.lines()).enumerate() {
+            if fresh_line != golden_line {
+                eprintln!(
+                    "corpus golden MISMATCH at line {}:\n  golden: {golden_line}\n  fresh:  {fresh_line}",
+                    index + 1
+                );
+                break;
+            }
+        }
+        if json.lines().count() != golden.lines().count() {
+            eprintln!(
+                "corpus golden MISMATCH: {} fresh lines vs {} golden lines",
+                json.lines().count(),
+                golden.lines().count()
+            );
+        }
+        eprintln!("regenerate with: halotis-corpus --deterministic --out {golden_path}");
+        return ExitCode::FAILURE;
+    }
+
+    if let Err(error) = fs::write(&options.out, &json) {
+        eprintln!("cannot write {}: {error}", options.out);
+        return ExitCode::FAILURE;
+    }
+    let totals = stats.totals();
+    println!(
+        "wrote {} ({} entries, {} scenarios; {} events, {} glitches, {:.3e} J{})",
+        options.out,
+        stats.entries.len(),
+        stats.scenario_count(),
+        totals.events_processed,
+        stats.total_glitches(),
+        stats.total_energy_joules(),
+        if deterministic { ", deterministic" } else { "" }
+    );
+    ExitCode::SUCCESS
+}

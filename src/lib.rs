@@ -16,6 +16,7 @@
 //! | [`waveform`] | transitions, digital/analog waveforms, VCD/ASCII, comparisons |
 //! | [`sim`] | the HALOTIS engine and the classical baseline simulator |
 //! | [`analog`] | the reference electrical simulator (HSPICE substitute) |
+//! | [`corpus`] | the deterministic benchmark corpus behind the CI golden/perf gates |
 //! | [`experiments`] | Fig. 1/3/6/7 and Table 1/2 reproductions + extensions |
 //!
 //! # Quick start
@@ -37,6 +38,7 @@
 
 pub use halotis_analog as analog;
 pub use halotis_core as core;
+pub use halotis_corpus as corpus;
 pub use halotis_delay as delay;
 pub use halotis_netlist as netlist;
 pub use halotis_sim as sim;
