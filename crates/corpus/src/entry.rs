@@ -1,14 +1,47 @@
 //! Corpus entry definitions and the standard corpus.
 
 use halotis_core::TimeDelta;
-use halotis_netlist::{generators, Library, Netlist};
+use halotis_delay::{Conventional, Degradation, DelayModelHandle, PerCellOverride};
+use halotis_netlist::{generators, iscas, CellKind, Library, Netlist};
 use halotis_sim::{Scenario, SimulationConfig};
 
 use crate::stimuli::StimulusSuite;
 
+/// The corpus's third model column: a [`PerCellOverride`] mix applying the
+/// conventional model to the XOR family and the 4-input cells while every
+/// other cell keeps the degradation model — the "degradation where
+/// characterised" bring-up configuration, exercising the composite dispatch
+/// path on every corpus circuit.
+///
+/// The composition is part of the golden contract: changing it changes
+/// `CORPUS_stats.json` and must regenerate the committed golden.
+///
+/// # Example
+///
+/// ```
+/// let mix = halotis_corpus::mixed_model();
+/// assert_eq!(mix.label(), "MIX");
+/// assert_eq!(mix.kind(), None); // composite, not a built-in
+/// ```
+pub fn mixed_model() -> DelayModelHandle {
+    let mut mix = PerCellOverride::new(Degradation);
+    for kind in [
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::And4,
+        CellKind::Or4,
+        CellKind::Nand4,
+        CellKind::Nor4,
+    ] {
+        mix = mix.with(kind.class(), Conventional);
+    }
+    DelayModelHandle::new(mix.labelled("MIX"))
+}
+
 /// One corpus workload: a circuit paired with a stimulus suite.  Every
-/// stimulus the suite produces runs under **both** delay models
-/// (DDM and CDM), so one entry expands into `2 × stimuli` scenarios.
+/// stimulus the suite produces runs under **three** model columns — DDM,
+/// CDM and the [`mixed_model`] per-cell override — so one entry expands
+/// into `3 × stimuli` scenarios.
 #[derive(Clone, Debug)]
 pub struct CorpusEntry {
     /// Unique entry name, the first segment of its scenario labels.
@@ -30,25 +63,33 @@ impl CorpusEntry {
     }
 
     /// Expands the entry into its scenario set: every stimulus of the suite
-    /// under both delay models, labelled `entry/stimulus/model`.
+    /// under all three model columns, labelled `entry/stimulus/model`
+    /// (`.../ddm`, `.../cdm`, `.../mix` adjacent, in that order).
     pub fn scenarios(&self, library: &Library) -> Vec<Scenario> {
+        let mix = mixed_model();
         self.suite
             .stimuli(&self.netlist, library)
             .into_iter()
             .flat_map(|(stimulus_label, stimulus)| {
-                Scenario::both_models(
-                    format!("{}/{}", self.name, stimulus_label),
-                    stimulus,
-                    SimulationConfig::default(),
-                )
+                let label = format!("{}/{}", self.name, stimulus_label);
+                let mix_scenario = Scenario::new(
+                    format!("{label}/mix"),
+                    stimulus.clone(),
+                    SimulationConfig::default().model(mix.clone()),
+                );
+                Scenario::both_models(label, stimulus, SimulationConfig::default())
+                    .into_iter()
+                    .chain(std::iter::once(mix_scenario))
             })
             .collect()
     }
 }
 
-/// The standard HALOTIS corpus: scalable multipliers, ripple- and
-/// carry-skip adders, parity trees, layered random logic and the ISCAS-85
-/// c17, each paired with the stimulus suite that stresses it best.
+/// The standard HALOTIS corpus: scalable multipliers (array and Wallace
+/// tree), ripple-/carry-skip/Kogge-Stone adders, parity trees, layered
+/// random logic and the ISCAS-85 circuits c17, c432 and c880 (the latter
+/// two loaded from committed netlist files through the parser), each
+/// paired with the stimulus suite that stresses it best.
 ///
 /// The definition is **frozen by the golden-stats gate**: any change here
 /// (an entry, a seed, a size) changes `CORPUS_stats.json` and must
@@ -175,6 +216,78 @@ pub fn standard_corpus() -> Vec<CorpusEntry> {
                 pulse: ps(700.0),
             },
         ),
+        CorpusEntry::new(
+            "ks8",
+            generators::kogge_stone_adder(8),
+            StimulusSuite::RandomVectors {
+                vectors: 16,
+                period: ns(5.0),
+                seed: 0x5708,
+            },
+        ),
+        CorpusEntry::new(
+            "ks16",
+            generators::kogge_stone_adder(16),
+            StimulusSuite::RandomVectors {
+                vectors: 8,
+                period: ns(5.0),
+                seed: 0x5716,
+            },
+        ),
+        CorpusEntry::new(
+            "wallace4x4",
+            generators::wallace_tree_multiplier(4, 4),
+            StimulusSuite::RandomVectors {
+                vectors: 16,
+                period: ns(5.0),
+                seed: 0x3A44,
+            },
+        ),
+        CorpusEntry::new(
+            "wallace6x6",
+            generators::wallace_tree_multiplier(6, 6),
+            StimulusSuite::RandomVectors {
+                vectors: 8,
+                period: ns(6.0),
+                seed: 0x3A66,
+            },
+        ),
+        CorpusEntry::new(
+            "c432",
+            iscas::c432(),
+            StimulusSuite::RandomVectors {
+                vectors: 8,
+                period: ns(6.0),
+                seed: 0x432,
+            },
+        ),
+        CorpusEntry::new(
+            "c432_probe",
+            iscas::c432(),
+            StimulusSuite::ToggleProbes {
+                seed: 0x432,
+                max_probes: 6,
+                pulse: ps(700.0),
+            },
+        ),
+        CorpusEntry::new(
+            "c880",
+            iscas::c880(),
+            StimulusSuite::RandomVectors {
+                vectors: 6,
+                period: ns(8.0),
+                seed: 0x880,
+            },
+        ),
+        CorpusEntry::new(
+            "c880_probe",
+            iscas::c880(),
+            StimulusSuite::ToggleProbes {
+                seed: 0x880,
+                max_probes: 4,
+                pulse: ps(800.0),
+            },
+        ),
     ]
 }
 
@@ -205,12 +318,13 @@ mod tests {
 
     #[test]
     fn corpus_meets_the_scenario_floor() {
-        // The acceptance floor: ≥ 12 distinct scenarios across both models.
+        // The acceptance floor: ≥ 22 entries expanding into ≥ 100 distinct
+        // scenarios, every stimulus present in all three model columns.
         let corpus = standard_corpus();
+        assert!(corpus.len() >= 22, "only {} entries", corpus.len());
         let library = technology::cmos06();
         let mut labels = HashSet::new();
-        let mut ddm = 0;
-        let mut cdm = 0;
+        let (mut ddm, mut cdm, mut mix) = (0, 0, 0);
         for entry in &corpus {
             for scenario in entry.scenarios(&library) {
                 assert!(
@@ -222,11 +336,25 @@ mod tests {
                     ddm += 1;
                 } else if scenario.label.ends_with("/cdm") {
                     cdm += 1;
+                } else if scenario.label.ends_with("/mix") {
+                    mix += 1;
                 }
             }
         }
-        assert!(labels.len() >= 24, "only {} scenarios", labels.len());
-        assert_eq!(ddm, cdm, "every stimulus runs under both models");
+        assert!(labels.len() >= 100, "only {} scenarios", labels.len());
+        assert_eq!(ddm, cdm, "every stimulus runs under both built-in models");
+        assert_eq!(ddm, mix, "every stimulus runs under the mixed column");
+    }
+
+    #[test]
+    fn corpus_covers_the_roadmap_circuit_families() {
+        let corpus = standard_corpus();
+        for name in ["c432", "c880", "ks8", "ks16", "wallace4x4", "wallace6x6"] {
+            assert!(
+                corpus.iter().any(|entry| entry.name == name),
+                "missing corpus entry {name}"
+            );
+        }
     }
 
     #[test]
@@ -236,5 +364,39 @@ mod tests {
         let scenarios = corpus[0].scenarios(&library);
         assert_eq!(scenarios[0].label, "mult4x4/rand16/ddm");
         assert_eq!(scenarios[1].label, "mult4x4/rand16/cdm");
+        assert_eq!(scenarios[2].label, "mult4x4/rand16/mix");
+        assert_eq!(scenarios[0].config.model.label(), "DDM");
+        assert_eq!(scenarios[1].config.model.label(), "CDM");
+        assert_eq!(scenarios[2].config.model.label(), "MIX");
+    }
+
+    #[test]
+    fn mixed_model_differs_from_both_builtins_per_cell() {
+        use halotis_delay::{Conventional, Degradation, DelayContext, DelayModel, EdgeTiming};
+        let mix = mixed_model();
+        let arc = EdgeTiming::example();
+        // A recently active gate makes DDM and CDM diverge.
+        let ctx = |kind: CellKind| DelayContext {
+            vdd: halotis_core::Voltage::from_volts(5.0),
+            load: halotis_core::Capacitance::from_femtofarads(20.0),
+            input_slew: halotis_core::TimeDelta::from_ps(150.0),
+            time_since_last_output: Some(halotis_core::TimeDelta::from_ps(20.0)),
+            cell_class: kind.class(),
+        };
+        let nand_ctx = ctx(CellKind::Nand2);
+        let xor_ctx = ctx(CellKind::Xor2);
+        assert_eq!(
+            mix.evaluate(&arc, &nand_ctx),
+            Degradation.evaluate(&arc, &nand_ctx)
+        );
+        assert_eq!(
+            mix.evaluate(&arc, &xor_ctx),
+            Conventional.evaluate(&arc, &xor_ctx)
+        );
+        assert_ne!(
+            Degradation.evaluate(&arc, &xor_ctx),
+            Conventional.evaluate(&arc, &xor_ctx),
+            "the override must be observable"
+        );
     }
 }

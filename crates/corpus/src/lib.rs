@@ -7,8 +7,11 @@
 //! crate pins down a seeded, reproducible corpus:
 //!
 //! * [`entry`] — [`CorpusEntry`] (circuit × stimulus suite) and
-//!   [`standard_corpus`]: multipliers, ripple/carry-skip adders, parity
-//!   trees, layered random logic, and ISCAS-85 c17,
+//!   [`standard_corpus`]: array and Wallace-tree multipliers,
+//!   ripple/carry-skip/Kogge-Stone adders, parity trees, layered random
+//!   logic, and the ISCAS-85 circuits c17, c432 and c880 (the latter two
+//!   parsed from committed netlist files); every stimulus runs under three
+//!   model columns — DDM, CDM and the [`mixed_model`] per-cell override,
 //! * [`stimuli`] — [`StimulusSuite`]: seeded random vector sequences,
 //!   exhaustive small-input sweeps, and single-input-toggle glitch probes,
 //! * [`observer`] — [`GlitchProfile`] (glitch pulses on the half-swing
@@ -17,7 +20,7 @@
 //!   and [`PowerAccumulator`](halotis_sim::PowerAccumulator),
 //! * [`runner`] — [`CorpusRunner`]: every entry compiled once and swept
 //!   through [`BatchRunner::run_observed`](halotis_sim::BatchRunner) under
-//!   both delay models, with zero waveform retention,
+//!   all three model columns, with zero waveform retention,
 //! * [`stats`] — [`CorpusStats`]: the canonical JSON document
 //!   (`CORPUS_stats.json`) whose non-timing fields are bit-exact
 //!   reproducible — the contract of the `corpus-golden` CI gate.
@@ -29,7 +32,7 @@
 //!
 //! let corpus = standard_corpus();
 //! let report = CorpusRunner::new().with_threads(2).run(&corpus)?;
-//! assert!(report.stats.scenario_count() >= 24);
+//! assert!(report.stats.scenario_count() >= 100);
 //! assert!(report.stats.totals().events_processed > 0);
 //!
 //! // The golden document: strip timing and the rendering is bit-exact
@@ -50,7 +53,7 @@ pub mod runner;
 pub mod stats;
 pub mod stimuli;
 
-pub use entry::{standard_corpus, CorpusEntry};
+pub use entry::{mixed_model, standard_corpus, CorpusEntry};
 pub use observer::{GlitchProfile, WallClockProbe};
 pub use runner::{CorpusError, CorpusReport, CorpusRunner, EntryTiming};
 pub use stats::{CorpusStats, EntryRecord, ScenarioRecord, SCHEMA};

@@ -1,7 +1,7 @@
 //! Executes a corpus through the no-waveform observed batch path.
 //!
-//! Every entry compiles once; its scenarios (each stimulus × both delay
-//! models) run through [`BatchRunner::run_observed`] with a composite
+//! Every entry compiles once; its scenarios (each stimulus × the three
+//! model columns) run through [`BatchRunner::run_observed`] with a composite
 //! observer — [`ActivityCounter`] + [`PowerAccumulator`] +
 //! [`GlitchProfile`] + [`WallClockProbe`] — so no waveform is ever
 //! allocated, exactly the configuration the paper's Table 1 statistics use.
@@ -245,9 +245,9 @@ mod tests {
         let corpus = small_corpus();
         let report = CorpusRunner::new().run(&corpus).unwrap();
         assert_eq!(report.stats.entries.len(), 2);
-        assert_eq!(report.stats.entries[0].scenarios.len(), 2); // exh × 2 models
-        assert_eq!(report.stats.entries[1].scenarios.len(), 4); // 2 probes × 2
-        assert_eq!(report.stats.scenario_count(), 6);
+        assert_eq!(report.stats.entries[0].scenarios.len(), 3); // exh × 3 models
+        assert_eq!(report.stats.entries[1].scenarios.len(), 6); // 2 probes × 3
+        assert_eq!(report.stats.scenario_count(), 9);
         assert_eq!(report.timings.len(), 2);
         for entry in &report.stats.entries {
             assert!(entry.wall_time_ns.is_some());
@@ -255,7 +255,9 @@ mod tests {
                 assert!(scenario.stats.events_processed > 0, "{}", scenario.label);
                 assert!(scenario.energy_joules > 0.0, "{}", scenario.label);
                 assert!(scenario.wall_time_ns.is_some());
-                assert!(scenario.model == "DDM" || scenario.model == "CDM");
+                assert!(
+                    scenario.model == "DDM" || scenario.model == "CDM" || scenario.model == "MIX"
+                );
             }
         }
     }
@@ -301,6 +303,7 @@ mod tests {
         let stats = CorpusRunner::new().run(&corpus).unwrap().stats;
         let mut ddm = halotis_sim::SimulationStats::default();
         let mut cdm = halotis_sim::SimulationStats::default();
+        let mut mix = halotis_sim::SimulationStats::default();
         let (mut ddm_glitches, mut cdm_glitches) = (0usize, 0usize);
         for entry in &stats.entries {
             for scenario in &entry.scenarios {
@@ -313,6 +316,7 @@ mod tests {
                         cdm.merge(&scenario.stats);
                         cdm_glitches += scenario.glitch_pulses;
                     }
+                    "MIX" => mix.merge(&scenario.stats),
                     other => panic!("unexpected model {other}"),
                 }
             }
@@ -328,5 +332,20 @@ mod tests {
             "CDM glitches {cdm_glitches} < DDM glitches {ddm_glitches}"
         );
         assert!(ddm.degraded_transitions > 0);
+        // The mixed column sits between the two pure models: conventional
+        // on part of the cell set cannot filter more than full degradation.
+        assert!(
+            mix.events_scheduled >= ddm.events_scheduled,
+            "MIX {} < DDM {}",
+            mix.events_scheduled,
+            ddm.events_scheduled
+        );
+        assert!(
+            mix.events_scheduled <= cdm.events_scheduled,
+            "MIX {} > CDM {}",
+            mix.events_scheduled,
+            cdm.events_scheduled
+        );
+        assert!(mix.degraded_transitions > 0, "MIX still degrades somewhere");
     }
 }

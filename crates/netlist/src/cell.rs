@@ -49,11 +49,23 @@ pub enum CellKind {
     Nand3,
     /// 3-input NOR.
     Nor3,
+    /// 4-input AND.
+    And4,
+    /// 4-input OR.
+    Or4,
+    /// 4-input NAND.
+    Nand4,
+    /// 4-input NOR.
+    Nor4,
 }
 
 impl CellKind {
     /// All supported cell kinds.
-    pub const ALL: [CellKind; 12] = [
+    ///
+    /// New kinds are appended at the end: the order fixes each kind's
+    /// [`class`](Self::class) tag, which composite delay models and the
+    /// committed corpus golden depend on.
+    pub const ALL: [CellKind; 16] = [
         CellKind::Inv,
         CellKind::Buf,
         CellKind::And2,
@@ -66,6 +78,10 @@ impl CellKind {
         CellKind::Or3,
         CellKind::Nand3,
         CellKind::Nor3,
+        CellKind::And4,
+        CellKind::Or4,
+        CellKind::Nand4,
+        CellKind::Nor4,
     ];
 
     /// Number of input pins.
@@ -79,6 +95,7 @@ impl CellKind {
             | CellKind::Xor2
             | CellKind::Xnor2 => 2,
             CellKind::And3 | CellKind::Or3 | CellKind::Nand3 | CellKind::Nor3 => 3,
+            CellKind::And4 | CellKind::Or4 | CellKind::Nand4 | CellKind::Nor4 => 4,
         }
     }
 
@@ -113,6 +130,8 @@ impl CellKind {
                 | CellKind::Xnor2
                 | CellKind::Nand3
                 | CellKind::Nor3
+                | CellKind::Nand4
+                | CellKind::Nor4
         )
     }
 
@@ -131,6 +150,10 @@ impl CellKind {
             CellKind::Or3 => "or3",
             CellKind::Nand3 => "nand3",
             CellKind::Nor3 => "nor3",
+            CellKind::And4 => "and4",
+            CellKind::Or4 => "or4",
+            CellKind::Nand4 => "nand4",
+            CellKind::Nor4 => "nor4",
         }
     }
 
@@ -189,10 +212,10 @@ impl CellKind {
         match self {
             CellKind::Buf => inputs[0],
             CellKind::Inv => !inputs[0],
-            CellKind::And2 | CellKind::And3 => and_all(inputs),
-            CellKind::Nand2 | CellKind::Nand3 => !and_all(inputs),
-            CellKind::Or2 | CellKind::Or3 => or_all(inputs),
-            CellKind::Nor2 | CellKind::Nor3 => !or_all(inputs),
+            CellKind::And2 | CellKind::And3 | CellKind::And4 => and_all(inputs),
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !and_all(inputs),
+            CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => or_all(inputs),
+            CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => !or_all(inputs),
             CellKind::Xor2 => xor_all(inputs),
             CellKind::Xnor2 => !xor_all(inputs),
         }
@@ -279,6 +302,32 @@ mod tests {
         assert_eq!(CellKind::Or2.evaluate(&[High, Unknown]), High);
         assert_eq!(CellKind::Or2.evaluate(&[Low, Unknown]), Unknown);
         assert_eq!(CellKind::Xor2.evaluate(&[High, Unknown]), Unknown);
+    }
+
+    #[test]
+    fn four_input_cells() {
+        assert_eq!(CellKind::And4.evaluate(&[High, High, High, High]), High);
+        assert_eq!(CellKind::And4.evaluate(&[High, High, Low, High]), Low);
+        assert_eq!(CellKind::Nand4.evaluate(&[High, High, High, High]), Low);
+        assert_eq!(CellKind::Or4.evaluate(&[Low, Low, Low, Low]), Low);
+        assert_eq!(CellKind::Or4.evaluate(&[Low, Low, High, Low]), High);
+        assert_eq!(CellKind::Nor4.evaluate(&[Low, Low, Low, Low]), High);
+        assert_eq!(CellKind::And4.evaluate(&[Low, Unknown, High, High]), Low);
+        assert_eq!(CellKind::Or4.evaluate(&[Low, Unknown, Low, Low]), Unknown);
+        assert_eq!(CellKind::And4.input_count(), 4);
+        assert!(CellKind::Nand4.is_inverting() && CellKind::Nor4.is_inverting());
+        assert!(!CellKind::And4.is_inverting() && !CellKind::Or4.is_inverting());
+    }
+
+    #[test]
+    fn class_tags_of_preexisting_kinds_are_stable() {
+        // Composite delay models and the committed corpus golden key off
+        // these discriminants; appending new kinds must not shift them.
+        use halotis_delay::CellClass;
+        assert_eq!(CellKind::Inv.class(), CellClass(0));
+        assert_eq!(CellKind::Nor3.class(), CellClass(11));
+        assert_eq!(CellKind::And4.class(), CellClass(12));
+        assert_eq!(CellKind::Nor4.class(), CellClass(15));
     }
 
     #[test]

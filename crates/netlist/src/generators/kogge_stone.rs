@@ -1,0 +1,240 @@
+//! Kogge-Stone (parallel-prefix / carry-lookahead) adder generator.
+//!
+//! A ripple-carry adder's carry chain is `n` gates deep; the Kogge-Stone
+//! network computes every carry through a `log2(n)`-level prefix tree of
+//! generate/propagate pairs instead.  That gives the corpus an adder whose
+//! arithmetic matches [`ripple_carry_adder`](super::ripple_carry_adder)
+//! bit-for-bit while the *timing topology* is radically different: shallow,
+//! wide, with high-fanout prefix nets — the glitch profile of real
+//! carry-lookahead datapaths.
+
+use halotis_core::NetId;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+/// Builds an `n`-bit Kogge-Stone adder with primary inputs `a0..`, `b0..`
+/// and `cin`, and primary outputs `s0..` and `cout` — the same port profile
+/// (and the same arithmetic) as
+/// [`ripple_carry_adder`](super::ripple_carry_adder).
+///
+/// Per bit, propagate `p_i = a_i ^ b_i` and generate `g_i = a_i · b_i` feed
+/// `ceil(log2(n))` prefix levels; at level `k` (span `d = 2^k`) position
+/// `i >= d` combines with position `i - d`:
+///
+/// ```text
+/// G'_i = G_i + P_i · G_{i-d}        (one AND2, one OR2)
+/// P'_i = P_i · P_{i-d}              (one AND2)
+/// ```
+///
+/// The carry into bit `i` is then `c_i = G_{i-1} + P_{i-1} · cin` and the
+/// sum `s_i = p_i ^ c_i`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{generators, levelize};
+///
+/// let ks = generators::kogge_stone_adder(8);
+/// assert_eq!(ks.primary_inputs().len(), 17); // a0..a7, b0..b7, cin
+/// assert_eq!(ks.primary_outputs().len(), 9); // s0..s7, cout
+/// // The prefix network is shallower than the 8-bit ripple carry chain.
+/// let ripple = generators::ripple_carry_adder(8);
+/// assert!(levelize::levelize(&ks).depth() < levelize::levelize(&ripple).depth());
+/// ```
+pub fn kogge_stone_adder(bits: usize) -> Netlist {
+    assert!(bits > 0, "an adder needs at least one bit");
+    let mut builder = NetlistBuilder::new(format!("ks{bits}"));
+    let a: Vec<NetId> = (0..bits)
+        .map(|i| builder.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<NetId> = (0..bits)
+        .map(|i| builder.add_input(format!("b{i}")))
+        .collect();
+    let cin = builder.add_input("cin");
+
+    // Per-bit propagate / generate.
+    let p: Vec<NetId> = (0..bits)
+        .map(|i| {
+            let net = builder.add_net(format!("p{i}"));
+            builder
+                .add_gate(CellKind::Xor2, format!("pxor{i}"), &[a[i], b[i]], net)
+                .expect("propagate net must be undriven");
+            net
+        })
+        .collect();
+    let g: Vec<NetId> = (0..bits)
+        .map(|i| {
+            let net = builder.add_net(format!("g{i}"));
+            builder
+                .add_gate(CellKind::And2, format!("gand{i}"), &[a[i], b[i]], net)
+                .expect("generate net must be undriven");
+            net
+        })
+        .collect();
+
+    // Prefix levels: after level k, position i holds (G, P) over the span
+    // `i ..= i - (2^(k+1) - 1)` (clamped at bit 0).
+    let mut big_g = g;
+    let mut big_p = p.clone();
+    let mut distance = 1usize;
+    let mut level = 0usize;
+    while distance < bits {
+        let mut next_g = big_g.clone();
+        let mut next_p = big_p.clone();
+        for i in distance..bits {
+            let and_net = builder.add_net(format!("ks{level}_pg{i}"));
+            builder
+                .add_gate(
+                    CellKind::And2,
+                    format!("ks{level}_and{i}"),
+                    &[big_p[i], big_g[i - distance]],
+                    and_net,
+                )
+                .expect("prefix net must be undriven");
+            let g_net = builder.add_net(format!("ks{level}_g{i}"));
+            builder
+                .add_gate(
+                    CellKind::Or2,
+                    format!("ks{level}_or{i}"),
+                    &[big_g[i], and_net],
+                    g_net,
+                )
+                .expect("prefix net must be undriven");
+            next_g[i] = g_net;
+            let p_net = builder.add_net(format!("ks{level}_p{i}"));
+            builder
+                .add_gate(
+                    CellKind::And2,
+                    format!("ks{level}_pand{i}"),
+                    &[big_p[i], big_p[i - distance]],
+                    p_net,
+                )
+                .expect("prefix net must be undriven");
+            next_p[i] = p_net;
+        }
+        big_g = next_g;
+        big_p = next_p;
+        distance *= 2;
+        level += 1;
+    }
+
+    // Carries: c_0 = cin, c_i = G_{i-1} + P_{i-1} · cin, cout = c_bits.
+    let mut carries: Vec<NetId> = Vec::with_capacity(bits + 1);
+    carries.push(cin);
+    for i in 1..=bits {
+        let and_net = builder.add_net(format!("ccin{i}"));
+        builder
+            .add_gate(
+                CellKind::And2,
+                format!("ccand{i}"),
+                &[big_p[i - 1], cin],
+                and_net,
+            )
+            .expect("carry net must be undriven");
+        let carry = if i == bits {
+            builder.add_net("cout")
+        } else {
+            builder.add_net(format!("c{i}"))
+        };
+        builder
+            .add_gate(
+                CellKind::Or2,
+                format!("ccor{i}"),
+                &[big_g[i - 1], and_net],
+                carry,
+            )
+            .expect("carry net must be undriven");
+        carries.push(carry);
+    }
+
+    for i in 0..bits {
+        let sum = builder.add_net(format!("s{i}"));
+        builder
+            .add_gate(CellKind::Xor2, format!("sxor{i}"), &[p[i], carries[i]], sum)
+            .expect("sum net must be undriven");
+        builder.mark_output(sum);
+    }
+    builder.mark_output(carries[bits]);
+    builder
+        .build()
+        .expect("Kogge-Stone adder is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::generators::ripple_carry_adder;
+    use crate::levelize;
+
+    fn adder_ports(adder: &Netlist, bits: usize) -> (Vec<NetId>, Vec<NetId>, NetId, Vec<NetId>) {
+        let a: Vec<NetId> = (0..bits)
+            .map(|i| adder.net_id(&format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..bits)
+            .map(|i| adder.net_id(&format!("b{i}")).unwrap())
+            .collect();
+        let cin = adder.net_id("cin").unwrap();
+        let mut outputs: Vec<NetId> = (0..bits)
+            .map(|i| adder.net_id(&format!("s{i}")).unwrap())
+            .collect();
+        outputs.push(adder.net_id("cout").unwrap());
+        (a, b, cin, outputs)
+    }
+
+    #[test]
+    fn kogge_stone_matches_integer_addition() {
+        for bits in [1usize, 2, 3, 4, 5, 8] {
+            let adder = kogge_stone_adder(bits);
+            let (a, b, cin, outputs) = adder_ports(&adder, bits);
+            let max = 1u64 << bits;
+            for av in 0..max.min(16) {
+                for bv in [0, 1, max / 2, max - 1] {
+                    for c in 0..2u64 {
+                        let mut assignment = eval::bus_assignment(&a, av);
+                        assignment.extend(eval::bus_assignment(&b, bv));
+                        assignment.extend(eval::bus_assignment(&[cin], c));
+                        let result = eval::evaluate_bus(&adder, &assignment, &outputs).unwrap();
+                        assert_eq!(result, av + bv + c, "{bits}b: {av} + {bv} + {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_depth_is_logarithmic() {
+        // p/g (1) + log2(n) prefix levels (2 each) + carry combine (2) +
+        // sum xor (1).
+        for bits in [4usize, 8, 16] {
+            let depth = levelize::levelize(&kogge_stone_adder(bits)).depth();
+            let levels = bits.next_power_of_two().trailing_zeros() as usize;
+            assert!(
+                depth <= 2 + 2 * levels + 3,
+                "{bits}b depth {depth} not logarithmic"
+            );
+        }
+        let ks = levelize::levelize(&kogge_stone_adder(16)).depth();
+        let ripple = levelize::levelize(&ripple_carry_adder(16)).depth();
+        assert!(ks < ripple, "ks {ks} >= ripple {ripple}");
+    }
+
+    #[test]
+    fn port_profile_matches_ripple_carry() {
+        let ks = kogge_stone_adder(8);
+        let ripple = ripple_carry_adder(8);
+        assert_eq!(ks.primary_inputs().len(), ripple.primary_inputs().len());
+        assert_eq!(ks.primary_outputs().len(), ripple.primary_outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bit_adder_panics() {
+        kogge_stone_adder(0);
+    }
+}

@@ -9,6 +9,11 @@
 //!   adders,
 //! * [`carry_skip_adder`] — the same arithmetic with AND-OR skip blocks,
 //!   giving the carry network a different glitching topology,
+//! * [`kogge_stone_adder`] — the same arithmetic again through a
+//!   logarithmic-depth parallel-prefix carry network,
+//! * [`wallace_tree_multiplier`] — the array multiplier's arithmetic
+//!   re-expressed as 3:2-compressor columns with a final carry-propagate
+//!   pass,
 //! * [`parity_tree`] — a balanced XOR reduction tree, the classic glitch
 //!   amplifier and the sharpest probe for pulse degradation,
 //! * [`multiplier`] — the paper's Fig. 5 array multiplier (parametric in
@@ -20,16 +25,20 @@
 mod adder;
 mod chains;
 mod figure1;
+mod kogge_stone;
 mod multiplier;
 mod parity;
-mod random;
+pub(crate) mod random;
+mod wallace;
 
 pub use adder::{carry_skip_adder, full_adder_cell, ripple_carry_adder};
 pub use chains::{buffer_fanout_tree, inverter_chain};
 pub use figure1::{figure1, figure1_default, Figure1Nets, FIGURE1_HIGH_VT, FIGURE1_LOW_VT};
+pub use kogge_stone::kogge_stone_adder;
 pub use multiplier::{multiplier, MultiplierPorts};
 pub use parity::parity_tree;
 pub use random::random_logic;
+pub use wallace::wallace_tree_multiplier;
 
 use crate::cell::CellKind;
 use crate::netlist::{Netlist, NetlistBuilder};

@@ -16,17 +16,17 @@ use crate::cell::CellKind;
 use crate::netlist::{Netlist, NetlistBuilder};
 
 /// Minimal SplitMix64 PRNG (public-domain algorithm), enough for structural
-/// randomisation.
-struct SplitMix64 {
+/// randomisation and for seeded in-crate test vectors.
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -1,0 +1,263 @@
+//! Wallace-tree multiplier generator.
+//!
+//! The array multiplier of the paper's Fig. 5 accumulates partial products
+//! row by row — a deep, regular adder array.  A Wallace tree instead
+//! reduces every bit-weight column with layers of 3:2 compressors (full
+//! adders) until at most two summands remain per column, then resolves the
+//! final pair with one ripple carry pass.  Same arithmetic as
+//! [`multiplier`](super::multiplier), logarithmic reduction depth, and a
+//! much more irregular arrival-time profile — the classic glitch-heavy
+//! multiplier topology the degradation model is meant to tame.
+
+use halotis_core::NetId;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistBuilder};
+
+use super::adder::full_adder_cell;
+
+/// Builds an `a_bits` × `b_bits` unsigned Wallace-tree multiplier.
+///
+/// Primary inputs are `a0..a{n-1}` and `b0..b{m-1}` (LSB first), primary
+/// outputs `p0..p{n+m-1}` (for single-bit operands the identically-zero top
+/// bit is omitted, as in the array multiplier).  Partial products
+/// `pp{i}_{j} = a_i · b_j` are grouped by weight `i + j`; each reduction
+/// round replaces three nets of one column with a full adder (sum staying,
+/// carry moving one column up) and pairs of leftover nets with half adders,
+/// until every column holds at most two nets; a final carry-propagate pass
+/// produces the product bits.
+///
+/// # Panics
+///
+/// Panics if either width is zero or if the product would exceed 63 bits
+/// (functional tests compare against `u64` arithmetic).
+///
+/// # Example
+///
+/// ```
+/// use halotis_netlist::{generators, levelize};
+///
+/// let wallace = generators::wallace_tree_multiplier(4, 4);
+/// assert_eq!(wallace.primary_inputs().len(), 8);
+/// assert_eq!(wallace.primary_outputs().len(), 8); // p0..p7
+/// // Same arithmetic as the array multiplier, different topology.
+/// let array = generators::multiplier(4, 4);
+/// assert_ne!(
+///     levelize::levelize(&wallace).depth(),
+///     levelize::levelize(&array).depth()
+/// );
+/// ```
+pub fn wallace_tree_multiplier(a_bits: usize, b_bits: usize) -> Netlist {
+    assert!(a_bits > 0 && b_bits > 0, "operands need at least one bit");
+    assert!(
+        a_bits + b_bits <= 63,
+        "product limited to 63 bits for u64 reference checks"
+    );
+    let mut builder = NetlistBuilder::new(format!("wallace{a_bits}x{b_bits}"));
+    let a: Vec<NetId> = (0..a_bits)
+        .map(|i| builder.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<NetId> = (0..b_bits)
+        .map(|i| builder.add_input(format!("b{i}")))
+        .collect();
+
+    let product_bits = if a_bits == 1 || b_bits == 1 {
+        a_bits + b_bits - 1
+    } else {
+        a_bits + b_bits
+    };
+
+    // Partial products, grouped into columns by weight.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); product_bits];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = builder.add_net(format!("pp{i}_{j}"));
+            builder
+                .add_gate(CellKind::And2, format!("ppand{i}_{j}"), &[ai, bj], pp)
+                .expect("partial-product net must be undriven");
+            columns[i + j].push(pp);
+        }
+    }
+
+    // Reduction rounds: 3:2-compress every column until none holds more
+    // than two nets.  Sums stay in their column, carries move one up.
+    let mut round = 0usize;
+    while columns.iter().any(|column| column.len() > 2) {
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); product_bits];
+        for (weight, column) in columns.iter().enumerate() {
+            let mut chunks = column.chunks_exact(3);
+            let mut compressor = 0usize;
+            for chunk in chunks.by_ref() {
+                let prefix = format!("w{round}_{weight}_{compressor}");
+                let sum = builder.add_net(format!("{prefix}_s"));
+                let carry = builder.add_net(format!("{prefix}_c"));
+                full_adder_cell(
+                    &mut builder,
+                    &prefix,
+                    chunk[0],
+                    chunk[1],
+                    Some(chunk[2]),
+                    sum,
+                    carry,
+                );
+                next[weight].push(sum);
+                next[weight + 1].push(carry);
+                compressor += 1;
+            }
+            match chunks.remainder() {
+                // A leftover pair in a still-oversized column shrinks via a
+                // half adder; columns already at <= 2 pass through untouched.
+                [x, y] if column.len() > 2 => {
+                    let prefix = format!("w{round}_{weight}_{compressor}");
+                    let sum = builder.add_net(format!("{prefix}_s"));
+                    let carry = builder.add_net(format!("{prefix}_c"));
+                    full_adder_cell(&mut builder, &prefix, *x, *y, None, sum, carry);
+                    next[weight].push(sum);
+                    next[weight + 1].push(carry);
+                }
+                rest => next[weight].extend_from_slice(rest),
+            }
+        }
+        columns = next;
+        round += 1;
+    }
+
+    // Final carry-propagate pass over the (at most two deep) columns.
+    let mut carry: Option<NetId> = None;
+    for (weight, column) in columns.iter().enumerate() {
+        let product = builder.add_net(format!("p{weight}"));
+        let mut summands = column.clone();
+        if let Some(c) = carry.take() {
+            summands.push(c);
+        }
+        match summands.as_slice() {
+            [] => unreachable!("every product column receives at least one summand"),
+            [single] => {
+                builder
+                    .add_gate(CellKind::Buf, format!("fbuf{weight}"), &[*single], product)
+                    .expect("product net must be undriven");
+            }
+            [x, y] => {
+                if weight + 1 == product_bits {
+                    // The topmost column cannot overflow: a plain XOR
+                    // (whose carry would be constant zero) closes the sum.
+                    builder
+                        .add_gate(CellKind::Xor2, format!("fxor{weight}"), &[*x, *y], product)
+                        .expect("product net must be undriven");
+                } else {
+                    let cnet = builder.add_net(format!("fc{weight}"));
+                    full_adder_cell(
+                        &mut builder,
+                        &format!("fha{weight}"),
+                        *x,
+                        *y,
+                        None,
+                        product,
+                        cnet,
+                    );
+                    carry = Some(cnet);
+                }
+            }
+            [x, y, z] => {
+                let cnet = builder.add_net(format!("fc{weight}"));
+                full_adder_cell(
+                    &mut builder,
+                    &format!("ffa{weight}"),
+                    *x,
+                    *y,
+                    Some(*z),
+                    product,
+                    cnet,
+                );
+                carry = Some(cnet);
+            }
+            _ => unreachable!("columns are reduced to two nets before the final pass"),
+        }
+        builder.mark_output(product);
+    }
+    debug_assert!(carry.is_none(), "final carry must land in the top column");
+    builder
+        .build()
+        .expect("Wallace-tree multiplier is a valid netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use crate::generators::multiplier;
+    use crate::levelize;
+
+    fn ports(
+        netlist: &Netlist,
+        a_bits: usize,
+        b_bits: usize,
+    ) -> (Vec<NetId>, Vec<NetId>, Vec<NetId>) {
+        let a: Vec<NetId> = (0..a_bits)
+            .map(|i| netlist.net_id(&format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..b_bits)
+            .map(|i| netlist.net_id(&format!("b{i}")).unwrap())
+            .collect();
+        let outputs: Vec<NetId> = (0..netlist.primary_outputs().len())
+            .map(|i| netlist.net_id(&format!("p{i}")).unwrap())
+            .collect();
+        (a, b, outputs)
+    }
+
+    #[test]
+    fn wallace_matches_integer_multiplication_exhaustively() {
+        for (a_bits, b_bits) in [(1usize, 1usize), (1, 3), (2, 2), (3, 4), (4, 4)] {
+            let netlist = wallace_tree_multiplier(a_bits, b_bits);
+            let (a, b, outputs) = ports(&netlist, a_bits, b_bits);
+            for av in 0..(1u64 << a_bits) {
+                for bv in 0..(1u64 << b_bits) {
+                    let mut assignment = eval::bus_assignment(&a, av);
+                    assignment.extend(eval::bus_assignment(&b, bv));
+                    let result = eval::evaluate_bus(&netlist, &assignment, &outputs).unwrap();
+                    assert_eq!(result, av * bv, "{a_bits}x{b_bits}: {av} * {bv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn six_by_six_matches_on_corners_and_samples() {
+        let netlist = wallace_tree_multiplier(6, 6);
+        let (a, b, outputs) = ports(&netlist, 6, 6);
+        for av in [0u64, 1, 31, 32, 63] {
+            for bv in [0u64, 1, 21, 42, 63] {
+                let mut assignment = eval::bus_assignment(&a, av);
+                assignment.extend(eval::bus_assignment(&b, bv));
+                let result = eval::evaluate_bus(&netlist, &assignment, &outputs).unwrap();
+                assert_eq!(result, av * bv, "{av} * {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_shallower_than_the_array_for_wide_operands() {
+        let wallace = levelize::levelize(&wallace_tree_multiplier(6, 6)).depth();
+        let array = levelize::levelize(&multiplier(6, 6)).depth();
+        assert!(wallace < array, "wallace {wallace} >= array {array}");
+    }
+
+    #[test]
+    fn product_width_matches_the_array_multiplier() {
+        for (a_bits, b_bits) in [(1usize, 1usize), (1, 4), (4, 4), (6, 6)] {
+            let wallace = wallace_tree_multiplier(a_bits, b_bits);
+            let array = multiplier(a_bits, b_bits);
+            assert_eq!(
+                wallace.primary_outputs().len(),
+                array.primary_outputs().len(),
+                "{a_bits}x{b_bits}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_panics() {
+        wallace_tree_multiplier(0, 4);
+    }
+}

@@ -22,6 +22,7 @@
 pub mod cell;
 pub mod eval;
 pub mod generators;
+pub mod iscas;
 pub mod levelize;
 pub mod library;
 pub mod netlist;

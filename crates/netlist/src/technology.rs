@@ -45,6 +45,10 @@ fn base_delay_ps(kind: CellKind) -> f64 {
         CellKind::Nor3 => 210.0,
         CellKind::And3 => 270.0,
         CellKind::Or3 => 290.0,
+        CellKind::Nand4 => 220.0,
+        CellKind::Nor4 => 260.0,
+        CellKind::And4 => 310.0,
+        CellKind::Or4 => 330.0,
     }
 }
 
@@ -57,6 +61,8 @@ fn drive_resistance_ohms(kind: CellKind) -> f64 {
         CellKind::Xor2 | CellKind::Xnor2 => 3.8e3,
         CellKind::Nand3 | CellKind::Nor3 => 3.6e3,
         CellKind::And3 | CellKind::Or3 => 3.8e3,
+        CellKind::Nand4 | CellKind::Nor4 => 4.2e3,
+        CellKind::And4 | CellKind::Or4 => 4.4e3,
     }
 }
 
@@ -69,6 +75,8 @@ fn input_cap_ff(kind: CellKind) -> f64 {
         CellKind::Xor2 | CellKind::Xnor2 => 14.0,
         CellKind::Nand3 | CellKind::Nor3 => 12.0,
         CellKind::And3 | CellKind::Or3 => 13.0,
+        CellKind::Nand4 | CellKind::Nor4 => 14.0,
+        CellKind::And4 | CellKind::Or4 => 15.0,
     }
 }
 

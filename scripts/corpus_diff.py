@@ -63,7 +63,14 @@ def self_test() -> int:
         "totals": {"events_processed": 100, "energy_joules": 1.25e-13},
         "entries": [
             {"name": "e", "wall_time_ns": None,
-             "scenarios": [{"label": "e/s/ddm", "glitch_pulses": 3, "wall_time_ns": None}]}
+             "scenarios": [
+                 {"label": "e/s/ddm", "model": "DDM",
+                  "glitch_pulses": 3, "wall_time_ns": None},
+                 {"label": "e/s/cdm", "model": "CDM",
+                  "glitch_pulses": 5, "wall_time_ns": None},
+                 {"label": "e/s/mix", "model": "MIX",
+                  "glitch_pulses": 4, "wall_time_ns": None},
+             ]}
         ],
     }
 
@@ -71,6 +78,7 @@ def self_test() -> int:
     timed = copy.deepcopy(golden)
     timed["entries"][0]["wall_time_ns"] = 123456
     timed["entries"][0]["scenarios"][0]["wall_time_ns"] = 7890
+    timed["entries"][0]["scenarios"][2]["wall_time_ns"] = 4242
     assert diff(golden, timed, "golden", "timed") == []
 
     # A single-count drift must fail.
@@ -83,7 +91,21 @@ def self_test() -> int:
     warmed["totals"]["energy_joules"] = math.nextafter(1.25e-13, 1.0)
     assert diff(golden, warmed, "golden", "warmed") != []
 
-    print("corpus_diff self-test passed: timing masked, counts and energy bit-exact")
+    # The third model column is gated like the other two: a drift in a MIX
+    # scenario's counts, its model label, or the column disappearing
+    # entirely must all fail.
+    mix_drift = copy.deepcopy(golden)
+    mix_drift["entries"][0]["scenarios"][2]["glitch_pulses"] = 9
+    assert diff(golden, mix_drift, "golden", "mix_drift") != []
+    relabelled = copy.deepcopy(golden)
+    relabelled["entries"][0]["scenarios"][2]["model"] = "DDM+overrides"
+    assert diff(golden, relabelled, "golden", "relabelled") != []
+    dropped = copy.deepcopy(golden)
+    del dropped["entries"][0]["scenarios"][2]
+    assert diff(golden, dropped, "golden", "dropped") != []
+
+    print("corpus_diff self-test passed: timing masked; counts, energy and "
+          "all three model columns bit-exact")
     return 0
 
 

@@ -124,7 +124,7 @@ fn main() -> ExitCode {
                 entry.netlist.net_count(),
             );
         }
-        println!("{total} scenarios total (both delay models)");
+        println!("{total} scenarios total (DDM, CDM and MIX model columns)");
         return ExitCode::SUCCESS;
     }
 

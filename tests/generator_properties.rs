@@ -1,0 +1,249 @@
+//! Property suites for the netlist generator families.
+//!
+//! Two layers of protection for the corpus substrate:
+//!
+//! * **functional** — the arithmetic generators (ripple-carry, carry-skip
+//!   and Kogge-Stone adders; array and Wallace-tree multipliers; parity
+//!   trees) are checked against plain integer arithmetic on random
+//!   operands, so a generator refactor cannot silently change a circuit's
+//!   function, and
+//! * **structural** — every generator family (including the ISCAS
+//!   reconstructions) must produce levelizable circuits with no floating
+//!   nets and bounded fanout, the invariants the compiled simulation core
+//!   assumes.
+
+use halotis::core::NetId;
+use halotis::netlist::{eval, generators, iscas, levelize, Netlist};
+use proptest::prelude::*;
+
+fn bus(netlist: &Netlist, prefix: &str, width: usize) -> Vec<NetId> {
+    (0..width)
+        .map(|i| {
+            netlist
+                .net_id(&format!("{prefix}{i}"))
+                .unwrap_or_else(|| panic!("{} has no net {prefix}{i}", netlist.name()))
+        })
+        .collect()
+}
+
+/// Evaluates an `a + b + cin` adder netlist with the standard port names.
+fn adder_value(adder: &Netlist, bits: usize, av: u64, bv: u64, cv: u64) -> u64 {
+    let a = bus(adder, "a", bits);
+    let b = bus(adder, "b", bits);
+    let cin = adder.net_id("cin").unwrap();
+    let mut outputs = bus(adder, "s", bits);
+    outputs.push(adder.net_id("cout").unwrap());
+    let mut assignment = eval::bus_assignment(&a, av);
+    assignment.extend(eval::bus_assignment(&b, bv));
+    assignment.extend(eval::bus_assignment(&[cin], cv));
+    eval::evaluate_bus(adder, &assignment, &outputs).expect("adder outputs are defined")
+}
+
+/// Evaluates an `a × b` multiplier netlist (`out_prefix` = `s` for the
+/// array form, `p` for the Wallace form).
+fn multiplier_value(
+    netlist: &Netlist,
+    a_bits: usize,
+    b_bits: usize,
+    out_prefix: &str,
+    av: u64,
+    bv: u64,
+) -> u64 {
+    let a = bus(netlist, "a", a_bits);
+    let b = bus(netlist, "b", b_bits);
+    let outputs = bus(netlist, out_prefix, netlist.primary_outputs().len());
+    let mut assignment = eval::bus_assignment(&a, av);
+    assignment.extend(eval::bus_assignment(&b, bv));
+    eval::evaluate_bus(netlist, &assignment, &outputs).expect("product bits are defined")
+}
+
+// ---------------------------------------------------------------------------
+// Functional properties: generated arithmetic equals integer arithmetic.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kogge_stone_equals_integer_addition(
+        bits in 1usize..=16,
+        av in any::<u64>(),
+        bv in any::<u64>(),
+        cv in 0u64..2,
+    ) {
+        let mask = u64::MAX >> (64 - bits);
+        let (av, bv) = (av & mask, bv & mask);
+        let adder = generators::kogge_stone_adder(bits);
+        prop_assert_eq!(adder_value(&adder, bits, av, bv, cv), av + bv + cv);
+    }
+
+    #[test]
+    fn adder_families_agree_with_each_other(
+        bits in 2usize..=10,
+        block in 1usize..=4,
+        av in any::<u64>(),
+        bv in any::<u64>(),
+        cv in 0u64..2,
+    ) {
+        let mask = u64::MAX >> (64 - bits);
+        let (av, bv) = (av & mask, bv & mask);
+        let expected = av + bv + cv;
+        let ripple = generators::ripple_carry_adder(bits);
+        let skip = generators::carry_skip_adder(bits, block);
+        let ks = generators::kogge_stone_adder(bits);
+        prop_assert_eq!(adder_value(&ripple, bits, av, bv, cv), expected);
+        prop_assert_eq!(adder_value(&skip, bits, av, bv, cv), expected);
+        prop_assert_eq!(adder_value(&ks, bits, av, bv, cv), expected);
+    }
+
+    #[test]
+    fn wallace_tree_equals_integer_multiplication(
+        a_bits in 1usize..=6,
+        b_bits in 1usize..=6,
+        av in any::<u64>(),
+        bv in any::<u64>(),
+    ) {
+        let av = av & (u64::MAX >> (64 - a_bits));
+        let bv = bv & (u64::MAX >> (64 - b_bits));
+        let wallace = generators::wallace_tree_multiplier(a_bits, b_bits);
+        prop_assert_eq!(multiplier_value(&wallace, a_bits, b_bits, "p", av, bv), av * bv);
+    }
+
+    #[test]
+    fn wallace_tree_agrees_with_the_array_multiplier(
+        a_bits in 2usize..=5,
+        b_bits in 2usize..=5,
+        av in any::<u64>(),
+        bv in any::<u64>(),
+    ) {
+        let av = av & (u64::MAX >> (64 - a_bits));
+        let bv = bv & (u64::MAX >> (64 - b_bits));
+        let wallace = generators::wallace_tree_multiplier(a_bits, b_bits);
+        let array = generators::multiplier(a_bits, b_bits);
+        prop_assert_eq!(
+            multiplier_value(&wallace, a_bits, b_bits, "p", av, bv),
+            multiplier_value(&array, a_bits, b_bits, "s", av, bv)
+        );
+    }
+
+    #[test]
+    fn parity_tree_equals_popcount_parity(
+        width in 1usize..=20,
+        pattern in any::<u64>(),
+    ) {
+        let pattern = pattern & (u64::MAX >> (64 - width));
+        let tree = generators::parity_tree(width);
+        let inputs = bus(&tree, "in", width);
+        let out = tree.net_id("parity").unwrap();
+        let assignment = eval::bus_assignment(&inputs, pattern);
+        let value = eval::evaluate_bus(&tree, &assignment, &[out]).unwrap();
+        prop_assert_eq!(value, u64::from(pattern.count_ones() % 2 == 1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural invariants, shared by every generator family.
+// ---------------------------------------------------------------------------
+
+/// Asserts the invariants the simulation core relies on: the circuit
+/// levelizes (acyclic, every gate reachable), no net floats (every net
+/// drives a gate or is a primary output; every non-input net is driven),
+/// and no net's fanout exceeds `max_fanout`.
+fn assert_structure(netlist: &Netlist, max_fanout: usize) {
+    assert_structure_with(netlist, max_fanout, false);
+}
+
+/// [`assert_structure`], optionally tolerating unused primary inputs (the
+/// seeded random generator may leave an input unpicked; every other family
+/// must consume all of its inputs).
+fn assert_structure_with(netlist: &Netlist, max_fanout: usize, allow_unused_inputs: bool) {
+    let levels = levelize::levelize(netlist);
+    assert!(levels.depth() >= 1, "{}: no logic", netlist.name());
+    assert_eq!(
+        levels.topological_order().count(),
+        netlist.gate_count(),
+        "{}: levelization must cover every gate",
+        netlist.name()
+    );
+    for net in netlist.nets() {
+        let name = || format!("{}:{}", netlist.name(), net.name());
+        if !net.is_primary_input() {
+            assert!(
+                matches!(net.driver(), halotis::netlist::NetDriver::Gate(_)),
+                "{} is undriven",
+                name()
+            );
+        }
+        assert!(
+            !net.loads().is_empty()
+                || net.is_primary_output()
+                || (allow_unused_inputs && net.is_primary_input()),
+            "{} is floating (no fanout, not an output)",
+            name()
+        );
+        assert!(
+            net.loads().len() <= max_fanout,
+            "{} fanout {} exceeds bound {max_fanout}",
+            name(),
+            net.loads().len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adder_and_multiplier_structures_hold(
+        bits in 1usize..=16,
+        block in 1usize..=4,
+        a_bits in 1usize..=6,
+        b_bits in 1usize..=6,
+    ) {
+        // Ripple/skip carry chains fan out to a handful of gates per net;
+        // the Kogge-Stone cin feeds one carry-combine AND per bit.
+        assert_structure(&generators::ripple_carry_adder(bits), 8);
+        assert_structure(&generators::carry_skip_adder(bits, block), 8 + bits.min(block));
+        assert_structure(&generators::kogge_stone_adder(bits), bits + 2);
+        assert_structure(&generators::multiplier(a_bits, b_bits), 8);
+        assert_structure(&generators::wallace_tree_multiplier(a_bits, b_bits), 8);
+    }
+
+    #[test]
+    fn parity_and_random_structures_hold(
+        width in 1usize..=24,
+        inputs in 2usize..=16,
+        gates in 1usize..=200,
+        seed in any::<u64>(),
+    ) {
+        // A parity-tree net feeds exactly one XOR above it.
+        assert_structure(&generators::parity_tree(width), 1);
+        // Random logic has no hard bound by construction; the recency
+        // window keeps realistic circuits far below this ceiling.  A seeded
+        // draw may also leave a primary input unpicked.
+        assert_structure_with(&generators::random_logic(inputs, gates, seed), gates, true);
+    }
+}
+
+#[test]
+fn fixed_corpus_circuit_structures_hold() {
+    assert_structure(&generators::c17(), 4);
+    assert_structure(&iscas::c432(), 16);
+    assert_structure(&iscas::c880(), 16);
+    assert_structure(&generators::figure1_default().0, 4);
+    assert_structure(&generators::inverter_chain(8), 2);
+    assert_structure(&generators::buffer_fanout_tree(3), 4);
+}
+
+#[test]
+fn kogge_stone_wide_case_spot_check() {
+    // One deterministic wide case beyond the proptest width range.
+    let adder = generators::kogge_stone_adder(16);
+    assert_eq!(
+        adder_value(&adder, 16, 0xFFFF, 0x0001, 0),
+        0x1_0000,
+        "carry must propagate across the whole prefix network"
+    );
+    assert_eq!(adder_value(&adder, 16, 0xAAAA, 0x5555, 1), 0x1_0000);
+    assert_eq!(adder_value(&adder, 16, 0x1234, 0x4321, 0), 0x5555);
+}
