@@ -119,6 +119,12 @@ pub fn degradation_factor(elapsed: TimeDelta, t_zero: TimeDelta, tau: TimeDelta)
         return 1.0;
     }
     let ratio = t_minus_t0.as_fs() as f64 / tau.as_fs() as f64;
+    // Once exp(-ratio) drops below 2^-54 (half an ULP of 1.0, i.e. for any
+    // ratio >= 38 since exp(-38) ≈ 3.1e-17), `1.0 - exp(-ratio)` rounds to
+    // exactly 1.0 — skip the libm call for long-idle gates, bit-identically.
+    if ratio >= 38.0 {
+        return 1.0;
+    }
     let factor = 1.0 - (-ratio).exp();
     factor.clamp(0.0, 1.0)
 }

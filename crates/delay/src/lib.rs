@@ -55,5 +55,5 @@ pub mod traits;
 
 pub use coeffs::{DegradationCoeffs, EdgeTiming, PinTiming, PropagationCoeffs, SlewCoeffs};
 pub use degradation::DegradationEvaluation;
-pub use model::{CellClass, DelayContext, DelayModelKind, DelayOutcome};
+pub use model::{BoundArc, CellClass, DelayContext, DelayModelKind, DelayOutcome};
 pub use traits::{Conventional, Degradation, DelayModel, DelayModelHandle, PerCellOverride};

@@ -177,6 +177,91 @@ pub fn evaluate(arc: &EdgeTiming, kind: DelayModelKind, ctx: &DelayContext) -> D
     }
 }
 
+/// One timing arc with every load- and supply-dependent term folded in.
+///
+/// [`evaluate`] recomputes the load terms, the nominal output slew, the
+/// degradation time constant and the dead-band coefficient on every call,
+/// although all of them depend only on `(arc, load, vdd)` — constants of a
+/// compiled circuit.  A `BoundArc` hoists that work to compile time; only
+/// the input-slew- and history-dependent terms remain per event.
+///
+/// Binding is a pure reassociation of the same IEEE 754 operations in the
+/// same order, so [`BoundArc::evaluate`] is **bit-identical** to
+/// [`evaluate`] on the same inputs (proven by `prop_bound_arc_matches_free_
+/// evaluate` below) — engines may use either interchangeably.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundArc {
+    /// `propagation.t_intrinsic`, unchanged.
+    t_intrinsic: TimeDelta,
+    /// `propagation.s_slew`, unchanged.
+    s_slew: f64,
+    /// `propagation`'s load term `R * CL`, rounded exactly as
+    /// [`PropagationCoeffs::nominal_delay`](crate::PropagationCoeffs::nominal_delay)
+    /// rounds it.
+    load_term: TimeDelta,
+    /// The full nominal output slew (it depends on the load alone).
+    output_slew: TimeDelta,
+    /// Degradation time constant `tau` (paper eq. 2; load and Vdd only).
+    tau: TimeDelta,
+    /// Dead-band coefficient: `T0 = input_slew * t_zero_factor` (paper
+    /// eq. 3 with the Vdd division folded in, already clamped at zero).
+    t_zero_factor: f64,
+}
+
+impl BoundArc {
+    /// Folds `load` and `vdd` into `arc`.
+    pub fn bind(arc: &EdgeTiming, vdd: Voltage, load: Capacitance) -> Self {
+        BoundArc {
+            t_intrinsic: arc.propagation.t_intrinsic,
+            s_slew: arc.propagation.s_slew,
+            load_term: TimeDelta::try_from_seconds(arc.propagation.r_load_ohms * load.as_farads())
+                .unwrap_or(TimeDelta::MAX),
+            output_slew: arc.output_slew.output_slew(load),
+            tau: arc.degradation.tau(vdd, load),
+            t_zero_factor: (0.5 - arc.degradation.c_volts / vdd.as_volts()).max(0.0),
+        }
+    }
+
+    /// Evaluates the arc for one output transition — bit-identical to
+    /// [`evaluate`] with the bound load and Vdd.
+    pub fn evaluate(
+        &self,
+        kind: DelayModelKind,
+        input_slew: TimeDelta,
+        time_since_last_output: Option<TimeDelta>,
+    ) -> DelayOutcome {
+        let nominal_delay = (self.t_intrinsic + self.load_term + input_slew.scale(self.s_slew))
+            .max(TimeDelta::ZERO);
+        match kind {
+            DelayModelKind::Conventional => DelayOutcome {
+                delay: nominal_delay,
+                nominal_delay,
+                output_slew: self.output_slew,
+                degradation_factor: 1.0,
+            },
+            DelayModelKind::Degradation => {
+                let factor = match time_since_last_output {
+                    None => 1.0,
+                    Some(elapsed) => degradation::degradation_factor(
+                        elapsed,
+                        input_slew.scale(self.t_zero_factor),
+                        self.tau,
+                    ),
+                };
+                DelayOutcome {
+                    delay: nominal_delay.scale(factor),
+                    nominal_delay,
+                    output_slew: self
+                        .output_slew
+                        .scale(factor.max(0.05))
+                        .max(TimeDelta::from_fs(1)),
+                    degradation_factor: factor,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +338,62 @@ mod tests {
             let arc = EdgeTiming::example();
             let out = evaluate(&arc, DelayModelKind::Degradation, &ctx(Some(elapsed)));
             prop_assert!((0.0..=1.0).contains(&out.degradation_factor));
+        }
+
+        /// Hoisting the load/Vdd terms must not change a single bit: the
+        /// engines treat [`BoundArc::evaluate`] and [`evaluate`] as
+        /// interchangeable, and the corpus golden stats rely on it.
+        #[test]
+        fn prop_bound_arc_matches_free_evaluate(
+            t_intrinsic in 0.0f64..2_000.0,
+            r_load in 0.0f64..1.0e4,
+            s_slew in 0.0f64..1.5,
+            slew_base in 1.0f64..1_000.0,
+            slew_factor in 0.0f64..1.0e4,
+            a in 0.0f64..5.0e-9,
+            b in 0.0f64..5.0e5,
+            c in -3.0f64..3.0,
+            vdd in 1.0f64..6.0,
+            load in 0.5f64..500.0,
+            input_slew in 1.0f64..2_000.0,
+            // Negative means "no previous output" (None downstream).
+            elapsed in -100.0f64..1.0e5,
+        ) {
+            let arc = EdgeTiming {
+                propagation: crate::PropagationCoeffs {
+                    t_intrinsic: TimeDelta::from_ps(t_intrinsic),
+                    r_load_ohms: r_load,
+                    s_slew,
+                },
+                output_slew: crate::SlewCoeffs {
+                    base: TimeDelta::from_ps(slew_base),
+                    load_factor_ohms: slew_factor,
+                },
+                degradation: crate::DegradationCoeffs {
+                    a_volt_seconds: a,
+                    b_volt_per_farad_seconds: b,
+                    c_volts: c,
+                },
+            };
+            let vdd = Voltage::from_volts(vdd);
+            let load = Capacitance::from_femtofarads(load);
+            let context = DelayContext {
+                vdd,
+                load,
+                input_slew: TimeDelta::from_ps(input_slew),
+                time_since_last_output: (elapsed >= 0.0).then(|| TimeDelta::from_ps(elapsed)),
+                cell_class: CellClass::default(),
+            };
+            let bound = BoundArc::bind(&arc, vdd, load);
+            for kind in DelayModelKind::both() {
+                let free = evaluate(&arc, kind, &context);
+                let hoisted = bound.evaluate(
+                    kind,
+                    context.input_slew,
+                    context.time_since_last_output,
+                );
+                prop_assert_eq!(free, hoisted);
+            }
         }
     }
 }

@@ -79,10 +79,24 @@ pub trait DelayModel: fmt::Debug + Send + Sync {
     fn evaluate(&self, arc: &EdgeTiming, ctx: &DelayContext) -> DelayOutcome;
 
     /// The built-in [`DelayModelKind`] this model is numerically identical
-    /// to, or `None` for custom and composite models.  Engines use this only
-    /// for reporting, never for dispatch.
+    /// to, or `None` for custom and composite models.  Engines use this for
+    /// reporting and to devirtualise the hot loop: returning `Some(kind)`
+    /// promises that `model::evaluate(arc, kind, ctx)` produces bit-identical
+    /// outcomes to [`DelayModel::evaluate`], and engines may then bypass the
+    /// trait object entirely.
     fn kind(&self) -> Option<DelayModelKind> {
         None
+    }
+
+    /// The built-in kind this model is numerically identical to **for one
+    /// cell class**, with the same bit-identity promise as
+    /// [`kind`](DelayModel::kind).  Composite models whose per-class members
+    /// are built-ins override this so engines can resolve every gate to a
+    /// direct built-in call at compile time even when the composite as a
+    /// whole has no single kind.
+    fn kind_for(&self, class: CellClass) -> Option<DelayModelKind> {
+        let _ = class;
+        self.kind()
     }
 }
 
@@ -200,6 +214,10 @@ impl DelayModel for PerCellOverride {
 
     fn evaluate(&self, arc: &EdgeTiming, ctx: &DelayContext) -> DelayOutcome {
         self.model_for(ctx.cell_class).evaluate(arc, ctx)
+    }
+
+    fn kind_for(&self, class: CellClass) -> Option<DelayModelKind> {
+        self.model_for(class).kind()
     }
 }
 

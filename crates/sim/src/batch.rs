@@ -348,6 +348,21 @@ impl BatchRunner {
     {
         let started = Instant::now();
         let threads = self.threads.get().min(scenarios.len()).max(1);
+
+        // Single-worker batches run inline: no thread spawn, no mutex —
+        // spawning a scoped thread and locking per scenario costs more than
+        // an entire small-circuit scenario, and single-thread is the
+        // reference configuration for deterministic timing measurements.
+        if threads == 1 {
+            let mut state = new_state();
+            let outcomes: Vec<T> = scenarios
+                .iter()
+                .enumerate()
+                .map(|(index, scenario)| job(&mut state, index, scenario))
+                .collect();
+            return Self::summarise(outcomes, stats_of, started, threads);
+        }
+
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..scenarios.len()).map(|_| None).collect());
 
@@ -374,6 +389,19 @@ impl BatchRunner {
             .into_iter()
             .map(|slot| slot.expect("every index below the cursor was filled"))
             .collect();
+        Self::summarise(outcomes, stats_of, started, threads)
+    }
+
+    /// Folds per-scenario outcomes into the aggregate report.
+    fn summarise<T, S>(
+        outcomes: Vec<T>,
+        stats_of: S,
+        started: Instant,
+        threads: usize,
+    ) -> BatchSummary<T>
+    where
+        S: Fn(&T) -> Option<&SimulationStats>,
+    {
         let mut totals = SimulationStats::default();
         let mut succeeded = 0;
         for outcome in &outcomes {

@@ -15,9 +15,12 @@
 //! The result type is the shared [`SimulationResult`] so that figures and
 //! tables can treat all three simulators (reference analog, HALOTIS,
 //! classical) uniformly.
+//!
+//! The pending-commit store is the same [`TimeWheel`] the HALOTIS
+//! [`EventQueue`](crate::queue::EventQueue) runs on — one implementation of
+//! time-ordered insert with serial tie-breaks and lazy cancellation, not a
+//! private copy that can drift from the engine's.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use halotis_core::{Capacitance, LogicLevel, NetId, Time, TimeDelta};
@@ -31,26 +34,24 @@ use crate::error::SimulationError;
 use crate::ramp;
 use crate::result::SimulationResult;
 use crate::stats::SimulationStats;
+use crate::wheel::TimeWheel;
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Wheel payload of one scheduled net-level commit; the commit instant and
+/// the serial tie-break live in the wheel itself.
+#[derive(Clone, Copy, Debug)]
 struct NetCommit {
-    time: Time,
-    serial: u64,
     net: NetId,
     level: LogicLevel,
     slew: TimeDelta,
 }
 
-impl Ord for NetCommit {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.serial).cmp(&(other.time, other.serial))
-    }
-}
-
-impl PartialOrd for NetCommit {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// The per-gate pending marker: enough of the in-flight commit to apply the
+/// inertial rule (time, projected level) and to cancel it by serial.
+#[derive(Clone, Copy, Debug)]
+struct PendingCommit {
+    serial: u64,
+    time: Time,
+    level: LogicLevel,
 }
 
 /// Runs the classical simulator on `netlist` with `library` timing.
@@ -115,11 +116,9 @@ pub fn run(
         .collect();
 
     // Pending (scheduled, not yet committed) output change per gate.
-    let mut pending: Vec<Option<NetCommit>> = vec![None; netlist.gate_count()];
+    let mut pending: Vec<Option<PendingCommit>> = vec![None; netlist.gate_count()];
 
-    let mut heap: BinaryHeap<Reverse<NetCommit>> = BinaryHeap::new();
-    let mut cancelled: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut next_serial = 0u64;
+    let mut wheel: TimeWheel<NetCommit> = TimeWheel::new();
     let mut stats = SimulationStats::default();
 
     // Primary-input commits at the half-swing crossing of each stimulus edge.
@@ -128,24 +127,21 @@ pub fn run(
             .waveform(netlist.net(input).name())
             .expect("checked above");
         for transition in waveform.transitions() {
-            heap.push(Reverse(NetCommit {
-                time: transition.midpoint(vdd),
-                serial: next_serial,
-                net: input,
-                level: transition.edge().target_level(),
-                slew: transition.slew(),
-            }));
-            next_serial += 1;
+            wheel.push(
+                transition.midpoint(vdd),
+                NetCommit {
+                    net: input,
+                    level: transition.edge().target_level(),
+                    slew: transition.slew(),
+                },
+            );
             stats.events_scheduled += 1;
         }
     }
 
-    while let Some(Reverse(commit)) = heap.pop() {
-        if cancelled.remove(&commit.serial) {
-            continue;
-        }
+    while let Some((commit_time, commit_serial, commit)) = wheel.pop() {
         if let Some(limit) = config.time_limit {
-            if commit.time > limit {
+            if commit_time > limit {
                 break;
             }
         }
@@ -163,12 +159,12 @@ pub fn run(
         let previous_level = net_levels[net.index()];
         net_levels[net.index()] = commit.level;
         if let Some(edge) = ramp::edge_toward(previous_level, commit.level) {
-            net_waveforms[net.index()].push(Transition::new(commit.time, commit.slew, edge));
+            net_waveforms[net.index()].push(Transition::new(commit_time, commit.slew, edge));
             stats.output_transitions += 1;
         }
         // Clear the pending marker of the driving gate if this was its commit.
         if let halotis_netlist::NetDriver::Gate(driver) = netlist.net(net).driver() {
-            if pending[driver.index()] == Some(commit) {
+            if pending[driver.index()].is_some_and(|p| p.serial == commit_serial) {
                 pending[driver.index()] = None;
             }
         }
@@ -197,7 +193,7 @@ pub fn run(
                 gate_loads[gate.id().index()],
                 commit.slew,
             );
-            let new_time = commit.time + timing.delay;
+            let new_time = commit_time + timing.delay;
 
             if let Some(previous) = pending[gate.id().index()] {
                 // Opposite-value change already in flight: apply the
@@ -205,7 +201,7 @@ pub fn run(
                 let width = new_time - previous.time;
                 stats.events_scheduled += 1;
                 if !inertial::decide(width, timing.delay).propagates() {
-                    cancelled.insert(previous.serial);
+                    wheel.cancel(previous.serial);
                     pending[gate.id().index()] = None;
                     stats.events_filtered += 2;
                     continue;
@@ -214,16 +210,19 @@ pub fn run(
                 stats.events_scheduled += 1;
             }
 
-            let commit_out = NetCommit {
+            let serial = wheel.push(
+                new_time,
+                NetCommit {
+                    net: gate.output(),
+                    level: new_value,
+                    slew: timing.output_slew,
+                },
+            );
+            pending[gate.id().index()] = Some(PendingCommit {
+                serial,
                 time: new_time,
-                serial: next_serial,
-                net: gate.output(),
                 level: new_value,
-                slew: timing.output_slew,
-            };
-            next_serial += 1;
-            pending[gate.id().index()] = Some(commit_out);
-            heap.push(Reverse(commit_out));
+            });
         }
     }
 

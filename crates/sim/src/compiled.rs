@@ -57,9 +57,9 @@
 
 use std::time::Instant;
 
-use halotis_core::{Capacitance, PinRef, TimeDelta, Voltage};
-use halotis_delay::{CellClass, DelayContext, DelayModel, DelayModelKind, PinTiming};
-use halotis_netlist::{eval, Library, Netlist};
+use halotis_core::{Capacitance, Edge, GateId, LogicLevel, NetId, PinRef, TimeDelta, Voltage};
+use halotis_delay::{BoundArc, CellClass, DelayContext, DelayModel, DelayModelKind, PinTiming};
+use halotis_netlist::{eval, CellKind, Library, Netlist};
 use halotis_waveform::{Stimulus, Transition};
 
 use crate::config::SimulationConfig;
@@ -70,19 +70,26 @@ use crate::pins::PinMap;
 use crate::queue::ScheduleOutcome;
 use crate::ramp;
 use crate::result::SimulationResult;
-use crate::state::SimState;
+use crate::state::{SimState, NO_PREVIOUS_RAMP};
 use crate::stats::SimulationStats;
 
-/// One fanout destination of a net, with everything the scheduling loop
-/// needs resolved ahead of time.
-#[derive(Clone, Copy, Debug)]
-struct FanoutPin {
-    /// The gate input pin the net drives.
-    pin: PinRef,
-    /// Its dense index (see [`PinMap`]).
-    dense: usize,
-    /// The threshold voltage of that input.
-    threshold: Voltage,
+/// Sentinel in the per-fanout progress tables for "this threshold lies
+/// outside the `(0, Vdd)` swing and is never crossed" (legal progress values
+/// are within `[0, 1]`).
+const NEVER_CROSSED: f64 = -1.0;
+
+/// Precomputes, for one fanout input threshold, the ramp progress fraction
+/// at which a rising (index 0) / falling (index 1) transition crosses it —
+/// the compile-time half of [`Transition::crossing_time`], byte-identical in
+/// its f64 arithmetic so crossing times are bit-equal to the on-the-fly
+/// division it replaces.
+fn crossing_progress(threshold: Voltage, vdd: Voltage) -> [f64; 2] {
+    let fraction = threshold / vdd;
+    if (0.0..=1.0).contains(&fraction) {
+        [fraction, 1.0 - fraction]
+    } else {
+        [NEVER_CROSSED, NEVER_CROSSED]
+    }
 }
 
 /// A netlist + library compiled into flat lookup tables, ready to execute
@@ -111,10 +118,32 @@ pub struct CompiledCircuit<'a> {
     /// Switched capacitance per net (also used by
     /// [`power::estimate_compiled`](crate::power::estimate_compiled)).
     net_loads: Vec<Capacitance>,
-    /// CSR fanout adjacency: net `n` drives
-    /// `fanout[fanout_offsets[n]..fanout_offsets[n + 1]]`.
+    /// CSR fanout adjacency: net `n` drives the fanout-table rows
+    /// `fanout_offsets[n]..fanout_offsets[n + 1]`.  The rows themselves are
+    /// laid out struct-of-arrays so the scheduling loop touches only the
+    /// columns it needs.
     fanout_offsets: Vec<usize>,
-    fanout: Vec<FanoutPin>,
+    /// Fanout column: the gate input pin the net drives.
+    fanout_pins: Vec<PinRef>,
+    /// Fanout column: that pin's dense index (see [`PinMap`]).
+    fanout_dense: Vec<u32>,
+    /// Fanout column: precomputed `[rise, fall]` crossing progress of the
+    /// pin's threshold (see [`crossing_progress`]).
+    fanout_progress: Vec<[f64; 2]>,
+    /// Owning gate of every dense pin — the hot loop's event → gate hop,
+    /// without touching the netlist's gate objects.
+    pin_gate: Vec<u32>,
+    /// `[rise, fall]` timing arcs per dense pin with the gate's load and the
+    /// supply folded in (see [`BoundArc`]) — the built-in models evaluate
+    /// these directly, skipping the per-event load/tau recomputation.
+    pin_bound: Vec<[BoundArc; 2]>,
+    /// Cell kind per gate (the evaluate dispatch), densely packed.
+    gate_kinds: Vec<CellKind>,
+    /// Input count per gate, paired with [`PinMap::gate_offset`] to form the
+    /// gate's pin-level window.
+    gate_pin_counts: Vec<u32>,
+    /// Output net per gate.
+    gate_outputs: Vec<NetId>,
     /// Primary-output names in netlist declaration order.
     output_names: Vec<String>,
 }
@@ -160,19 +189,44 @@ impl<'a> CompiledCircuit<'a> {
             .collect();
 
         let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
-        let mut fanout = Vec::new();
+        let mut fanout_pins = Vec::new();
+        let mut fanout_dense = Vec::new();
+        let mut fanout_progress = Vec::new();
         for net in netlist.nets() {
-            fanout_offsets.push(fanout.len());
+            fanout_offsets.push(fanout_pins.len());
             for &pin in net.loads() {
                 let dense = pins.index(pin);
-                fanout.push(FanoutPin {
-                    pin,
-                    dense,
-                    threshold: pin_thresholds[dense],
-                });
+                fanout_pins.push(pin);
+                fanout_dense.push(u32::try_from(dense).expect("pin count fits u32"));
+                fanout_progress.push(crossing_progress(pin_thresholds[dense], vdd));
             }
         }
-        fanout_offsets.push(fanout.len());
+        fanout_offsets.push(fanout_pins.len());
+
+        let mut pin_gate = vec![0u32; pins.len()];
+        let mut gate_kinds = Vec::with_capacity(netlist.gate_count());
+        let mut gate_pin_counts = Vec::with_capacity(netlist.gate_count());
+        let mut gate_outputs = Vec::with_capacity(netlist.gate_count());
+        for gate in netlist.gates() {
+            let block = pins.gate_offset(gate.id());
+            for slot in &mut pin_gate[block..block + gate.inputs().len()] {
+                *slot = u32::try_from(gate.id().index()).expect("gate count fits u32");
+            }
+            gate_kinds.push(gate.kind());
+            gate_pin_counts.push(gate.inputs().len() as u32);
+            gate_outputs.push(gate.output());
+        }
+
+        let pin_bound: Vec<[BoundArc; 2]> = (0..pins.len())
+            .map(|dense| {
+                let load = gate_loads[pin_gate[dense] as usize];
+                let timing = &pin_timing[dense];
+                [
+                    BoundArc::bind(&timing.rise, vdd, load),
+                    BoundArc::bind(&timing.fall, vdd, load),
+                ]
+            })
+            .collect();
 
         let output_names = netlist
             .primary_outputs()
@@ -191,7 +245,14 @@ impl<'a> CompiledCircuit<'a> {
             gate_classes,
             net_loads,
             fanout_offsets,
-            fanout,
+            fanout_pins,
+            fanout_dense,
+            fanout_progress,
+            pin_gate,
+            pin_bound,
+            gate_kinds,
+            gate_pin_counts,
+            gate_outputs,
             output_names,
         })
     }
@@ -337,7 +398,17 @@ impl<'a> CompiledCircuit<'a> {
         observer: &mut O,
     ) -> Result<SimulationStats, SimulationError> {
         let netlist = self.netlist;
+        // Devirtualise the built-in models per gate: `DelayModel::kind_for`
+        // guarantees numerical identity with the named built-in for that
+        // gate's cell class, so the hot loop can evaluate the pre-bound arc
+        // directly (inlined, no vtable) — including through composites like
+        // `PerCellOverride` whose members are built-ins.  Gates that resolve
+        // to `None` keep dynamic dispatch.
         let model: &dyn DelayModel = config.model.as_dyn();
+        state.gate_model_kinds.clear();
+        state
+            .gate_model_kinds
+            .extend(self.gate_classes.iter().map(|&class| model.kind_for(class)));
         state.check_capacity(self.pins.len(), netlist.gate_count(), netlist.net_count());
 
         // --- initial state --------------------------------------------------
@@ -365,27 +436,20 @@ impl<'a> CompiledCircuit<'a> {
             for transition in waveform.transitions() {
                 observer.on_transition(input, transition);
                 stats.output_transitions += 1;
-                for fanout in self.net_fanout(input.index()) {
-                    if let Some(crossing) = transition.crossing_time(fanout.threshold, self.vdd) {
-                        let outcome = state.queue.schedule(
-                            fanout.dense,
-                            Event::new(
-                                crossing,
-                                fanout.pin,
-                                transition.edge().target_level(),
-                                transition.slew(),
-                            ),
-                        );
-                        if outcome == ScheduleOutcome::CancelledPrevious {
-                            observer.on_event_filtered(fanout.pin, crossing);
-                        }
-                    }
-                }
+                self.schedule_fanouts(
+                    state,
+                    observer,
+                    input.index(),
+                    transition,
+                    transition.edge().target_level(),
+                );
             }
         }
 
         // --- main loop (paper Fig. 4) ---------------------------------------
-        while let Some(event) = state.queue.pop() {
+        // Every lookup below walks the flat compiled tables by dense pin /
+        // gate index; the netlist's gate objects are never touched here.
+        while let Some((dense, event)) = state.queue.pop_indexed() {
             if let Some(limit) = config.time_limit {
                 if event.time > limit {
                     break;
@@ -398,14 +462,12 @@ impl<'a> CompiledCircuit<'a> {
                 });
             }
 
-            let gate = netlist.gate(event.pin.gate());
-            let gate_index = gate.id().index();
-            let dense = self.pins.index(event.pin);
+            let gate_index = self.pin_gate[dense] as usize;
             state.pin_levels[dense] = event.new_level;
-            let block = self.pins.gate_offset(gate.id());
-            let new_output = gate
-                .kind()
-                .evaluate(&state.pin_levels[block..block + gate.inputs().len()]);
+            let block = self.pins.gate_offset(GateId::from_usize(gate_index));
+            let count = self.gate_pin_counts[gate_index] as usize;
+            let new_output =
+                self.gate_kinds[gate_index].evaluate(&state.pin_levels[block..block + count]);
             if new_output == state.output_target[gate_index] {
                 continue;
             }
@@ -414,8 +476,9 @@ impl<'a> CompiledCircuit<'a> {
                 continue;
             };
 
-            let arc = self.pin_timing[dense].for_edge(edge);
-            let elapsed = state.last_output_start[gate_index].map(|previous| {
+            let previous_start = state.last_output_start[gate_index];
+            let previous = (previous_start != NO_PREVIOUS_RAMP).then_some(previous_start);
+            let elapsed = previous.map(|previous| {
                 let delta = event.time - previous;
                 if delta.is_negative() {
                     TimeDelta::ZERO
@@ -423,15 +486,30 @@ impl<'a> CompiledCircuit<'a> {
                     delta
                 }
             });
-            let ctx = DelayContext {
-                vdd: self.vdd,
-                load: self.gate_loads[gate_index],
-                input_slew: event.input_slew,
-                time_since_last_output: elapsed,
-                cell_class: self.gate_classes[gate_index],
+            let outcome = match state.gate_model_kinds[gate_index] {
+                // Built-in models evaluate the pre-bound arc: no vtable, and
+                // the load/supply terms were folded in at compile time
+                // (bit-identical to the context path, see `BoundArc`).
+                Some(kind) => {
+                    let edge_index = match edge {
+                        Edge::Rise => 0,
+                        Edge::Fall => 1,
+                    };
+                    self.pin_bound[dense][edge_index].evaluate(kind, event.input_slew, elapsed)
+                }
+                None => {
+                    let arc = self.pin_timing[dense].for_edge(edge);
+                    let ctx = DelayContext {
+                        vdd: self.vdd,
+                        load: self.gate_loads[gate_index],
+                        input_slew: event.input_slew,
+                        time_since_last_output: elapsed,
+                        cell_class: self.gate_classes[gate_index],
+                    };
+                    model.evaluate(arc, &ctx)
+                }
             };
-            let outcome = model.evaluate(arc, &ctx);
-            observer.on_gate_evaluated(gate.id(), &event, &outcome);
+            observer.on_gate_evaluated(GateId::from_usize(gate_index), &event, &outcome);
             if outcome.is_degraded() {
                 stats.degraded_transitions += 1;
             }
@@ -439,29 +517,15 @@ impl<'a> CompiledCircuit<'a> {
                 stats.collapsed_transitions += 1;
             }
 
-            let start = ramp::ramp_start(
-                event.time,
-                outcome.delay,
-                outcome.output_slew,
-                state.last_output_start[gate_index],
-            );
+            let start = ramp::ramp_start(event.time, outcome.delay, outcome.output_slew, previous);
             let transition = Transition::new(start, outcome.output_slew, edge);
-            observer.on_transition(gate.output(), &transition);
+            let output_net = self.gate_outputs[gate_index];
+            observer.on_transition(output_net, &transition);
             stats.output_transitions += 1;
-            state.last_output_start[gate_index] = Some(transition.start());
+            state.last_output_start[gate_index] = transition.start();
             state.output_target[gate_index] = new_output;
 
-            for fanout in self.net_fanout(gate.output().index()) {
-                if let Some(crossing) = transition.crossing_time(fanout.threshold, self.vdd) {
-                    let scheduled = state.queue.schedule(
-                        fanout.dense,
-                        Event::new(crossing, fanout.pin, new_output, transition.slew()),
-                    );
-                    if scheduled == ScheduleOutcome::CancelledPrevious {
-                        observer.on_event_filtered(fanout.pin, crossing);
-                    }
-                }
-            }
+            self.schedule_fanouts(state, observer, output_net.index(), &transition, new_output);
         }
 
         stats.events_scheduled = state.queue.scheduled();
@@ -491,8 +555,44 @@ impl<'a> CompiledCircuit<'a> {
         ))
     }
 
-    fn net_fanout(&self, net_index: usize) -> &[FanoutPin] {
-        &self.fanout[self.fanout_offsets[net_index]..self.fanout_offsets[net_index + 1]]
+    /// Schedules the events one output transition generates: one per fanout
+    /// input whose threshold the ramp crosses, each at its own precomputed
+    /// crossing progress (paper Fig. 3) — shared by the stimulus loop and
+    /// the main loop.
+    #[inline]
+    fn schedule_fanouts<O: SimObserver + ?Sized>(
+        &self,
+        state: &mut SimState,
+        observer: &mut O,
+        net_index: usize,
+        transition: &Transition,
+        target: LogicLevel,
+    ) {
+        let edge_index = match transition.edge() {
+            Edge::Rise => 0,
+            Edge::Fall => 1,
+        };
+        let start = transition.start();
+        let slew = transition.slew();
+        for row in self.fanout_offsets[net_index]..self.fanout_offsets[net_index + 1] {
+            let progress = self.fanout_progress[row][edge_index];
+            if progress >= 0.0 {
+                let crossing = start + slew.scale(progress);
+                let pin = self.fanout_pins[row];
+                let outcome = state.queue.schedule(
+                    self.fanout_dense[row] as usize,
+                    Event::new(crossing, pin, target, slew),
+                );
+                if outcome == ScheduleOutcome::CancelledPrevious {
+                    observer.on_event_filtered(pin, crossing);
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn net_fanout_rows(&self, net_index: usize) -> std::ops::Range<usize> {
+        self.fanout_offsets[net_index]..self.fanout_offsets[net_index + 1]
     }
 }
 
@@ -516,14 +616,30 @@ mod tests {
         let library = technology::cmos06();
         let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
         for net in netlist.nets() {
-            let entries = circuit.net_fanout(net.id().index());
-            assert_eq!(entries.len(), net.loads().len());
-            for (entry, &pin) in entries.iter().zip(net.loads()) {
-                assert_eq!(entry.pin, pin);
-                assert_eq!(entry.dense, circuit.pins().index(pin));
+            let rows = circuit.net_fanout_rows(net.id().index());
+            assert_eq!(rows.len(), net.loads().len());
+            for (row, &pin) in rows.zip(net.loads()) {
+                assert_eq!(circuit.fanout_pins[row], pin);
                 assert_eq!(
-                    entry.threshold,
-                    circuit.pin_thresholds[circuit.pins().index(pin)]
+                    circuit.fanout_dense[row] as usize,
+                    circuit.pins().index(pin)
+                );
+                let threshold = circuit.pin_thresholds[circuit.pins().index(pin)];
+                assert_eq!(
+                    circuit.fanout_progress[row],
+                    crossing_progress(threshold, circuit.vdd())
+                );
+                // The precomputed progress reproduces the on-the-fly
+                // crossing computation bit-exactly.
+                let ramp = Transition::new(
+                    halotis_core::Time::from_ns(1.0),
+                    TimeDelta::from_ps(400.0),
+                    Edge::Rise,
+                );
+                assert_eq!(
+                    ramp.crossing_time(threshold, circuit.vdd()),
+                    (circuit.fanout_progress[row][0] >= 0.0)
+                        .then(|| ramp.start() + ramp.slew().scale(circuit.fanout_progress[row][0])),
                 );
             }
         }

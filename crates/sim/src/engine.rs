@@ -14,7 +14,9 @@
 //!    the receiving inputs, not at the driving output,
 //! 4. generates one candidate event per fanout input at the instant the new
 //!    ramp crosses that input's own threshold (Fig. 3), letting the queue's
-//!    per-input rule insert it or cancel the pulse for that input.
+//!    per-input rule insert it or cancel the pulse for that input.  The
+//!    queue is a bucketed time wheel ([`crate::queue`]) whose pop order —
+//!    time, then schedule serial — makes the whole loop deterministic.
 //!
 //! [`Simulator`] wraps that core for one-off runs: each call to
 //! [`Simulator::run`] compiles the circuit and executes once.  Multi-run

@@ -10,6 +10,10 @@
 use halotis_core::{LogicLevel, PinRef, Time, TimeDelta};
 
 /// One scheduled event: a gate input crossing its threshold.
+///
+/// `Event` is small and `Copy`; the queue stores events by
+/// value in its slot arena (see [`crate::queue`]) rather than boxing them,
+/// so scheduling and popping never allocate on the hot path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Event {
     /// The instant the causing transition crosses this input's threshold

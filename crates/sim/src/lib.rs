@@ -112,6 +112,7 @@ pub mod ramp;
 pub mod result;
 pub mod state;
 pub mod stats;
+pub mod wheel;
 
 pub use batch::{
     BatchReport, BatchRunner, BatchSummary, ObservedOutcome, ObservedReport, Scenario,

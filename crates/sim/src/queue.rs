@@ -14,15 +14,19 @@
 //!   same pulse may survive on other inputs whose thresholds give different
 //!   event times.
 //!
-//! Cancellation is lazy: cancelled entries stay in the binary heap and are
-//! skipped on pop, which keeps both operations `O(log n)`.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+//! Storage is a bucketed [`TimeWheel`] (see [`wheel`](crate::wheel)) rather
+//! than a binary heap: simulation timestamps cluster at gate-delay
+//! granularity, so insert is an array index plus a push and pop scans one
+//! small bucket.  Cancellation stays lazy — one bit in a serial-indexed
+//! bitset — so both operations avoid hashing entirely.  The previous
+//! `BinaryHeap` + `HashSet` implementation is preserved verbatim in
+//! [`reference`] as the executable specification the property tests and the
+//! `event_queue` benchmark compare against.
 
 use halotis_core::Time;
 
 use crate::event::Event;
+use crate::wheel::TimeWheel;
 
 /// The outcome of [`EventQueue::schedule`], mirroring the two branches of
 /// the Fig. 4 flowchart.
@@ -36,23 +40,115 @@ pub enum ScheduleOutcome {
     CancelledPrevious,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Wheel payload: the event plus the dense pin index it targets.
+#[derive(Clone, Copy, Debug)]
 struct QueuedEvent {
-    time: Time,
-    serial: u64,
-    pin_index: usize,
+    pin_index: u32,
     event: Event,
 }
 
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.serial).cmp(&(other.time, other.serial))
-    }
+/// Null link of the pending lists.
+const NIL: u32 = u32::MAX;
+
+/// The per-pin pending FIFOs of the Fig. 4 rule, as linked lists through
+/// one shared node arena.
+///
+/// A `Vec<VecDeque<_>>` layout costs one heap buffer per active pin per
+/// state — a few hundred allocations per batch on corpus circuits — while
+/// the arena costs one, reused via a free list.  Per-pin depth is the
+/// number of in-flight events on one input (usually one or two, a handful
+/// for stimulus-fed pins), so the `pop_back` tail walk is short.
+#[derive(Clone, Debug)]
+struct PendingLists {
+    /// Arena node: `(event time, wheel serial, next toward the back)`.
+    nodes: Vec<(Time, u64, u32)>,
+    /// Recycled arena indices.
+    free: Vec<u32>,
+    /// Per-pin front node (the pop side), [`NIL`] when empty.
+    heads: Vec<u32>,
+    /// Per-pin back node (the schedule side), [`NIL`] when empty.
+    tails: Vec<u32>,
 }
 
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl PendingLists {
+    fn new(pin_count: usize) -> Self {
+        PendingLists {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; pin_count],
+            tails: vec![NIL; pin_count],
+        }
+    }
+
+    /// The most recently scheduled pending entry for `pin`.
+    fn back(&self, pin: usize) -> Option<(Time, u64)> {
+        let tail = self.tails[pin];
+        (tail != NIL).then(|| {
+            let (time, serial, _) = self.nodes[tail as usize];
+            (time, serial)
+        })
+    }
+
+    fn push_back(&mut self, pin: usize, time: Time, serial: u64) {
+        let node = (time, serial, NIL);
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.nodes[index as usize] = node;
+                index
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        let tail = self.tails[pin];
+        if tail == NIL {
+            self.heads[pin] = index;
+        } else {
+            self.nodes[tail as usize].2 = index;
+        }
+        self.tails[pin] = index;
+    }
+
+    fn pop_front(&mut self, pin: usize) -> Option<(Time, u64)> {
+        let head = self.heads[pin];
+        if head == NIL {
+            return None;
+        }
+        let (time, serial, next) = self.nodes[head as usize];
+        self.heads[pin] = next;
+        if next == NIL {
+            self.tails[pin] = NIL;
+        }
+        self.free.push(head);
+        Some((time, serial))
+    }
+
+    /// Removes the most recently scheduled entry (the Fig. 4 cancellation).
+    fn pop_back(&mut self, pin: usize) {
+        let tail = self.tails[pin];
+        debug_assert_ne!(tail, NIL, "pop_back on an empty pending list");
+        let head = self.heads[pin];
+        if head == tail {
+            self.heads[pin] = NIL;
+            self.tails[pin] = NIL;
+        } else {
+            let mut current = head;
+            while self.nodes[current as usize].2 != tail {
+                current = self.nodes[current as usize].2;
+            }
+            self.nodes[current as usize].2 = NIL;
+            self.tails[pin] = current;
+        }
+        self.free.push(tail);
+    }
+
+    /// Empties every list, keeping the arena and the per-pin tables.
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.heads.fill(NIL);
+        self.tails.fill(NIL);
     }
 }
 
@@ -76,10 +172,8 @@ impl PartialOrd for QueuedEvent {
 /// ```
 #[derive(Clone, Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<QueuedEvent>>,
-    pending: Vec<VecDeque<(Time, u64)>>,
-    cancelled: HashSet<u64>,
-    next_serial: u64,
+    wheel: TimeWheel<QueuedEvent>,
+    pending: PendingLists,
     scheduled: usize,
     filtered: usize,
 }
@@ -88,10 +182,8 @@ impl EventQueue {
     /// Creates a queue for a circuit with `pin_count` gate input pins.
     pub fn new(pin_count: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: vec![VecDeque::new(); pin_count],
-            cancelled: HashSet::new(),
-            next_serial: 0,
+            wheel: TimeWheel::new(),
+            pending: PendingLists::new(pin_count),
             scheduled: 0,
             filtered: 0,
         }
@@ -104,29 +196,28 @@ impl EventQueue {
     ///
     /// Panics if `pin_index` is out of range for the queue.
     pub fn schedule(&mut self, pin_index: usize, event: Event) -> ScheduleOutcome {
-        if let Some(&(previous_time, previous_serial)) = self.pending[pin_index].back() {
+        if let Some((previous_time, previous_serial)) = self.pending.back(pin_index) {
             if event.time <= previous_time {
-                self.cancelled.insert(previous_serial);
-                self.pending[pin_index].pop_back();
+                self.wheel.cancel(previous_serial);
+                self.pending.pop_back(pin_index);
                 self.filtered += 1;
                 return ScheduleOutcome::CancelledPrevious;
             }
         }
-        let serial = self.next_serial;
-        self.next_serial += 1;
-        self.pending[pin_index].push_back((event.time, serial));
-        self.heap.push(Reverse(QueuedEvent {
-            time: event.time,
-            serial,
-            pin_index,
-            event,
-        }));
+        let serial = self.wheel.push(
+            event.time,
+            QueuedEvent {
+                pin_index: pin_index as u32,
+                event,
+            },
+        );
+        self.pending.push_back(pin_index, event.time, serial);
         self.scheduled += 1;
         ScheduleOutcome::Inserted
     }
 
     /// Clears the queue back to its freshly constructed condition while
-    /// keeping every allocation (heap storage, per-pin pending slots), so a
+    /// keeping every allocation (wheel buckets, per-pin pending slots), so a
     /// reused [`SimState`](crate::SimState) arena schedules its next run
     /// without reallocating.
     ///
@@ -134,37 +225,68 @@ impl EventQueue {
     /// ordered by insertion serial, so a reset queue must hand out the same
     /// serials a fresh queue would for runs to be bit-identical.
     pub fn reset(&mut self) {
-        self.heap.clear();
-        for slot in &mut self.pending {
-            slot.clear();
-        }
-        self.cancelled.clear();
-        self.next_serial = 0;
+        self.wheel.reset();
+        self.pending.reset();
         self.scheduled = 0;
         self.filtered = 0;
     }
 
+    /// The raw pop shared by the public variants: earliest live entry plus
+    /// the bookkeeping key the pending-slot invariant is stated over.  With
+    /// `strict` the pending-front invariant holds in every build profile,
+    /// without it only under `debug_assertions`.
+    #[inline]
+    fn pop_raw(&mut self, strict: bool) -> Option<(usize, Event)> {
+        let (time, serial, queued) = self.wheel.pop()?;
+        let pin_index = queued.pin_index as usize;
+        let front = self.pending.pop_front(pin_index);
+        if strict {
+            assert_eq!(
+                front,
+                Some((time, serial)),
+                "popped entry desynchronised from pin {pin_index}'s pending front"
+            );
+        } else {
+            debug_assert_eq!(front, Some((time, serial)));
+        }
+        Some((pin_index, queued.event))
+    }
+
     /// Pops the earliest live event, skipping lazily cancelled entries.
     pub fn pop(&mut self) -> Option<Event> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.serial) {
-                continue;
-            }
-            let front = self.pending[entry.pin_index].pop_front();
-            debug_assert_eq!(front, Some((entry.time, entry.serial)));
-            return Some(entry.event);
-        }
-        None
+        self.pop_raw(false).map(|(_, event)| event)
+    }
+
+    /// Pops the earliest live event together with the dense pin index it was
+    /// scheduled for — the engine's hot-loop entry point, saving it the
+    /// `PinRef` → dense re-resolution.
+    pub fn pop_indexed(&mut self) -> Option<(usize, Event)> {
+        self.pop_raw(false)
+    }
+
+    /// [`pop`](EventQueue::pop), but asserting in **every** build profile
+    /// that the popped entry matches its pin's pending-slot front — the
+    /// invariant that ties the time-ordered store to the per-pin Fig. 4
+    /// bookkeeping.  `pop` itself only `debug_assert`s this; the
+    /// queue-properties test suite drives `pop_checked` so release-mode
+    /// refactors of the store cannot desynchronise the two silently.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the popped entry is not the front of its pin's pending
+    /// queue (a queue-implementation bug, never a caller error).
+    pub fn pop_checked(&mut self) -> Option<Event> {
+        self.pop_raw(true).map(|(_, event)| event)
     }
 
     /// Number of live (not cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.wheel.len()
     }
 
     /// `true` when no live event remains.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.wheel.is_empty()
     }
 
     /// Total number of events that were inserted into the queue.
@@ -176,6 +298,141 @@ impl EventQueue {
     /// and discards the incoming one) — the paper's "filtered events".
     pub fn filtered(&self) -> usize {
         self.filtered
+    }
+}
+
+pub mod reference {
+    //! The original `BinaryHeap` + `HashSet` event queue, kept verbatim as
+    //! an executable reference implementation.
+    //!
+    //! This is **not** used by the engine.  It exists so that
+    //! `tests/queue_properties.rs` can proptest the production
+    //! [`EventQueue`](super::EventQueue) against it (identical pop order
+    //! including equal-time serial tie-breaks, identical scheduled/filtered
+    //! counts, identical behaviour after `reset`), and so the `event_queue`
+    //! benchmark can report the heap-vs-wheel ablation.
+
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+    use halotis_core::Time;
+
+    use super::ScheduleOutcome;
+    use crate::event::Event;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    struct QueuedEvent {
+        time: Time,
+        serial: u64,
+        pin_index: usize,
+        event: Event,
+    }
+
+    impl Ord for QueuedEvent {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.time, self.serial).cmp(&(other.time, other.serial))
+        }
+    }
+
+    impl PartialOrd for QueuedEvent {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    /// The pre-time-wheel queue: binary heap ordered by `(time, serial)`
+    /// with a `HashSet` of lazily cancelled serials.  Same public surface
+    /// and same observable behaviour as [`EventQueue`](super::EventQueue).
+    #[derive(Clone, Debug)]
+    pub struct ReferenceEventQueue {
+        heap: BinaryHeap<Reverse<QueuedEvent>>,
+        pending: Vec<VecDeque<(Time, u64)>>,
+        cancelled: HashSet<u64>,
+        next_serial: u64,
+        scheduled: usize,
+        filtered: usize,
+    }
+
+    impl ReferenceEventQueue {
+        /// Creates a queue for a circuit with `pin_count` gate input pins.
+        pub fn new(pin_count: usize) -> Self {
+            ReferenceEventQueue {
+                heap: BinaryHeap::new(),
+                pending: vec![VecDeque::new(); pin_count],
+                cancelled: HashSet::new(),
+                next_serial: 0,
+                scheduled: 0,
+                filtered: 0,
+            }
+        }
+
+        /// The Fig. 4 rule, heap edition.
+        pub fn schedule(&mut self, pin_index: usize, event: Event) -> ScheduleOutcome {
+            if let Some(&(previous_time, previous_serial)) = self.pending[pin_index].back() {
+                if event.time <= previous_time {
+                    self.cancelled.insert(previous_serial);
+                    self.pending[pin_index].pop_back();
+                    self.filtered += 1;
+                    return ScheduleOutcome::CancelledPrevious;
+                }
+            }
+            let serial = self.next_serial;
+            self.next_serial += 1;
+            self.pending[pin_index].push_back((event.time, serial));
+            self.heap.push(Reverse(QueuedEvent {
+                time: event.time,
+                serial,
+                pin_index,
+                event,
+            }));
+            self.scheduled += 1;
+            ScheduleOutcome::Inserted
+        }
+
+        /// Clears the queue, restarting serial numbering at zero.
+        pub fn reset(&mut self) {
+            self.heap.clear();
+            for slot in &mut self.pending {
+                slot.clear();
+            }
+            self.cancelled.clear();
+            self.next_serial = 0;
+            self.scheduled = 0;
+            self.filtered = 0;
+        }
+
+        /// Pops the earliest live event, skipping lazily cancelled entries.
+        pub fn pop(&mut self) -> Option<Event> {
+            while let Some(Reverse(entry)) = self.heap.pop() {
+                if self.cancelled.remove(&entry.serial) {
+                    continue;
+                }
+                let front = self.pending[entry.pin_index].pop_front();
+                debug_assert_eq!(front, Some((entry.time, entry.serial)));
+                return Some(entry.event);
+            }
+            None
+        }
+
+        /// Number of live (not cancelled) events still queued.
+        pub fn len(&self) -> usize {
+            self.heap.len() - self.cancelled.len()
+        }
+
+        /// `true` when no live event remains.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Total number of events that were inserted into the queue.
+        pub fn scheduled(&self) -> usize {
+            self.scheduled
+        }
+
+        /// Total number of Fig. 4 cancellations.
+        pub fn filtered(&self) -> usize {
+            self.filtered
+        }
     }
 }
 
@@ -294,6 +551,16 @@ mod tests {
         queue.schedule(0, event(2.0, 0));
         assert_eq!(queue.schedule(1, event(1.0, 1)), ScheduleOutcome::Inserted);
         assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn pop_indexed_returns_the_scheduled_dense_index() {
+        let mut queue = EventQueue::new(5);
+        queue.schedule(4, event(2.0, 9));
+        queue.schedule(2, event(1.0, 7));
+        assert_eq!(queue.pop_indexed().map(|(pin, _)| pin), Some(2));
+        assert_eq!(queue.pop_indexed().map(|(pin, _)| pin), Some(4));
+        assert_eq!(queue.pop_indexed(), None);
     }
 
     proptest! {

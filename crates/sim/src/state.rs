@@ -9,10 +9,16 @@
 //! [`SimObserver`](crate::SimObserver), not here.
 
 use halotis_core::{LogicLevel, Time};
+use halotis_delay::DelayModelKind;
 use halotis_netlist::Netlist;
 
 use crate::pins::PinMap;
 use crate::queue::EventQueue;
+
+/// Sentinel for "this gate has not produced an output ramp yet" in
+/// [`SimState::last_output_start`]: no legitimate ramp starts at the
+/// minimum representable instant.
+pub(crate) const NO_PREVIOUS_RAMP: Time = Time::MIN;
 
 /// The mutable arena one simulation run works in.
 ///
@@ -51,12 +57,20 @@ pub struct SimState {
     /// The level each gate's output is moving toward, by gate index.
     pub(crate) output_target: Vec<LogicLevel>,
     /// Start instant of each gate's previous output ramp, by gate index.
-    pub(crate) last_output_start: Vec<Option<Time>>,
+    /// [`NO_PREVIOUS_RAMP`] marks "no ramp yet" — a plain sentinel keeps the
+    /// array at 8 bytes per gate where `Option<Time>` would double it.
+    pub(crate) last_output_start: Vec<Time>,
     /// Net count of the circuit the arena was sized for (waveform retention
     /// itself lives in the run's [`SimObserver`](crate::SimObserver)).
     net_count: usize,
     /// The event queue, reset (allocation kept) between runs.
     pub(crate) queue: EventQueue,
+    /// Per-gate built-in model kind resolved from the run's configuration
+    /// (see [`DelayModel::kind_for`](halotis_delay::DelayModel::kind_for)),
+    /// `None` where the gate needs dynamic dispatch.  Refilled at the start
+    /// of every run — it depends on the configuration, not the circuit —
+    /// into capacity this arena keeps.
+    pub(crate) gate_model_kinds: Vec<Option<DelayModelKind>>,
 }
 
 impl SimState {
@@ -65,9 +79,10 @@ impl SimState {
         SimState {
             pin_levels: vec![LogicLevel::Unknown; pin_count],
             output_target: vec![LogicLevel::Unknown; gate_count],
-            last_output_start: vec![None; gate_count],
+            last_output_start: vec![NO_PREVIOUS_RAMP; gate_count],
             net_count,
             queue: EventQueue::new(pin_count),
+            gate_model_kinds: Vec::with_capacity(gate_count),
         }
     }
 
@@ -117,7 +132,7 @@ impl SimState {
                 *slot = initial_levels[net.index()];
             }
             self.output_target[gate.id().index()] = initial_levels[gate.output().index()];
-            self.last_output_start[gate.id().index()] = None;
+            self.last_output_start[gate.id().index()] = NO_PREVIOUS_RAMP;
         }
         self.queue.reset();
     }
@@ -149,6 +164,9 @@ mod tests {
         state.reset(&netlist, &pins, &levels);
         assert!(state.pin_levels.iter().all(|&l| l == LogicLevel::High));
         assert!(state.output_target.iter().all(|&l| l == LogicLevel::High));
-        assert!(state.last_output_start.iter().all(|s| s.is_none()));
+        assert!(state
+            .last_output_start
+            .iter()
+            .all(|&s| s == NO_PREVIOUS_RAMP));
     }
 }

@@ -1,0 +1,257 @@
+//! Ad-hoc wall-clock breakdown of one corpus entry's hot path.
+//!
+//! Times the phases of a `mult4x4`-style batch separately — scenario
+//! expansion, compile, run with no observer, run with the corpus observer
+//! bundle — so a perf regression can be attributed without a profiler.
+//! Run with `cargo run --release --example profile_hotloop`.
+
+use std::time::Instant;
+
+use halotis::corpus::{standard_corpus, CorpusRunner};
+use halotis::netlist::technology;
+use halotis::sim::observer::SimObserver;
+use halotis::sim::{ActivityCounter, CompiledCircuit};
+
+struct NullObserver;
+impl SimObserver for NullObserver {}
+
+fn main() {
+    let corpus = standard_corpus();
+    let entry = corpus
+        .iter()
+        .find(|entry| entry.name == "mult4x4")
+        .expect("mult4x4 is in the standard corpus");
+    let library = technology::cmos06();
+
+    let t = Instant::now();
+    let scenarios = entry.scenarios(&library);
+    println!("scenario expansion: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let circuit = CompiledCircuit::compile(&entry.netlist, &library).unwrap();
+    println!("compile: {:?}", t.elapsed());
+
+    let mut state = circuit.new_state();
+    const REPS: usize = 200;
+
+    // Warm up.
+    for scenario in &scenarios {
+        let mut observer = NullObserver;
+        circuit
+            .run_observed(
+                &mut state,
+                &scenario.stimulus,
+                &scenario.config,
+                &mut observer,
+            )
+            .unwrap();
+    }
+
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for scenario in &scenarios {
+            let mut observer = NullObserver;
+            circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                )
+                .unwrap();
+        }
+    }
+    println!(
+        "batch, null observer: {:?}/batch",
+        t.elapsed() / REPS as u32
+    );
+
+    for scenario in &scenarios {
+        let mut observer = NullObserver;
+        let stats = circuit
+            .run_observed(
+                &mut state,
+                &scenario.stimulus,
+                &scenario.config,
+                &mut observer,
+            )
+            .unwrap();
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let mut observer = NullObserver;
+            circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                )
+                .unwrap();
+        }
+        let per_run = t.elapsed() / REPS as u32;
+        println!(
+            "  {}: {:?}/run, {} events -> {:.0}ns/event",
+            scenario.label,
+            per_run,
+            stats.events_processed,
+            per_run.as_nanos() as f64 / stats.events_processed as f64
+        );
+    }
+
+    // Fixed per-run cost: a zero time limit stops before the first pop, so
+    // this times reset + initial evaluation + stimulus scheduling alone.
+    let mut stopped = scenarios[0].config.clone();
+    stopped.time_limit = Some(halotis::core::Time::ZERO);
+    let t = Instant::now();
+    for _ in 0..REPS {
+        let mut observer = NullObserver;
+        circuit
+            .run_observed(&mut state, &scenarios[0].stimulus, &stopped, &mut observer)
+            .unwrap();
+    }
+    println!(
+        "fixed per-run setup cost: {:?}/run",
+        t.elapsed() / REPS as u32
+    );
+
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for scenario in &scenarios {
+            let mut observer = ActivityCounter::new();
+            circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                )
+                .unwrap();
+        }
+    }
+    println!(
+        "batch, activity counter: {:?}/batch",
+        t.elapsed() / REPS as u32
+    );
+
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for scenario in &scenarios {
+            let mut observer = halotis::sim::PowerAccumulator::new();
+            circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                )
+                .unwrap();
+        }
+    }
+    println!(
+        "batch, power accumulator: {:?}/batch",
+        t.elapsed() / REPS as u32
+    );
+
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for scenario in &scenarios {
+            let mut observer = halotis::corpus::GlitchProfile::new();
+            circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                )
+                .unwrap();
+        }
+    }
+    println!(
+        "batch, glitch profile: {:?}/batch",
+        t.elapsed() / REPS as u32
+    );
+
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for scenario in &scenarios {
+            let mut observer = (
+                (
+                    ActivityCounter::new(),
+                    halotis::sim::PowerAccumulator::new(),
+                ),
+                (
+                    halotis::corpus::GlitchProfile::new(),
+                    halotis::corpus::WallClockProbe::new(),
+                ),
+            );
+            circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut observer,
+                )
+                .unwrap();
+        }
+    }
+    println!(
+        "batch, corpus bundle: {:?}/batch",
+        t.elapsed() / REPS as u32
+    );
+
+    // Queue microbench: realistic corpus-like spacing (events spread over
+    // ~80 ns), interleaved push/pop mimicking one delay generation ahead.
+    {
+        use halotis::sim::queue::{reference::ReferenceEventQueue, EventQueue};
+        let make_event = |time_fs: i64, pin: u32| {
+            halotis::sim::Event::new(
+                halotis::core::Time::from_fs(time_fs),
+                halotis::core::PinRef::new(halotis::core::GateId::new(pin), 0),
+                halotis::core::LogicLevel::High,
+                halotis::core::TimeDelta::from_ps(100.0),
+            )
+        };
+        const N: usize = 1000;
+        const PINS: usize = 248;
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let mut q = EventQueue::new(PINS);
+            for i in 0..N {
+                let pin = (i * 7919) % PINS;
+                let time = (i as i64) * 80_000 + (pin as i64) * 133;
+                q.schedule(pin, make_event(time, pin as u32));
+            }
+            while let Some(e) = q.pop() {
+                std::hint::black_box(e);
+            }
+        }
+        let wheel_cost = t.elapsed() / REPS as u32;
+        let t = Instant::now();
+        for _ in 0..REPS {
+            let mut q = ReferenceEventQueue::new(PINS);
+            for i in 0..N {
+                let pin = (i * 7919) % PINS;
+                let time = (i as i64) * 80_000 + (pin as i64) * 133;
+                q.schedule(pin, make_event(time, pin as u32));
+            }
+            while let Some(e) = q.pop() {
+                std::hint::black_box(e);
+            }
+        }
+        let heap_cost = t.elapsed() / REPS as u32;
+        println!(
+            "queue microbench ({N} events): wheel {wheel_cost:?}, reference heap {heap_cost:?}"
+        );
+    }
+
+    let t = Instant::now();
+    let runner = CorpusRunner::new().with_threads(1).with_repeats(REPS);
+    let report = runner
+        .run(std::slice::from_ref(entry))
+        .expect("corpus entry runs");
+    println!(
+        "full corpus runner ({REPS} repeats): {:?} total — {}",
+        t.elapsed(),
+        report.timings[0].criterion_line()
+    );
+}

@@ -3,9 +3,12 @@
 
 Compares a freshly measured bench document against the committed baseline
 (`BENCH_api.json`) and fails when any shared measurement regressed beyond
-the tolerance, or when a baseline measurement disappeared from the fresh
-run (silent coverage shrink).  New measurements in the fresh document are
-reported but never fail the gate.
+the tolerance, when a baseline measurement disappeared from the fresh run
+(silent coverage shrink), or when the fresh run carries measurements the
+baseline has never seen — an un-ratcheted bench would otherwise drift along
+unguarded until its first regression was already the committed norm.  Pass
+`--allow-new` in the same change that adds a bench to acknowledge the new
+names (and follow up by committing the fresh document as the baseline).
 
 The default tolerance is generous (±35%) because shared CI runners are
 noisy; the gate is meant to catch step-function regressions (an accidental
@@ -13,6 +16,7 @@ recompile-per-run, a lost fast path), not single-digit drift.
 
 Usage:
     bench_gate.py BASELINE.json FRESH.json [--tolerance 0.35] [--metric median_ns]
+                  [--allow-new]
     bench_gate.py --self-test
 
 Exit codes: 0 gate passed, 1 regression / lost coverage, 2 usage error.
@@ -38,7 +42,8 @@ def flatten(document: dict, metric: str) -> dict:
     return values
 
 
-def gate(baseline: dict, fresh: dict, tolerance: float, metric: str) -> list:
+def gate(baseline: dict, fresh: dict, tolerance: float, metric: str,
+         allow_new: bool = False) -> list:
     """Returns a list of failure strings; empty means the gate passes."""
     base = flatten(baseline, metric)
     new = flatten(fresh, metric)
@@ -54,7 +59,13 @@ def gate(baseline: dict, fresh: dict, tolerance: float, metric: str) -> list:
         else:
             print(f"ok: {verdict}")
     for name in sorted(set(new) - set(base)):
-        print(f"new measurement (not gated): {name}")
+        if allow_new:
+            print(f"new measurement (allowed by --allow-new): {name}")
+        else:
+            failures.append(
+                f"NEW: {name} measured but absent from the baseline "
+                "(pass --allow-new and re-baseline to adopt it)"
+            )
     return failures
 
 
@@ -100,7 +111,21 @@ def self_test() -> int:
         measurement["median_ns"] *= 0.5
     assert gate(baseline, faster, DEFAULT_TOLERANCE, DEFAULT_METRIC) == []
 
-    print("bench_gate self-test passed: 2x slowdown trips, noise and speed-ups pass")
+    # A measurement the baseline has never seen must trip the gate —
+    # un-ratcheted benches drift unguarded — unless explicitly allowed.
+    grown = copy.deepcopy(baseline)
+    grown["benches"][0]["measurements"].append(
+        {"name": "g/unseen", "median_ns": 10.0, "mean_ns": 10.0, "min_ns": 9.0}
+    )
+    failures = gate(baseline, grown, DEFAULT_TOLERANCE, DEFAULT_METRIC)
+    assert any("NEW" in f and "g/unseen" in f for f in failures), failures
+    assert len(failures) == 1, failures
+    assert gate(baseline, grown, DEFAULT_TOLERANCE, DEFAULT_METRIC,
+                allow_new=True) == []
+
+    print("bench_gate self-test passed: 2x slowdown, lost coverage and "
+          "unacknowledged new measurements trip; noise, speed-ups and "
+          "--allow-new pass")
     return 0
 
 
@@ -112,6 +137,9 @@ def main(argv: list) -> int:
                         help="allowed slowdown fraction (default 0.35 = +35%%)")
     parser.add_argument("--metric", default=DEFAULT_METRIC,
                         choices=["median_ns", "mean_ns", "min_ns"])
+    parser.add_argument("--allow-new", action="store_true",
+                        help="tolerate measurements absent from the baseline "
+                             "(use when adding a bench; re-baseline after)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate trips on an injected 2x slowdown")
     args = parser.parse_args(argv[1:])
@@ -126,7 +154,7 @@ def main(argv: list) -> int:
         baseline = json.load(handle)
     with open(args.fresh, encoding="utf-8") as handle:
         fresh = json.load(handle)
-    failures = gate(baseline, fresh, args.tolerance, args.metric)
+    failures = gate(baseline, fresh, args.tolerance, args.metric, args.allow_new)
     for failure in failures:
         print(failure, file=sys.stderr)
     if failures:

@@ -9,12 +9,24 @@ This script parses any number of such capture files and writes a single JSON
 document mapping every measurement to nanosecond numbers, so successive runs
 can be diffed mechanically (the BENCH_api.json perf trajectory).
 
+Values are rounded to integer nanoseconds at emission: the captures carry
+sub-nanosecond decimals only as formatting residue of Rust's `Duration`
+rendering, and emitting them verbatim made every regeneration of the
+committed baselines a spurious diff.
+
+The document also records the measuring environment (`cpu_count`,
+`rustc`): a baseline is only meaningful on the hardware class that
+produced it, so the gate's consumers can tell a code regression from a
+runner change.
+
 Usage:
     bench_to_json.py OUTPUT.json CAPTURE.txt [CAPTURE.txt ...]
 """
 
 import json
+import os
 import re
+import subprocess
 import sys
 
 # Duration rendering of Rust's `std::fmt::Debug for Duration`.
@@ -28,11 +40,21 @@ _LINE = re.compile(
 )
 
 
-def _ns(value: str, unit: str) -> float:
-    return float(value) * _UNIT_NS[unit]
+def _ns(value: str, unit: str) -> int:
+    return round(float(value) * _UNIT_NS[unit])
 
 
-def parse_capture(path: str) -> list[dict]:
+def _rustc_version() -> "str | None":
+    try:
+        out = subprocess.run(
+            ["rustc", "--version"], capture_output=True, text=True, timeout=30
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None
+
+
+def parse_capture(path: str) -> list:
     measurements = []
     with open(path, encoding="utf-8") as handle:
         for line in handle:
@@ -50,7 +72,7 @@ def parse_capture(path: str) -> list[dict]:
     return measurements
 
 
-def main(argv: list[str]) -> int:
+def main(argv: list) -> int:
     if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -64,6 +86,10 @@ def main(argv: list[str]) -> int:
     document = {
         "schema": "halotis-bench-v1",
         "unit": "nanoseconds",
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "rustc": _rustc_version(),
+        },
         "benches": benches,
     }
     with open(output, "w", encoding="utf-8") as handle:

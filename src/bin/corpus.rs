@@ -6,8 +6,11 @@
 //!                [--repeats N] [--deterministic] [--list] [--check GOLDEN]
 //! ```
 //!
-//! * `--out PATH` — write the statistics JSON (default `CORPUS_stats.json`),
-//! * `--timing PATH` — also write a criterion-style timing capture that
+//! * `--out PATH` — write the statistics JSON.  Stats are only written when
+//!   this flag is given explicitly: an implicit default of
+//!   `CORPUS_stats.json` once let a plain `--timing` capture run silently
+//!   clobber the committed golden with wall-clock values,
+//! * `--timing PATH` — write a criterion-style timing capture that
 //!   `scripts/bench_to_json.py` can convert to JSON,
 //! * `--threads N` — worker threads for the batch runner (default: all),
 //! * `--repeats N` — timing samples per entry (default 3 when `--timing`
@@ -30,7 +33,7 @@ const USAGE: &str = "usage: halotis-corpus [--out PATH] [--timing PATH] [--threa
                      [--repeats N] [--deterministic] [--list] [--check GOLDEN]";
 
 struct Options {
-    out: String,
+    out: Option<String>,
     timing: Option<String>,
     threads: usize,
     repeats: Option<usize>,
@@ -51,7 +54,7 @@ impl Options {
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
-        out: "CORPUS_stats.json".to_string(),
+        out: None,
         timing: None,
         threads: 0,
         repeats: None,
@@ -67,7 +70,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
-            "--out" => options.out = value_of("--out")?,
+            "--out" => options.out = Some(value_of("--out")?),
             "--timing" => options.timing = Some(value_of("--timing")?),
             "--threads" => {
                 options.threads = value_of("--threads")?
@@ -200,20 +203,26 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    if let Err(error) = fs::write(&options.out, &json) {
-        eprintln!("cannot write {}: {error}", options.out);
+    // Stats land on disk only when the caller asked for them by path; a
+    // timing-only invocation must never touch the committed golden.
+    if let Some(out) = &options.out {
+        if let Err(error) = fs::write(out, &json) {
+            eprintln!("cannot write {out}: {error}");
+            return ExitCode::FAILURE;
+        }
+        let totals = stats.totals();
+        println!(
+            "wrote {out} ({} entries, {} scenarios; {} events, {} glitches, {:.3e} J{})",
+            stats.entries.len(),
+            stats.scenario_count(),
+            totals.events_processed,
+            stats.total_glitches(),
+            stats.total_energy_joules(),
+            if deterministic { ", deterministic" } else { "" }
+        );
+    } else if options.timing.is_none() {
+        eprintln!("nothing to do: pass --out, --timing, --check or --list\n{USAGE}");
         return ExitCode::FAILURE;
     }
-    let totals = stats.totals();
-    println!(
-        "wrote {} ({} entries, {} scenarios; {} events, {} glitches, {:.3e} J{})",
-        options.out,
-        stats.entries.len(),
-        stats.scenario_count(),
-        totals.events_processed,
-        stats.total_glitches(),
-        stats.total_energy_joules(),
-        if deterministic { ", deterministic" } else { "" }
-    );
     ExitCode::SUCCESS
 }

@@ -5,10 +5,20 @@
 //! appends (if strictly later) or annihilates with the *latest* pending
 //! event (the runt pulse never existed for that input).  These tests drive
 //! the queue with arbitrary schedules and check it against both global
-//! invariants and an executable reference model of the flowchart.
+//! invariants and an executable reference model of the flowchart — and
+//! against the retired `BinaryHeap` + `HashSet` implementation
+//! ([`reference::ReferenceEventQueue`]), which is kept verbatim as the
+//! executable specification of the ordering contract.
+//!
+//! Drains go through [`EventQueue::pop_checked`]: it asserts in **every**
+//! build profile that each popped entry matches its pin's pending-list
+//! front (plain `pop` only `debug_assert`s it), so `cargo test --release`
+//! still exercises the invariant that ties the time-ordered store to the
+//! per-pin Fig. 4 bookkeeping.
 
 use halotis::core::{GateId, LogicLevel, PinRef, Time, TimeDelta};
 use halotis::sim::event::Event;
+use halotis::sim::queue::reference::ReferenceEventQueue;
 use halotis::sim::queue::{EventQueue, ScheduleOutcome};
 use proptest::prelude::*;
 
@@ -69,7 +79,7 @@ proptest! {
             queue.schedule(pin, event(time, pin));
         }
         let mut previous = Time::MIN;
-        while let Some(popped) = queue.pop() {
+        while let Some(popped) = queue.pop_checked() {
             prop_assert!(popped.time >= previous, "pop went backwards in time");
             previous = popped.time;
         }
@@ -87,7 +97,7 @@ proptest! {
             queue.schedule(pin, event(time, pin));
         }
         let mut last_per_pin = [Time::MIN; PINS];
-        while let Some(popped) = queue.pop() {
+        while let Some(popped) = queue.pop_checked() {
             let pin = popped.pin.gate().index();
             prop_assert!(
                 popped.time > last_per_pin[pin],
@@ -111,7 +121,7 @@ proptest! {
         let expected = reference_schedule(&schedule);
         prop_assert_eq!(queue.len(), expected.len());
         let mut popped = Vec::new();
-        while let Some(event) = queue.pop() {
+        while let Some(event) = queue.pop_checked() {
             popped.push((event.time.as_fs(), event.pin.gate().index()));
         }
         let expected: Vec<(i64, usize)> =
@@ -135,9 +145,174 @@ proptest! {
         }
         prop_assert_eq!(queue.scheduled(), outcomes.0);
         prop_assert_eq!(queue.filtered(), outcomes.1);
-        let popped = std::iter::from_fn(|| queue.pop()).count();
+        let popped = std::iter::from_fn(|| queue.pop_checked()).count();
         prop_assert_eq!(queue.scheduled() - queue.filtered(), popped);
     }
+}
+
+/// Feeds the same schedule to the production wheel-backed queue and the
+/// retired heap-backed [`ReferenceEventQueue`], popping `drain` times after
+/// every `pop_stride`-th schedule call, and asserts both queues agree on
+/// every observable: each popped [`Event`] (so equal-time pops must resolve
+/// the serial tie-break identically), the live length, and the
+/// scheduled/filtered counters.  Returns the events both queues popped.
+fn assert_queues_agree(
+    pin_count: usize,
+    schedule: &[(usize, i64)],
+    pop_stride: usize,
+) -> Vec<Event> {
+    let mut wheel = EventQueue::new(pin_count);
+    let mut heap = ReferenceEventQueue::new(pin_count);
+    let mut popped = Vec::new();
+    let mut compare_pop = |wheel: &mut EventQueue, heap: &mut ReferenceEventQueue| {
+        let ours = wheel.pop_checked();
+        let reference = heap.pop();
+        assert_eq!(ours, reference, "pop order diverged from the heap queue");
+        if let Some(event) = ours {
+            popped.push(event);
+        }
+    };
+    for (step, &(pin, time)) in schedule.iter().enumerate() {
+        let candidate = event(time, pin);
+        assert_eq!(
+            wheel.schedule(pin, candidate),
+            heap.schedule(pin, candidate),
+            "schedule outcome diverged at step {step}"
+        );
+        if pop_stride != 0 && step % pop_stride == pop_stride - 1 {
+            compare_pop(&mut wheel, &mut heap);
+        }
+        assert_eq!(wheel.len(), heap.len());
+    }
+    loop {
+        let before = wheel.len();
+        compare_pop(&mut wheel, &mut heap);
+        if before == 0 {
+            break;
+        }
+    }
+    assert_eq!(wheel.scheduled(), heap.scheduled());
+    assert_eq!(wheel.filtered(), heap.filtered());
+    assert!(wheel.is_empty() && heap.is_empty());
+    popped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The wheel-backed queue is observationally identical to the retired
+    /// binary-heap implementation on arbitrary schedules: same pop order
+    /// (including equal-time serial tie-breaks — the narrow time domain
+    /// forces collisions), same counters, same lengths throughout.
+    #[test]
+    fn wheel_queue_matches_heap_reference(
+        schedule in proptest::collection::vec((0usize..PINS, 0i64..600), 1..250),
+        pop_stride in 0usize..6,
+    ) {
+        assert_queues_agree(PINS, &schedule, pop_stride);
+    }
+
+    /// After `reset()` both implementations behave like fresh queues: serial
+    /// numbering restarts, so the second half's equal-time tie-breaks must
+    /// again agree event for event.
+    #[test]
+    fn wheel_queue_matches_heap_reference_after_reset(
+        first in proptest::collection::vec((0usize..PINS, 0i64..600), 1..120),
+        second in proptest::collection::vec((0usize..PINS, 0i64..600), 1..120),
+        pops_before_reset in 0usize..8,
+    ) {
+        let mut wheel = EventQueue::new(PINS);
+        let mut heap = ReferenceEventQueue::new(PINS);
+        for &(pin, time) in &first {
+            let candidate = event(time, pin);
+            prop_assert_eq!(wheel.schedule(pin, candidate), heap.schedule(pin, candidate));
+        }
+        for _ in 0..pops_before_reset {
+            prop_assert_eq!(wheel.pop_checked(), heap.pop());
+        }
+        wheel.reset();
+        heap.reset();
+        prop_assert_eq!(wheel.len(), 0);
+        prop_assert_eq!(wheel.scheduled(), 0);
+        prop_assert_eq!(wheel.filtered(), 0);
+        for &(pin, time) in &second {
+            let candidate = event(time, pin);
+            prop_assert_eq!(wheel.schedule(pin, candidate), heap.schedule(pin, candidate));
+        }
+        loop {
+            let ours = wheel.pop_checked();
+            let reference = heap.pop();
+            prop_assert_eq!(ours, reference);
+            if ours.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.scheduled(), heap.scheduled());
+        prop_assert_eq!(wheel.filtered(), heap.filtered());
+    }
+}
+
+/// Wheel-vs-heap equivalence on schedules with *real* timestamp
+/// distributions: every corpus circuit is simulated, its net transition
+/// times are folded onto a small pin set (so ascending per-net streams
+/// interleave into non-monotone per-pin sequences and the Fig. 4
+/// cancellation fires), and both queues must agree on the entire run.
+/// Synthetic uniform schedules (above) miss the gate-delay clustering that
+/// the wheel's bucket geometry is tuned for; this is the distribution the
+/// production queue actually serves.
+#[test]
+fn corpus_circuit_schedules_match_heap_reference() {
+    use halotis::corpus::standard_corpus;
+    use halotis::netlist::technology;
+    use halotis::sim::CompiledCircuit;
+
+    const FOLDED_PINS: usize = 8;
+    let library = technology::cmos06();
+    let mut checked_entries = 0;
+    let mut total_events = 0usize;
+    for entry in standard_corpus() {
+        // The big ISCAS parses dominate runtime without adding new timestamp
+        // shapes; a gate-count cap keeps this test in tier-1 time.
+        if entry.netlist.gate_count() > 64 {
+            continue;
+        }
+        let circuit = CompiledCircuit::compile(&entry.netlist, &library).expect("corpus compiles");
+        let scenarios = entry.scenarios(&library);
+        let scenario = scenarios.first().expect("every corpus entry has scenarios");
+        let result = circuit
+            .run(&scenario.stimulus, &scenario.config)
+            .expect("corpus scenario runs");
+
+        let mut schedule: Vec<(i64, usize, usize)> = Vec::new();
+        for (order, (name, waveform)) in result.waveforms().iter().enumerate() {
+            let net_index = entry
+                .netlist
+                .net_id(name)
+                .expect("traced nets exist in the netlist")
+                .index();
+            for transition in waveform.transitions() {
+                schedule.push((transition.start().as_fs(), order, net_index % FOLDED_PINS));
+            }
+        }
+        // Causal feed order: by time, then trace order — deterministic, and
+        // equal-time events from different nets exercise the serial
+        // tie-break with realistic clustering.
+        schedule.sort_unstable();
+        let schedule: Vec<(usize, i64)> = schedule
+            .into_iter()
+            .map(|(time, _, pin)| (pin, time))
+            .collect();
+        if schedule.is_empty() {
+            continue;
+        }
+        total_events += schedule.len();
+        assert_queues_agree(FOLDED_PINS, &schedule, 3);
+        checked_entries += 1;
+    }
+    assert!(
+        checked_entries >= 5 && total_events > 200,
+        "corpus-derived coverage collapsed: {checked_entries} entries, {total_events} events"
+    );
 }
 
 /// Directed Fig. 4 runt-pulse scenario: the cancelling event removes exactly
@@ -166,7 +341,7 @@ fn cancelling_removes_exactly_the_pending_event() {
     );
     assert_eq!(queue.len(), 2);
     assert_eq!(queue.filtered(), 1);
-    let popped: Vec<(i64, usize)> = std::iter::from_fn(|| queue.pop())
+    let popped: Vec<(i64, usize)> = std::iter::from_fn(|| queue.pop_checked())
         .map(|e| (e.time.as_fs(), e.pin.gate().index()))
         .collect();
     assert_eq!(popped, vec![(2_000, 0), (3_000, 1)]);
