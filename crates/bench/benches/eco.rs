@@ -1,0 +1,77 @@
+//! The ECO loop: full recompilation against incremental `apply_edits`.
+//!
+//! An engineering-change workflow edits one gate and re-runs; before the
+//! incremental path, every edit paid a from-scratch `CompiledCircuit`
+//! rebuild (CSR fanout tables, thresholds, bound arcs, loads).  This bench
+//! pins the contrast on single-gate kind swaps of the three largest corpus
+//! circuits: `full_compile` is the old cost, `apply_edits` the new one.
+//! The CI gate (`BENCH_eco.json`) requires the incremental path to stay an
+//! order of magnitude faster.  Run with `cargo bench -p halotis_bench eco`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halotis::netlist::{generators, iscas, technology, CellKind, Netlist};
+use halotis::sim::CompiledCircuit;
+use std::hint::black_box;
+
+/// A single-gate ECO fixture: one 2-input gate of the circuit plus the two
+/// kinds it alternates between.  Alternating keeps every iteration a real
+/// mutation (same-kind swaps are no-ops) while the circuit stays valid.
+fn swap_target(netlist: &Netlist) -> (halotis::core::GateId, [CellKind; 2]) {
+    let gate = netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.inputs().len() == 2)
+        .expect("circuit has a 2-input gate");
+    let kinds = if gate.kind() == CellKind::Nand2 {
+        [CellKind::Nor2, CellKind::Nand2]
+    } else {
+        [CellKind::Nand2, gate.kind()]
+    };
+    (gate.id(), kinds)
+}
+
+fn bench_eco(c: &mut Criterion) {
+    let library = technology::cmos06();
+    let circuits: [(&str, Netlist); 3] = [
+        ("c432", iscas::c432()),
+        ("c880", iscas::c880()),
+        ("wallace6x6", generators::wallace_tree_multiplier(6, 6)),
+    ];
+
+    let mut group = c.benchmark_group("eco");
+    group.sample_size(30);
+    for (name, netlist) in &circuits {
+        // The old ECO cost: recompile the whole circuit after the edit.
+        group.bench_with_input(
+            BenchmarkId::new("full_compile", *name),
+            netlist,
+            |b, netlist| {
+                b.iter(|| black_box(CompiledCircuit::compile(netlist, &library).unwrap()));
+            },
+        );
+
+        // The new cost: mutate one gate and patch the dirty cone in place.
+        let mut circuit = CompiledCircuit::compile(netlist, &library).unwrap();
+        let (gate, kinds) = swap_target(netlist);
+        let mut flip = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("apply_edits", *name),
+            netlist,
+            |b, _netlist| {
+                b.iter(|| {
+                    let kind = kinds[flip & 1];
+                    flip += 1;
+                    black_box(
+                        circuit
+                            .edit(|session| session.swap_cell_kind(gate, kind))
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eco);
+criterion_main!(benches);

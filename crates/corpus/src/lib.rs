@@ -55,6 +55,6 @@ pub mod stimuli;
 
 pub use entry::{mixed_model, standard_corpus, CorpusEntry};
 pub use observer::{GlitchProfile, WallClockProbe};
-pub use runner::{CorpusError, CorpusReport, CorpusRunner, EntryTiming};
+pub use runner::{CorpusError, CorpusReport, CorpusRunner, EntryTiming, NetHotspot};
 pub use stats::{CorpusStats, EntryRecord, ScenarioRecord, SCHEMA};
 pub use stimuli::StimulusSuite;

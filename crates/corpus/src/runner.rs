@@ -8,9 +8,11 @@
 //! The per-entry batch can be repeated to collect timing samples for the
 //! criterion-style capture the perf gate consumes.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
+use halotis_core::Capacitance;
 use halotis_netlist::technology;
 use halotis_sim::{
     ActivityCounter, BatchRunner, CompiledCircuit, PowerAccumulator, SimulationError,
@@ -80,6 +82,22 @@ impl EntryTiming {
     }
 }
 
+/// Total dynamic energy attributed to one net of one corpus entry, summed
+/// over every scenario (each stimulus × the three model columns) of the run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetHotspot {
+    /// Corpus entry name.
+    pub entry: String,
+    /// Net name within the entry's circuit.
+    pub net: String,
+    /// Switched capacitance of the net.
+    pub capacitance: Capacitance,
+    /// Transitions summed over all scenarios.
+    pub transitions: usize,
+    /// `C · Vdd² · transitions` summed over all scenarios, in joules.
+    pub energy_joules: f64,
+}
+
 /// Everything one corpus run produces: the statistics document plus the
 /// per-entry timing samples.
 #[derive(Clone, Debug)]
@@ -88,6 +106,18 @@ pub struct CorpusReport {
     pub stats: CorpusStats,
     /// Per-entry timing, in corpus order (perf-capture material).
     pub timings: Vec<EntryTiming>,
+    /// Every net that switched at least once, most energetic first; ties
+    /// break on `(entry, net)` names so the ranking is fully deterministic.
+    /// Derived material — deliberately kept out of the golden-gated
+    /// [`CorpusStats`] document.
+    pub hotspots: Vec<NetHotspot>,
+}
+
+impl CorpusReport {
+    /// The `count` most energetic nets of the whole corpus run.
+    pub fn top_hotspots(&self, count: usize) -> &[NetHotspot] {
+        &self.hotspots[..count.min(self.hotspots.len())]
+    }
 }
 
 /// The per-scenario observer bundle of a corpus run.
@@ -143,6 +173,7 @@ impl CorpusRunner {
         };
         let mut stats = CorpusStats::default();
         let mut timings = Vec::with_capacity(corpus.len());
+        let mut hotspots = Vec::new();
 
         for entry in corpus {
             let circuit = CompiledCircuit::compile(&entry.netlist, &library).map_err(|source| {
@@ -168,6 +199,11 @@ impl CorpusRunner {
             }
             let report = last_report.expect("at least one repeat ran");
 
+            // Per-net energy, keyed by net name and summed across the
+            // entry's scenarios in scenario order — the float additions
+            // happen in one fixed order, so the totals are bit-reproducible
+            // regardless of worker-thread count.
+            let mut net_energy: BTreeMap<String, NetHotspot> = BTreeMap::new();
             let mut records = Vec::with_capacity(scenarios.len());
             for (scenario, outcome) in scenarios.iter().zip(report.outcomes()) {
                 let run_stats = outcome.stats.as_ref().map_err(|source| CorpusError {
@@ -177,6 +213,22 @@ impl CorpusRunner {
                 })?;
                 let ((activity, power), (glitches, clock)): &CorpusObserver = &outcome.observer;
                 debug_assert_eq!(activity.total_transitions(), run_stats.output_transitions);
+                for net in power.report(&entry.netlist).per_net() {
+                    if net.transitions == 0 {
+                        continue;
+                    }
+                    let slot = net_energy
+                        .entry(net.net.clone())
+                        .or_insert_with(|| NetHotspot {
+                            entry: entry.name.clone(),
+                            net: net.net.clone(),
+                            capacitance: net.capacitance,
+                            transitions: 0,
+                            energy_joules: 0.0,
+                        });
+                    slot.transitions += net.transitions;
+                    slot.energy_joules += net.energy_joules;
+                }
                 records.push(ScenarioRecord {
                     label: outcome.label.clone(),
                     model: scenario.config.model.label().to_string(),
@@ -200,8 +252,19 @@ impl CorpusRunner {
                 name: entry.name.clone(),
                 samples,
             });
+            hotspots.extend(net_energy.into_values());
         }
-        Ok(CorpusReport { stats, timings })
+        hotspots.sort_by(|a: &NetHotspot, b: &NetHotspot| {
+            b.energy_joules
+                .total_cmp(&a.energy_joules)
+                .then_with(|| a.entry.cmp(&b.entry))
+                .then_with(|| a.net.cmp(&b.net))
+        });
+        Ok(CorpusReport {
+            stats,
+            timings,
+            hotspots,
+        })
     }
 }
 
@@ -292,6 +355,40 @@ mod tests {
             assert!(line.contains("mean"), "{line}");
             assert!(line.contains("min"), "{line}");
         }
+    }
+
+    #[test]
+    fn hotspot_ranking_is_sorted_deterministic_and_complete() {
+        let corpus = small_corpus();
+        let report = CorpusRunner::new().with_threads(1).run(&corpus).unwrap();
+        assert!(!report.hotspots.is_empty());
+        // Most-energetic first, names breaking exact ties.
+        for pair in report.hotspots.windows(2) {
+            assert!(pair[0].energy_joules >= pair[1].energy_joules);
+            if pair[0].energy_joules == pair[1].energy_joules {
+                assert!((&pair[0].entry, &pair[0].net) < (&pair[1].entry, &pair[1].net));
+            }
+        }
+        // Every ranked net switched, and the ranking conserves energy: the
+        // summed hotspot energy matches the summed scenario energy (same
+        // numbers, different addition order — hence the relative epsilon).
+        let ranked: f64 = report.hotspots.iter().map(|h| h.energy_joules).sum();
+        let scenario_total: f64 = report
+            .stats
+            .entries
+            .iter()
+            .flat_map(|entry| &entry.scenarios)
+            .map(|scenario| scenario.energy_joules)
+            .sum();
+        assert!(report.hotspots.iter().all(|h| h.transitions > 0));
+        assert!((ranked - scenario_total).abs() <= scenario_total * 1e-12);
+        // The ranking is part of the determinism contract: a four-worker
+        // run produces the identical vector, floats included.
+        let four = CorpusRunner::new().with_threads(4).run(&corpus).unwrap();
+        assert_eq!(report.hotspots, four.hotspots);
+        // top_hotspots clamps like PowerReport::hotspots does.
+        assert_eq!(report.top_hotspots(3).len(), 3);
+        assert_eq!(report.top_hotspots(usize::MAX).len(), report.hotspots.len());
     }
 
     #[test]

@@ -44,11 +44,26 @@ use crate::netlist::Netlist;
 /// assert_eq!(levels[s2.index()], LogicLevel::High);
 /// ```
 pub fn evaluate(netlist: &Netlist, assignments: &[(NetId, LogicLevel)]) -> Vec<LogicLevel> {
+    let order = levelize::levelize(netlist);
+    evaluate_with_order(netlist, &order, assignments)
+}
+
+/// [`evaluate`] with a caller-supplied levelization, skipping the per-call
+/// levelize pass.  Callers that evaluate the same circuit many times (the
+/// compiled simulator initialises every scenario this way) levelize once and
+/// reuse the order.
+///
+/// `order` must be a levelization of `netlist`; a stale order produces
+/// wrong values or panics on index mismatch.
+pub fn evaluate_with_order(
+    netlist: &Netlist,
+    order: &levelize::Levelization,
+    assignments: &[(NetId, LogicLevel)],
+) -> Vec<LogicLevel> {
     let mut levels = vec![LogicLevel::Unknown; netlist.net_count()];
     for &(net, level) in assignments {
         levels[net.index()] = level;
     }
-    let order = levelize::levelize(netlist);
     let mut inputs_scratch = Vec::with_capacity(3);
     for gate_id in order.topological_order() {
         let gate = netlist.gate(gate_id);

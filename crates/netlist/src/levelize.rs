@@ -36,6 +36,126 @@ impl Levelization {
     pub fn topological_order(&self) -> impl Iterator<Item = GateId> + '_ {
         self.levels.iter().flatten().copied()
     }
+
+    /// Incrementally re-levelizes after an edit session, visiting only the
+    /// affected cones instead of the whole netlist.
+    ///
+    /// The log's structural ops are replayed first so the id space matches
+    /// the mutated netlist, then a worklist fixpoint of
+    /// `level(g) = max(level of gate-driven fanin) + 1` runs outward from
+    /// the dirty gates.  The result is identical to a fresh
+    /// [`levelize`] of the mutated netlist — including within-level
+    /// ordering, which both paths keep ascending by gate id.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or loop forever in release builds) if `netlist` is not the
+    /// netlist this levelization was built from with exactly the edits in
+    /// `log` applied.
+    pub fn update(&mut self, netlist: &Netlist, log: &crate::edit::EditLog) {
+        use crate::edit::EditOp;
+
+        // Phase 1: replay the shape ops so gate ids line up again.  An
+        // appended gate enters at the unresolved sentinel level; a removal
+        // mirrors the session's `swap_remove` renumbering.
+        for op in log.ops() {
+            match op {
+                EditOp::GateAppended { .. } => self.gate_level.push(usize::MAX),
+                EditOp::GateRemoved { gate_index, .. } => {
+                    let removed = *gate_index as usize;
+                    let removed_level = self.gate_level[removed];
+                    if removed_level != usize::MAX {
+                        remove_sorted(&mut self.levels[removed_level], GateId::from_usize(removed));
+                    }
+                    self.gate_level.swap_remove(removed);
+                    let old_last = self.gate_level.len();
+                    if removed != old_last {
+                        let moved_level = self.gate_level[removed];
+                        if moved_level != usize::MAX {
+                            let list = &mut self.levels[moved_level];
+                            remove_sorted(list, GateId::from_usize(old_last));
+                            insert_sorted(list, GateId::from_usize(removed));
+                        }
+                    }
+                }
+                EditOp::NetExposed { .. } => {}
+            }
+        }
+
+        // Phase 2: chaotic iteration from the dirty set.  A gate whose
+        // driver is still unresolved is skipped — it is re-enqueued when
+        // that driver resolves (resolution is always a level change).
+        let mut queue: Vec<GateId> = log.dirty_gates().to_vec();
+        let mut queued = vec![false; netlist.gate_count()];
+        for gate in &queue {
+            queued[gate.index()] = true;
+        }
+        while let Some(gate) = queue.pop() {
+            queued[gate.index()] = false;
+            let mut level = 0usize;
+            let mut unresolved = false;
+            for &input in netlist.gate(gate).inputs() {
+                if let NetDriver::Gate(driver) = netlist.net(input).driver() {
+                    match self.gate_level[driver.index()] {
+                        usize::MAX => {
+                            unresolved = true;
+                            break;
+                        }
+                        driver_level => level = level.max(driver_level + 1),
+                    }
+                }
+            }
+            if unresolved {
+                continue;
+            }
+            let old = self.gate_level[gate.index()];
+            if old == level {
+                continue;
+            }
+            if old != usize::MAX {
+                remove_sorted(&mut self.levels[old], gate);
+            }
+            if self.levels.len() <= level {
+                self.levels.resize_with(level + 1, Vec::new);
+            }
+            insert_sorted(&mut self.levels[level], gate);
+            self.gate_level[gate.index()] = level;
+            for pin in netlist.net(netlist.gate(gate).output()).loads() {
+                let fanout = pin.gate();
+                if !queued[fanout.index()] {
+                    queued[fanout.index()] = true;
+                    queue.push(fanout);
+                }
+            }
+        }
+
+        // Emptied levels can only occur at the tail: removals require a
+        // fanout-free output, and rewires re-fill intermediate levels via
+        // the worklist.
+        while self.levels.last().is_some_and(|level| level.is_empty()) {
+            self.levels.pop();
+        }
+        debug_assert!(
+            self.gate_level.iter().all(|&level| level != usize::MAX),
+            "unresolved gate level after incremental update"
+        );
+    }
+}
+
+/// Removes `gate` from an ascending-sorted level list.
+fn remove_sorted(list: &mut Vec<GateId>, gate: GateId) {
+    let index = list
+        .binary_search(&gate)
+        .expect("gate missing from its level list");
+    list.remove(index);
+}
+
+/// Inserts `gate` into an ascending-sorted level list.
+fn insert_sorted(list: &mut Vec<GateId>, gate: GateId) {
+    let index = list
+        .binary_search(&gate)
+        .expect_err("gate already present in level list");
+    list.insert(index, gate);
 }
 
 /// Levelizes a netlist.
@@ -144,6 +264,86 @@ mod tests {
                     assert!(position(driver) < position(gate.id()));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_fresh_levelize() {
+        let mut netlist = crate::generators::c17();
+        let mut levels = levelize(&netlist);
+
+        // Insert a gate reading a mid-cone net, expose it, rewire, remove.
+        let n11 = netlist.net_id("n11").unwrap();
+        let i1 = netlist.net_id("i1").unwrap();
+        let mut edit = netlist.begin_edit();
+        let (gate, output) = edit
+            .insert_gate(CellKind::Nand2, "extra", &[n11, i1], "extra_out")
+            .unwrap();
+        edit.expose_net(output).unwrap();
+        let log = edit.finish();
+        levels.update(&netlist, &log);
+        assert_eq!(levels, levelize(&netlist));
+        assert!(
+            levels.level_of(gate) > 0,
+            "grafted gate reads a gate-driven net"
+        );
+
+        // Rewiring the new gate fully onto primary inputs drops its level.
+        let i2 = netlist.net_id("i2").unwrap();
+        let mut edit = netlist.begin_edit();
+        edit.rewire_input(gate, 0, i2).unwrap();
+        let log = edit.finish();
+        levels.update(&netlist, &log);
+        assert_eq!(levels, levelize(&netlist));
+        assert_eq!(levels.level_of(gate), 0);
+
+        // Removal renumbers via swap_remove; update must follow.
+        let mut netlist2 = netlist.clone();
+        let mut edit = netlist2.begin_edit();
+        // Cannot remove a primary output directly: first un-expose is not
+        // supported, so remove a different fanout-free gate if one exists;
+        // otherwise insert-and-remove to exercise the path.
+        let (tmp, _) = edit
+            .insert_gate(CellKind::Inv, "tmp", &[i1], "tmp_out")
+            .unwrap();
+        edit.remove_gate(tmp).unwrap();
+        let log = edit.finish();
+        let mut levels2 = levels.clone();
+        levels2.update(&netlist2, &log);
+        assert_eq!(levels2, levelize(&netlist2));
+    }
+
+    #[test]
+    fn incremental_update_handles_random_edit_bursts() {
+        let mut netlist = crate::generators::random_logic(8, 60, 0x5EED);
+        let mut levels = levelize(&netlist);
+        let kinds = [CellKind::Nand2, CellKind::Nor2, CellKind::Xor2];
+        for (round, kind) in kinds.into_iter().enumerate() {
+            let mut edit = netlist.begin_edit();
+            // Swap the kind of every fourth two-input gate.
+            let targets: Vec<GateId> = edit
+                .netlist()
+                .gates()
+                .iter()
+                .filter(|gate| gate.inputs().len() == 2 && gate.id().index() % 4 == round)
+                .map(|gate| gate.id())
+                .collect();
+            for target in targets {
+                edit.swap_cell_kind(target, kind).unwrap();
+            }
+            // And graft a fresh gate deep into the cone.
+            let feed = edit.netlist().gates()[round * 3].output();
+            let pi = edit.netlist().primary_inputs()[round];
+            edit.insert_gate(
+                kind,
+                format!("graft{round}"),
+                &[feed, pi],
+                format!("graft{round}_out"),
+            )
+            .unwrap();
+            let log = edit.finish();
+            levels.update(&netlist, &log);
+            assert_eq!(levels, levelize(&netlist), "round {round}");
         }
     }
 

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod edit;
 pub mod eval;
 pub mod generators;
 pub mod iscas;
@@ -32,6 +33,7 @@ pub mod validate;
 pub mod writer;
 
 pub use cell::CellKind;
+pub use edit::{EditLog, EditOp, EditSession};
 pub use library::{CellTiming, Library, PinSpec};
 pub use netlist::{
     is_primary_input_net, Gate, Net, NetDriver, Netlist, NetlistBuilder, NetlistError,

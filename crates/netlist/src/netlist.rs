@@ -31,12 +31,12 @@ pub enum NetDriver {
 /// One gate instance.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Gate {
-    id: GateId,
-    name: String,
-    kind: CellKind,
-    inputs: Vec<NetId>,
-    output: NetId,
-    threshold_overrides: Option<Vec<f64>>,
+    pub(crate) id: GateId,
+    pub(crate) name: String,
+    pub(crate) kind: CellKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+    pub(crate) threshold_overrides: Option<Vec<f64>>,
 }
 
 impl Gate {
@@ -78,11 +78,11 @@ impl Gate {
 /// One net (signal).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Net {
-    id: NetId,
-    name: String,
-    driver: NetDriver,
-    loads: Vec<PinRef>,
-    is_primary_output: bool,
+    pub(crate) id: NetId,
+    pub(crate) name: String,
+    pub(crate) driver: NetDriver,
+    pub(crate) loads: Vec<PinRef>,
+    pub(crate) is_primary_output: bool,
 }
 
 impl Net {
@@ -175,6 +175,18 @@ pub enum NetlistError {
         /// Inputs of the cell.
         required: usize,
     },
+    /// A gate whose output net still has loads (or is a primary output)
+    /// cannot be removed — it would leave floating fanin pins.
+    GateInUse {
+        /// The gate instance name.
+        gate: String,
+    },
+    /// A primary input cannot double as a primary output (the structural
+    /// text format has no representation for a pass-through port).
+    ExposedPrimaryInput {
+        /// The net name.
+        net: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -205,6 +217,12 @@ impl fmt::Display for NetlistError {
                 f,
                 "gate {gate}: {provided} threshold overrides for {required} inputs"
             ),
+            NetlistError::GateInUse { gate } => {
+                write!(f, "gate {gate} still drives fanout or a primary output")
+            }
+            NetlistError::ExposedPrimaryInput { net } => {
+                write!(f, "primary input {net} cannot be exposed as an output")
+            }
         }
     }
 }
@@ -234,12 +252,12 @@ impl std::error::Error for NetlistError {}
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct Netlist {
-    name: String,
-    gates: Vec<Gate>,
-    nets: Vec<Net>,
-    primary_inputs: Vec<NetId>,
-    primary_outputs: Vec<NetId>,
-    names: HashMap<String, NetId>,
+    pub(crate) name: String,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) primary_inputs: Vec<NetId>,
+    pub(crate) primary_outputs: Vec<NetId>,
+    pub(crate) names: HashMap<String, NetId>,
 }
 
 impl Netlist {
@@ -334,6 +352,16 @@ impl Netlist {
         Ok(library
             .pin(gate.kind(), pin.input_index())?
             .threshold_fraction)
+    }
+
+    /// Opens an edit session on this netlist — the mutation API of the ECO
+    /// loop.  See [`EditSession`](crate::edit::EditSession) for the available
+    /// operations; [`finish`](crate::edit::EditSession::finish) returns the
+    /// [`EditLog`](crate::edit::EditLog) that
+    /// `CompiledCircuit::apply_edits` consumes to patch its tables
+    /// incrementally.
+    pub fn begin_edit(&mut self) -> crate::edit::EditSession<'_> {
+        crate::edit::EditSession::new(self)
     }
 
     /// Gate count per cell kind, sorted by kind — the circuit statistics

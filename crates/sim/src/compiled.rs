@@ -55,11 +55,14 @@
 //! # Ok::<(), halotis_sim::SimulationError>(())
 //! ```
 
+use std::borrow::Cow;
 use std::time::Instant;
 
 use halotis_core::{Capacitance, Edge, GateId, LogicLevel, NetId, PinRef, TimeDelta, Voltage};
 use halotis_delay::{BoundArc, CellClass, DelayContext, DelayModel, DelayModelKind, PinTiming};
-use halotis_netlist::{eval, CellKind, Library, Netlist};
+use halotis_netlist::edit::{EditLog, EditOp, EditSession};
+use halotis_netlist::levelize::{self, Levelization};
+use halotis_netlist::{eval, CellKind, Library, Netlist, NetlistError};
 use halotis_waveform::{Stimulus, Transition};
 
 use crate::config::SimulationConfig;
@@ -77,6 +80,32 @@ use crate::stats::SimulationStats;
 /// outside the `(0, Vdd)` swing and is never crossed" (legal progress values
 /// are within `[0, 1]`).
 const NEVER_CROSSED: f64 = -1.0;
+
+/// Zeroed timing arc used to fill freshly allocated pin rows during edit
+/// replay, before the dirty-cone rebuild overwrites them with library data.
+/// Never evaluated: a row carrying it belongs to a gate in the dirty set.
+const PLACEHOLDER_TIMING: PinTiming = {
+    const EDGE: halotis_delay::EdgeTiming = halotis_delay::EdgeTiming {
+        propagation: halotis_delay::PropagationCoeffs {
+            t_intrinsic: TimeDelta::ZERO,
+            r_load_ohms: 0.0,
+            s_slew: 0.0,
+        },
+        output_slew: halotis_delay::SlewCoeffs {
+            base: TimeDelta::ZERO,
+            load_factor_ohms: 0.0,
+        },
+        degradation: halotis_delay::DegradationCoeffs {
+            a_volt_seconds: 0.0,
+            b_volt_per_farad_seconds: 0.0,
+            c_volts: 0.0,
+        },
+    };
+    PinTiming {
+        rise: EDGE,
+        fall: EDGE,
+    }
+};
 
 /// Precomputes, for one fanout input threshold, the ramp progress fraction
 /// at which a rising (index 0) / falling (index 1) transition crosses it —
@@ -103,10 +132,17 @@ fn crossing_progress(threshold: Voltage, vdd: Voltage) -> [f64; 2] {
 /// [`new_state`]: CompiledCircuit::new_state
 #[derive(Clone, Debug)]
 pub struct CompiledCircuit<'a> {
-    netlist: &'a Netlist,
+    /// The compiled netlist.  Starts as a borrow; the first
+    /// [`edit`](CompiledCircuit::edit) clones it into owned storage so the
+    /// circuit can mutate its own copy (copy-on-write).
+    netlist: Cow<'a, Netlist>,
     library: &'a Library,
     vdd: Voltage,
     pins: PinMap,
+    /// The levelization of the netlist, kept current across edits by
+    /// [`Levelization::update`] — run initialisation evaluates with this
+    /// order instead of re-levelizing per run.
+    levels: Levelization,
     /// Threshold voltage per dense pin index.
     pin_thresholds: Vec<Voltage>,
     /// Timing arcs per dense pin index.
@@ -118,11 +154,19 @@ pub struct CompiledCircuit<'a> {
     /// Switched capacitance per net (also used by
     /// [`power::estimate_compiled`](crate::power::estimate_compiled)).
     net_loads: Vec<Capacitance>,
-    /// CSR fanout adjacency: net `n` drives the fanout-table rows
-    /// `fanout_offsets[n]..fanout_offsets[n + 1]`.  The rows themselves are
-    /// laid out struct-of-arrays so the scheduling loop touches only the
-    /// columns it needs.
-    fanout_offsets: Vec<usize>,
+    /// CSR fanout adjacency as per-net windows: net `n` drives the rows
+    /// `fanout_start[n] .. fanout_start[n] + fanout_len[n]` of the fanout
+    /// columns, with `fanout_cap[n]` rows reserved.  Windows (instead of a
+    /// packed `n + 1` prefix array) let an edit rewrite or grow one net's
+    /// rows without shifting every later net; a window that outgrows its
+    /// capacity relocates to the end of the arena with pow2 headroom.  The
+    /// columns themselves are struct-of-arrays so the scheduling loop
+    /// touches only what it needs.
+    fanout_start: Vec<u32>,
+    /// Live row count of each net's fanout window.
+    fanout_len: Vec<u32>,
+    /// Reserved row count of each net's fanout window.
+    fanout_cap: Vec<u32>,
     /// Fanout column: the gate input pin the net drives.
     fanout_pins: Vec<PinRef>,
     /// Fanout column: that pin's dense index (see [`PinMap`]).
@@ -188,12 +232,17 @@ impl<'a> CompiledCircuit<'a> {
             .map(|gate| gate.kind().class())
             .collect();
 
-        let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
+        let mut fanout_start = Vec::with_capacity(netlist.net_count());
+        let mut fanout_len = Vec::with_capacity(netlist.net_count());
+        let mut fanout_cap = Vec::with_capacity(netlist.net_count());
         let mut fanout_pins = Vec::new();
         let mut fanout_dense = Vec::new();
         let mut fanout_progress = Vec::new();
         for net in netlist.nets() {
-            fanout_offsets.push(fanout_pins.len());
+            fanout_start.push(u32::try_from(fanout_pins.len()).expect("fanout rows fit u32"));
+            let rows = u32::try_from(net.loads().len()).expect("fanout rows fit u32");
+            fanout_len.push(rows);
+            fanout_cap.push(rows);
             for &pin in net.loads() {
                 let dense = pins.index(pin);
                 fanout_pins.push(pin);
@@ -201,7 +250,6 @@ impl<'a> CompiledCircuit<'a> {
                 fanout_progress.push(crossing_progress(pin_thresholds[dense], vdd));
             }
         }
-        fanout_offsets.push(fanout_pins.len());
 
         let mut pin_gate = vec![0u32; pins.len()];
         let mut gate_kinds = Vec::with_capacity(netlist.gate_count());
@@ -235,7 +283,8 @@ impl<'a> CompiledCircuit<'a> {
             .collect();
 
         Ok(CompiledCircuit {
-            netlist,
+            levels: levelize::levelize(netlist),
+            netlist: Cow::Borrowed(netlist),
             library,
             vdd,
             pins,
@@ -244,7 +293,9 @@ impl<'a> CompiledCircuit<'a> {
             gate_loads,
             gate_classes,
             net_loads,
-            fanout_offsets,
+            fanout_start,
+            fanout_len,
+            fanout_cap,
             fanout_pins,
             fanout_dense,
             fanout_progress,
@@ -257,9 +308,16 @@ impl<'a> CompiledCircuit<'a> {
         })
     }
 
-    /// The compiled netlist.
-    pub fn netlist(&self) -> &'a Netlist {
-        self.netlist
+    /// The compiled netlist.  After an [`edit`](CompiledCircuit::edit) this
+    /// is the circuit's own mutated copy, so the returned borrow is tied to
+    /// `self` rather than the original compile-time netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The levelization of the compiled netlist, kept current across edits.
+    pub fn levels(&self) -> &Levelization {
+        &self.levels
     }
 
     /// The cell library the circuit was compiled against.
@@ -299,6 +357,195 @@ impl<'a> CompiledCircuit<'a> {
             self.netlist.gate_count(),
             self.netlist.net_count(),
         )
+    }
+
+    /// Grows an existing state arena to match this circuit after edits,
+    /// keeping every untouched row in place (no reallocation unless a
+    /// dimension outgrew its capacity).  Call after
+    /// [`apply_edits`](CompiledCircuit::apply_edits) /
+    /// [`edit`](CompiledCircuit::edit) on every arena that should keep
+    /// serving this circuit.
+    pub fn sync_state(&self, state: &mut SimState) {
+        state.resize(
+            self.pins.len(),
+            self.netlist.gate_count(),
+            self.netlist.net_count(),
+        );
+    }
+
+    /// Mutates the circuit's netlist through an [`EditSession`] and applies
+    /// the resulting [`EditLog`] incrementally — the one-call ECO loop:
+    ///
+    /// ```
+    /// use halotis_netlist::{generators, technology, CellKind};
+    /// use halotis_sim::CompiledCircuit;
+    ///
+    /// let netlist = generators::c17();
+    /// let library = technology::cmos06();
+    /// let mut circuit = CompiledCircuit::compile(&netlist, &library)?;
+    /// let target = circuit.netlist().gates()[0].id();
+    /// let log = circuit.edit(|session| session.swap_cell_kind(target, CellKind::Nor2))?;
+    /// assert!(!log.is_empty());
+    /// # Ok::<(), halotis_sim::SimulationError>(())
+    /// ```
+    ///
+    /// The first edit clones the borrowed netlist into owned storage
+    /// (copy-on-write); later edits mutate that copy directly.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimulationError::Netlist`] when the closure's mutation is
+    ///   rejected.  The session is dropped without applying anything, but
+    ///   mutations the closure already performed *before* the failing call
+    ///   are lost too — on error, treat the circuit as stale and recompile.
+    /// * The conditions of [`apply_edits`](CompiledCircuit::apply_edits).
+    pub fn edit(
+        &mut self,
+        f: impl FnOnce(&mut EditSession<'_>) -> Result<(), NetlistError>,
+    ) -> Result<EditLog, SimulationError> {
+        let mut session = self.netlist.to_mut().begin_edit();
+        f(&mut session)?;
+        let log = session.finish();
+        self.apply_edits(&log)?;
+        Ok(log)
+    }
+
+    /// Incrementally recompiles after the circuit's netlist was mutated by
+    /// an edit session, rebuilding only the dirty fanin/fanout cones the
+    /// [`EditLog`] names: per-gate loads, classes and kinds, per-pin
+    /// thresholds, timing and pre-bound arcs, per-net loads and fanout
+    /// windows, and the levelization.  Untouched rows are not rewritten, and
+    /// simulation output after the patch is bit-identical to a from-scratch
+    /// [`compile`](CompiledCircuit::compile) of the mutated netlist.
+    ///
+    /// The netlist held by `self` must already carry exactly the mutations
+    /// `log` describes (which [`edit`](CompiledCircuit::edit) guarantees).
+    /// Existing [`SimState`] arenas need a
+    /// [`sync_state`](CompiledCircuit::sync_state) call before their next
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::Library`] when an edited gate uses a cell or pin
+    /// the library does not characterise.  The tables are left partially
+    /// patched in that case — recompile from scratch before further use.
+    pub fn apply_edits(&mut self, log: &EditLog) -> Result<(), SimulationError> {
+        // --- phase 1: replay the shape ops ---------------------------------
+        // Mirrors the id renumbering the edit session performed so every
+        // table is indexable in the final id space; appended rows hold
+        // placeholders that phase 2 overwrites (appended gates and their
+        // nets are always in the dirty sets).
+        for op in log.ops() {
+            match op {
+                EditOp::GateAppended { pin_count } => {
+                    let pin_count = *pin_count as usize;
+                    self.pins.allocate_gate(pin_count);
+                    let arena = self.pins.len();
+                    self.pin_thresholds.resize(arena, Voltage::ZERO);
+                    self.pin_timing.resize(arena, PLACEHOLDER_TIMING);
+                    self.pin_bound.resize(
+                        arena,
+                        [BoundArc::bind(&PLACEHOLDER_TIMING.rise, self.vdd, Capacitance::ZERO); 2],
+                    );
+                    self.pin_gate.resize(arena, 0);
+                    self.gate_loads.push(Capacitance::ZERO);
+                    self.gate_classes.push(CellClass::default());
+                    self.gate_kinds.push(CellKind::Inv);
+                    self.gate_pin_counts.push(pin_count as u32);
+                    self.gate_outputs.push(NetId::new(0));
+                    self.net_loads.push(Capacitance::ZERO);
+                    self.fanout_start.push(0);
+                    self.fanout_len.push(0);
+                    self.fanout_cap.push(0);
+                }
+                EditOp::GateRemoved {
+                    gate_index,
+                    net_index,
+                } => {
+                    let g = *gate_index as usize;
+                    let n = *net_index as usize;
+                    self.pins
+                        .free_gate(GateId::from_usize(g), self.gate_pin_counts[g] as usize);
+                    self.gate_loads.swap_remove(g);
+                    self.gate_classes.swap_remove(g);
+                    self.gate_kinds.swap_remove(g);
+                    self.gate_pin_counts.swap_remove(g);
+                    self.gate_outputs.swap_remove(g);
+                    self.net_loads.swap_remove(n);
+                    self.fanout_start.swap_remove(n);
+                    self.fanout_len.swap_remove(n);
+                    self.fanout_cap.swap_remove(n);
+                    // Rows naming the moved gate/net by the old id (pin_gate,
+                    // gate_outputs, fanout windows) are rebuilt in phase 2:
+                    // the session marked everything the move touched dirty.
+                }
+                EditOp::NetExposed { name } => self.output_names.push(name.clone()),
+            }
+        }
+
+        // --- phase 2: rebuild the dirty cones ------------------------------
+        let netlist: &Netlist = &self.netlist;
+        // (a) per-net switched capacitance — before the gate pass, which
+        // folds these loads into the pre-bound arcs.
+        for &net in log.dirty_nets() {
+            self.net_loads[net.index()] = netlist.net_load(net, self.library)?;
+        }
+        // (b) per-gate rows and their pin blocks.
+        for &gate in log.dirty_gates() {
+            let g = gate.index();
+            let gate_ref = netlist.gate(gate);
+            let kind = gate_ref.kind();
+            self.gate_kinds[g] = kind;
+            self.gate_classes[g] = kind.class();
+            self.gate_pin_counts[g] = gate_ref.inputs().len() as u32;
+            self.gate_outputs[g] = gate_ref.output();
+            self.gate_loads[g] = self.net_loads[gate_ref.output().index()];
+            let block = self.pins.gate_offset(gate);
+            for input in 0..gate_ref.inputs().len() {
+                let pin = PinRef::new(gate, input as u32);
+                let dense = block + input;
+                self.pin_gate[dense] = u32::try_from(g).expect("gate count fits u32");
+                let fraction = netlist.input_threshold_fraction(pin, self.library)?;
+                self.pin_thresholds[dense] = self.vdd.fraction(fraction);
+                self.pin_timing[dense] = self.library.pin(kind, input)?.timing;
+                self.pin_bound[dense] = [
+                    BoundArc::bind(&self.pin_timing[dense].rise, self.vdd, self.gate_loads[g]),
+                    BoundArc::bind(&self.pin_timing[dense].fall, self.vdd, self.gate_loads[g]),
+                ];
+            }
+        }
+        // (c) per-net fanout windows — after the gate pass so the crossing
+        // progress reads rebuilt thresholds.  In-place rewrite while the
+        // window fits; relocate to the end of the arena with pow2 headroom
+        // when it does not (the old rows become dead).
+        for &net in log.dirty_nets() {
+            let n = net.index();
+            let loads = netlist.net(net).loads();
+            let rows = u32::try_from(loads.len()).expect("fanout rows fit u32");
+            if rows > self.fanout_cap[n] {
+                let cap = rows.next_power_of_two().max(2);
+                self.fanout_start[n] =
+                    u32::try_from(self.fanout_pins.len()).expect("fanout rows fit u32");
+                self.fanout_cap[n] = cap;
+                let grown = self.fanout_pins.len() + cap as usize;
+                self.fanout_pins
+                    .resize(grown, PinRef::new(GateId::new(0), 0));
+                self.fanout_dense.resize(grown, 0);
+                self.fanout_progress.resize(grown, [NEVER_CROSSED; 2]);
+            }
+            self.fanout_len[n] = rows;
+            let start = self.fanout_start[n] as usize;
+            for (row, &pin) in loads.iter().enumerate() {
+                let dense = self.pins.index(pin);
+                self.fanout_pins[start + row] = pin;
+                self.fanout_dense[start + row] = u32::try_from(dense).expect("pin count fits u32");
+                self.fanout_progress[start + row] =
+                    crossing_progress(self.pin_thresholds[dense], self.vdd);
+            }
+        }
+        // (d) incremental re-levelization of the affected cones.
+        self.levels.update(netlist, log);
+        Ok(())
     }
 
     /// Runs one simulation with a throwaway state arena.
@@ -349,7 +596,7 @@ impl<'a> CompiledCircuit<'a> {
         Ok(SimulationResult::new(
             config.model.clone(),
             self.vdd,
-            recorder.into_trace(self.netlist),
+            recorder.into_trace(&self.netlist),
             self.output_names.clone(),
             stats,
             started.elapsed(),
@@ -397,7 +644,7 @@ impl<'a> CompiledCircuit<'a> {
         config: &SimulationConfig,
         observer: &mut O,
     ) -> Result<SimulationStats, SimulationError> {
-        let netlist = self.netlist;
+        let netlist: &Netlist = &self.netlist;
         // Devirtualise the built-in models per gate: `DelayModel::kind_for`
         // guarantees numerical identity with the named built-in for that
         // gate's cell class, so the hot loop can evaluate the pre-bound arc
@@ -422,7 +669,7 @@ impl<'a> CompiledCircuit<'a> {
             };
             assignments.push((input, waveform.initial()));
         }
-        let initial_levels = eval::evaluate(netlist, &assignments);
+        let initial_levels = eval::evaluate_with_order(netlist, &self.levels, &assignments);
         state.reset(netlist, &self.pins, &initial_levels);
         observer.begin(self, &initial_levels);
 
@@ -574,7 +821,8 @@ impl<'a> CompiledCircuit<'a> {
         };
         let start = transition.start();
         let slew = transition.slew();
-        for row in self.fanout_offsets[net_index]..self.fanout_offsets[net_index + 1] {
+        let window = self.fanout_start[net_index] as usize;
+        for row in window..window + self.fanout_len[net_index] as usize {
             let progress = self.fanout_progress[row][edge_index];
             if progress >= 0.0 {
                 let crossing = start + slew.scale(progress);
@@ -592,7 +840,8 @@ impl<'a> CompiledCircuit<'a> {
 
     #[cfg(test)]
     fn net_fanout_rows(&self, net_index: usize) -> std::ops::Range<usize> {
-        self.fanout_offsets[net_index]..self.fanout_offsets[net_index + 1]
+        let start = self.fanout_start[net_index] as usize;
+        start..start + self.fanout_len[net_index] as usize
     }
 }
 

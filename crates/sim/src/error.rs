@@ -3,6 +3,7 @@
 use std::fmt;
 
 use halotis_netlist::library::LibraryError;
+use halotis_netlist::NetlistError;
 
 /// Errors that can abort a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +24,11 @@ pub enum SimulationError {
         /// The net name.
         net: String,
     },
+    /// A netlist mutation inside [`CompiledCircuit::edit`] was rejected
+    /// (arity mismatch, duplicate net name, combinational loop, …).
+    ///
+    /// [`CompiledCircuit::edit`]: crate::CompiledCircuit::edit
+    Netlist(NetlistError),
 }
 
 impl fmt::Display for SimulationError {
@@ -35,6 +41,7 @@ impl fmt::Display for SimulationError {
             SimulationError::UndrivenPrimaryInput { net } => {
                 write!(f, "primary input {net} has no stimulus")
             }
+            SimulationError::Netlist(err) => write!(f, "netlist edit rejected: {err}"),
         }
     }
 }
@@ -43,6 +50,7 @@ impl std::error::Error for SimulationError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimulationError::Library(err) => Some(err),
+            SimulationError::Netlist(err) => Some(err),
             _ => None,
         }
     }
@@ -51,6 +59,12 @@ impl std::error::Error for SimulationError {
 impl From<LibraryError> for SimulationError {
     fn from(err: LibraryError) -> Self {
         SimulationError::Library(err)
+    }
+}
+
+impl From<NetlistError> for SimulationError {
+    fn from(err: NetlistError) -> Self {
+        SimulationError::Netlist(err)
     }
 }
 

@@ -20,7 +20,7 @@
 //! small bucket.  Cancellation stays lazy — one bit in a serial-indexed
 //! bitset — so both operations avoid hashing entirely.  The previous
 //! `BinaryHeap` + `HashSet` implementation is preserved verbatim in
-//! [`reference`] as the executable specification the property tests and the
+//! [`mod@reference`] as the executable specification the property tests and the
 //! `event_queue` benchmark compare against.
 
 use halotis_core::Time;
@@ -150,6 +150,14 @@ impl PendingLists {
         self.heads.fill(NIL);
         self.tails.fill(NIL);
     }
+
+    /// Grows the per-pin tables to `pin_count` empty lists (the pin arena
+    /// never shrinks across circuit edits).
+    fn resize_pins(&mut self, pin_count: usize) {
+        debug_assert!(pin_count >= self.heads.len(), "pin arena never shrinks");
+        self.heads.resize(pin_count, NIL);
+        self.tails.resize(pin_count, NIL);
+    }
 }
 
 /// Time-ordered event queue with the per-input cancellation rule.
@@ -214,6 +222,12 @@ impl EventQueue {
         self.pending.push_back(pin_index, event.time, serial);
         self.scheduled += 1;
         ScheduleOutcome::Inserted
+    }
+
+    /// Grows the queue's per-pin tables after a circuit edit enlarged the
+    /// pin arena.  Existing slots (and any queued events) are untouched.
+    pub(crate) fn resize_pins(&mut self, pin_count: usize) {
+        self.pending.resize_pins(pin_count);
     }
 
     /// Clears the queue back to its freshly constructed condition while

@@ -101,6 +101,22 @@ impl SimState {
         self.net_count
     }
 
+    /// Resizes the arena for an edited circuit, keeping every untouched row
+    /// in place — no reallocation happens unless a dimension actually grew
+    /// past its capacity.  The pin arena never shrinks (freed pin blocks
+    /// stay as holes); gate and net counts move in either direction.
+    pub(crate) fn resize(&mut self, pin_count: usize, gate_count: usize, net_count: usize) {
+        debug_assert!(
+            pin_count >= self.pin_levels.len(),
+            "pin arena never shrinks"
+        );
+        self.pin_levels.resize(pin_count, LogicLevel::Unknown);
+        self.output_target.resize(gate_count, LogicLevel::Unknown);
+        self.last_output_start.resize(gate_count, NO_PREVIOUS_RAMP);
+        self.net_count = net_count;
+        self.queue.resize_pins(pin_count);
+    }
+
     /// Panics with a descriptive message when the arena does not match the
     /// circuit about to use it.
     pub(crate) fn check_capacity(&self, pin_count: usize, gate_count: usize, net_count: usize) {

@@ -14,6 +14,11 @@ The default tolerance is generous (±35%) because shared CI runners are
 noisy; the gate is meant to catch step-function regressions (an accidental
 recompile-per-run, a lost fast path), not single-digit drift.
 
+When both documents record the measuring environment (`environment.cpu_count`
+and `environment.rustc`, written by `bench_to_json.py`), a mismatch prints a
+non-fatal WARNING: a delta measured on different hardware or a different
+compiler is a re-baselining question, not a code regression.
+
 Usage:
     bench_gate.py BASELINE.json FRESH.json [--tolerance 0.35] [--metric median_ns]
                   [--allow-new]
@@ -42,9 +47,37 @@ def flatten(document: dict, metric: str) -> dict:
     return values
 
 
+def environment_warnings(baseline: dict, fresh: dict) -> list:
+    """Non-fatal warnings when the measuring environment changed.
+
+    A perf delta measured on different hardware (core count) or with a
+    different compiler is not evidence of a code regression; these warnings
+    put that caveat next to the verdict without failing the gate — the
+    tolerance band still decides.  Documents from before the environment was
+    recorded simply produce no warning for the missing keys.
+    """
+    warnings = []
+    base_env = baseline.get("environment", {})
+    fresh_env = fresh.get("environment", {})
+    for key in ("cpu_count", "rustc"):
+        base_value = base_env.get(key)
+        fresh_value = fresh_env.get(key)
+        if base_value is None or fresh_value is None:
+            continue
+        if base_value != fresh_value:
+            warnings.append(
+                f"WARNING: environment mismatch on {key}: baseline measured "
+                f"with {base_value!r}, fresh run with {fresh_value!r} — "
+                "perf deltas may reflect the environment, not the code"
+            )
+    return warnings
+
+
 def gate(baseline: dict, fresh: dict, tolerance: float, metric: str,
          allow_new: bool = False) -> list:
     """Returns a list of failure strings; empty means the gate passes."""
+    for warning in environment_warnings(baseline, fresh):
+        print(warning)
     base = flatten(baseline, metric)
     new = flatten(fresh, metric)
     failures = []
@@ -123,9 +156,24 @@ def self_test() -> int:
     assert gate(baseline, grown, DEFAULT_TOLERANCE, DEFAULT_METRIC,
                 allow_new=True) == []
 
+    # Environment drift warns but never fails: a different core count or
+    # compiler must show up next to the verdict, not flip it.
+    moved = copy.deepcopy(baseline)
+    moved["environment"] = {"cpu_count": 4, "rustc": "rustc 1.0.0"}
+    fresh_env = copy.deepcopy(baseline)
+    fresh_env["environment"] = {"cpu_count": 16, "rustc": "rustc 2.0.0"}
+    warnings = environment_warnings(moved, fresh_env)
+    assert len(warnings) == 2, warnings
+    assert any("cpu_count" in w for w in warnings), warnings
+    assert any("rustc" in w for w in warnings), warnings
+    assert gate(moved, fresh_env, DEFAULT_TOLERANCE, DEFAULT_METRIC) == []
+    # Identical environments and pre-environment documents stay silent.
+    assert environment_warnings(moved, copy.deepcopy(moved)) == []
+    assert environment_warnings(baseline, fresh_env) == []
+
     print("bench_gate self-test passed: 2x slowdown, lost coverage and "
-          "unacknowledged new measurements trip; noise, speed-ups and "
-          "--allow-new pass")
+          "unacknowledged new measurements trip; noise, speed-ups, "
+          "--allow-new and environment drift (warn-only) pass")
     return 0
 
 

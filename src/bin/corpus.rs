@@ -4,6 +4,7 @@
 //! ```text
 //! halotis-corpus [--out CORPUS_stats.json] [--timing PATH] [--threads N]
 //!                [--repeats N] [--deterministic] [--list] [--check GOLDEN]
+//!                [--power-report N]
 //! ```
 //!
 //! * `--out PATH` — write the statistics JSON.  Stats are only written when
@@ -20,7 +21,10 @@
 //! * `--list` — print the corpus entries and scenario counts, run nothing,
 //! * `--check GOLDEN` — run deterministically and compare the rendered JSON
 //!   against `GOLDEN`, exiting non-zero on any mismatch (the Rust-only
-//!   variant of `scripts/corpus_diff.py`).
+//!   variant of `scripts/corpus_diff.py`),
+//! * `--power-report N` — print the `N` most energetic nets of the whole
+//!   corpus run (energy summed per net across every scenario; ordering is
+//!   deterministic, ties break on entry and net names).
 
 use std::env;
 use std::fs;
@@ -30,7 +34,8 @@ use halotis::corpus::{standard_corpus, CorpusRunner};
 use halotis::netlist::technology;
 
 const USAGE: &str = "usage: halotis-corpus [--out PATH] [--timing PATH] [--threads N] \
-                     [--repeats N] [--deterministic] [--list] [--check GOLDEN]";
+                     [--repeats N] [--deterministic] [--list] [--check GOLDEN] \
+                     [--power-report N]";
 
 struct Options {
     out: Option<String>,
@@ -40,6 +45,7 @@ struct Options {
     deterministic: bool,
     list: bool,
     check: Option<String>,
+    power_report: Option<usize>,
 }
 
 impl Options {
@@ -61,6 +67,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         deterministic: false,
         list: false,
         check: None,
+        power_report: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -87,6 +94,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--deterministic" => options.deterministic = true,
             "--list" => options.list = true,
             "--check" => options.check = Some(value_of("--check")?),
+            "--power-report" => {
+                options.power_report = Some(
+                    value_of("--power-report")?
+                        .parse()
+                        .map_err(|_| "--power-report needs an integer".to_string())?,
+                )
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
@@ -142,6 +156,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // The hotspot table goes to stdout only — it is derived, rank-ordered
+    // material and must never land in the golden-gated statistics document.
+    if let Some(count) = options.power_report {
+        let top = report.top_hotspots(count);
+        let corpus_total: f64 = report.hotspots.iter().map(|h| h.energy_joules).sum();
+        println!(
+            "top {} energy hotspots ({} switching nets corpus-wide):",
+            top.len(),
+            report.hotspots.len()
+        );
+        println!("  rank  entry           net                   cap_fF  transitions      energy_J  share");
+        for (rank, hotspot) in top.iter().enumerate() {
+            let share = if corpus_total > 0.0 {
+                hotspot.energy_joules / corpus_total * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "  {:>4}  {:<14}  {:<20} {:>7.2} {:>12} {:>13.4e} {:>5.1}%",
+                rank + 1,
+                hotspot.entry,
+                hotspot.net,
+                hotspot.capacitance.as_femtofarads(),
+                hotspot.transitions,
+                hotspot.energy_joules,
+                share,
+            );
+        }
+    }
 
     // The timing capture is written whenever requested — also in --check
     // mode, where the statistics document itself never lands on disk.
@@ -220,8 +264,10 @@ fn main() -> ExitCode {
             stats.total_energy_joules(),
             if deterministic { ", deterministic" } else { "" }
         );
-    } else if options.timing.is_none() {
-        eprintln!("nothing to do: pass --out, --timing, --check or --list\n{USAGE}");
+    } else if options.timing.is_none() && options.power_report.is_none() {
+        eprintln!(
+            "nothing to do: pass --out, --timing, --check, --power-report or --list\n{USAGE}"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,223 @@
+//! Round-trip stability of the mutation API through the text format.
+//!
+//! Every mutation kind ([`EditSession::insert_gate`], `remove_gate`,
+//! `swap_cell_kind`, `rewire_input`, `expose_net`) is applied to a *parsed*
+//! netlist, the result is emitted with [`writer::to_text`] and re-parsed.
+//! The contract: the emitted text is a fixed point of the parse/emit pair,
+//! the re-parsed structure matches the mutated one, and the simulation
+//! fingerprint (exact engine counters of one seeded run per model column)
+//! is identical — a mutated netlist that survives a trip through its own
+//! serialisation cannot have lost or reordered anything behaviourally
+//! relevant.
+//!
+//! [`EditSession::insert_gate`]: halotis::netlist::EditSession::insert_gate
+//! [`writer::to_text`]: halotis::netlist::writer::to_text
+
+use halotis::core::TimeDelta;
+use halotis::corpus::{mixed_model, StimulusSuite};
+use halotis::delay::DelayModelKind;
+use halotis::netlist::{iscas, parser, technology, writer, CellKind, Netlist};
+use halotis::sim::{CompiledCircuit, SimulationConfig, SimulationStats};
+
+/// The fingerprint stimulus: 4 seeded random vectors shared by the three
+/// model columns, mirroring the ISCAS golden suite's idiom.
+fn fingerprint_stats(netlist: &Netlist) -> [SimulationStats; 3] {
+    let library = technology::cmos06();
+    let suite = StimulusSuite::RandomVectors {
+        vectors: 4,
+        period: TimeDelta::from_ns(6.0),
+        seed: 0xF1,
+    };
+    let stimuli = suite.stimuli(netlist, &library);
+    let (_, stimulus) = &stimuli[0];
+    let circuit = CompiledCircuit::compile(netlist, &library).expect("mutated netlist compiles");
+    let mut state = circuit.new_state();
+    [
+        SimulationConfig::default().model(DelayModelKind::Degradation),
+        SimulationConfig::default().model(DelayModelKind::Conventional),
+        SimulationConfig::default().model(mixed_model()),
+    ]
+    .map(|config| {
+        circuit
+            .run_stats(&mut state, stimulus, &config)
+            .expect("fingerprint run succeeds")
+    })
+}
+
+/// The shared property: emit the mutated netlist, re-parse it, and prove the
+/// trip lost nothing — textually, structurally, or behaviourally.
+fn assert_round_trip_stable(context: &str, mutated: &Netlist) {
+    let text = writer::to_text(mutated);
+    let reparsed = parser::parse(&text)
+        .unwrap_or_else(|error| panic!("{context}: emitted text fails to parse: {error}"));
+    assert_eq!(
+        writer::to_text(&reparsed),
+        text,
+        "{context}: emitted text is not a parse/emit fixed point"
+    );
+    assert_eq!(reparsed.name(), mutated.name(), "{context}: circuit name");
+    assert_eq!(
+        reparsed.gate_count(),
+        mutated.gate_count(),
+        "{context}: gate count"
+    );
+    assert_eq!(
+        reparsed.net_count(),
+        mutated.net_count(),
+        "{context}: net count"
+    );
+    assert_eq!(
+        reparsed.gate_histogram(),
+        mutated.gate_histogram(),
+        "{context}: gate histogram"
+    );
+    assert_eq!(
+        reparsed.primary_inputs().len(),
+        mutated.primary_inputs().len(),
+        "{context}: primary inputs"
+    );
+    assert_eq!(
+        reparsed.primary_outputs().len(),
+        mutated.primary_outputs().len(),
+        "{context}: primary outputs"
+    );
+    assert_eq!(
+        fingerprint_stats(mutated),
+        fingerprint_stats(&reparsed),
+        "{context}: simulation fingerprints diverge after the round trip"
+    );
+}
+
+/// Every case starts from *parsed* text, exactly like a netlist loaded from
+/// disk would — the mutation API must compose with the parser's output, not
+/// just with generator-built netlists.
+fn parsed_c432() -> Netlist {
+    parser::parse(iscas::C432_TEXT).expect("committed c432 parses")
+}
+
+#[test]
+fn swap_cell_kind_round_trips() {
+    let mut netlist = parsed_c432();
+    let gate = netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.kind() == CellKind::And2)
+        .expect("c432 has an And2")
+        .id();
+    let mut session = netlist.begin_edit();
+    session.swap_cell_kind(gate, CellKind::Nand2).unwrap();
+    let log = session.finish();
+    assert_eq!(log.edits(), 1);
+    assert_round_trip_stable("swap_cell_kind", &netlist);
+}
+
+#[test]
+fn insert_gate_round_trips() {
+    let mut netlist = parsed_c432();
+    let in1 = netlist.primary_inputs()[0];
+    let in2 = netlist.primary_inputs()[1];
+    let mut session = netlist.begin_edit();
+    session
+        .insert_gate(CellKind::Xor2, "rt_probe", &[in1, in2], "rt_probe_out")
+        .unwrap();
+    session.finish();
+    assert_round_trip_stable("insert_gate", &netlist);
+}
+
+#[test]
+fn rewire_input_round_trips() {
+    let mut netlist = parsed_c432();
+    // Rewiring to a primary input can never close a combinational loop.
+    let target = netlist.primary_inputs()[2];
+    let gate = netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.inputs().len() == 2 && !gate.inputs().contains(&target))
+        .expect("c432 has a 2-input gate not reading that input")
+        .id();
+    let mut session = netlist.begin_edit();
+    session.rewire_input(gate, 0, target).unwrap();
+    session.finish();
+    assert_round_trip_stable("rewire_input", &netlist);
+}
+
+#[test]
+fn expose_net_round_trips() {
+    let mut netlist = parsed_c432();
+    let internal = netlist
+        .nets()
+        .iter()
+        .find(|net| !net.is_primary_input() && !net.is_primary_output() && !net.loads().is_empty())
+        .expect("c432 has an unexposed internal net")
+        .id();
+    let mut session = netlist.begin_edit();
+    session.expose_net(internal).unwrap();
+    session.finish();
+    assert_round_trip_stable("expose_net", &netlist);
+}
+
+#[test]
+fn remove_gate_round_trips() {
+    // A hand-written source with a load-free, unexposed gate — the only
+    // kind `remove_gate` accepts — parsed exactly as a file would be.
+    let text = "circuit rt_remove\n\
+                input a b\n\
+                output y\n\
+                gate nand2 keep a b -> y\n\
+                gate nor2 dangler b a -> d\n";
+    let mut netlist = parser::parse(text).expect("removal fixture parses");
+    let doomed = netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.name() == "dangler")
+        .expect("fixture has the dangler")
+        .id();
+    let mut session = netlist.begin_edit();
+    let (moved_gate, moved_net) = session.remove_gate(doomed).unwrap();
+    session.finish();
+    // `dangler` was the last gate and `d` the last net: nothing renumbers.
+    assert_eq!(moved_gate, None);
+    assert_eq!(moved_net, None);
+    assert_eq!(netlist.gate_count(), 1);
+    assert_round_trip_stable("remove_gate", &netlist);
+}
+
+#[test]
+fn full_mutation_mix_round_trips() {
+    // All five kinds in one session, on the parsed benchmark: the emitted
+    // text must absorb an arbitrary composition, not just single edits.
+    let mut netlist = parsed_c432();
+    let in1 = netlist.primary_inputs()[4];
+    let in2 = netlist.primary_inputs()[5];
+    let swap = netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.kind() == CellKind::Or2)
+        .expect("c432 has an Or2")
+        .id();
+    let mut session = netlist.begin_edit();
+    session.swap_cell_kind(swap, CellKind::Nor2).unwrap();
+    let (doomed, _) = session
+        .insert_gate(CellKind::And2, "rt_tmp", &[in1, in2], "rt_tmp_out")
+        .unwrap();
+    let (probe, probe_out) = session
+        .insert_gate(CellKind::Xnor2, "rt_keep", &[in2, in1], "rt_keep_out")
+        .unwrap();
+    session.expose_net(probe_out).unwrap();
+    session
+        .rewire_input(probe, 1, netlist_input(&session, 6))
+        .unwrap();
+    session.remove_gate(doomed).unwrap();
+    let log = session.finish();
+    assert!(log.edits() >= 5);
+    assert_round_trip_stable("full mutation mix", &netlist);
+}
+
+/// Reads a primary input through the live session (the netlist itself is
+/// mutably borrowed while the session exists).
+fn netlist_input(
+    session: &halotis::netlist::EditSession<'_>,
+    index: usize,
+) -> halotis::core::NetId {
+    session.netlist().primary_inputs()[index]
+}

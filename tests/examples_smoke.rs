@@ -10,8 +10,9 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
+    "eco_loop",
     "inertial_chain",
     "multiplier_glitches",
     "switching_activity",
