@@ -65,19 +65,214 @@ pub enum EditOp {
         /// The net's name (recorded literally so the op survives later
         /// renumbering).
         name: String,
+        /// Index the net took in the primary-output list.  Public exposures
+        /// always append (`position == len`); undo replays re-insert at the
+        /// interior position an un-exposure vacated, and derived output
+        /// tables must mirror that to keep observer columns aligned.
+        position: u32,
+    },
+    /// A net lost its primary-output marking (the inverse of
+    /// [`NetExposed`](EditOp::NetExposed)).
+    NetUnexposed {
+        /// The net's name (recorded literally so the op survives later
+        /// renumbering).
+        name: String,
     },
 }
+
+/// One inverse operation recorded alongside an [`EditOp`], in the id space
+/// *after* the op it undoes.  An [`EditScript`] replays these in reverse
+/// order, so every id a step names is valid at the moment the step runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UndoStep {
+    /// Undo a kind swap: restore the previous cell kind.
+    SwapKind {
+        /// The swapped gate.
+        gate: GateId,
+        /// The kind it had before the swap.
+        kind: CellKind,
+    },
+    /// Undo a rewire: reconnect the pin to its previous net, at the exact
+    /// load-list position it held there (load order feeds the compiled
+    /// fanout tables and, through them, equal-time event serials).
+    Rewire {
+        /// The rewired gate.
+        gate: GateId,
+        /// The rewired input pin.
+        input: usize,
+        /// The net the pin read before the rewire.
+        net: NetId,
+        /// Position the pin held in that net's load list.
+        position: usize,
+    },
+    /// Undo an insertion: remove the inserted gate (its output net is
+    /// load-free again once every later op has been undone, and gate and
+    /// net are both last in their id spaces, so the removal renumbers
+    /// nothing).
+    RemoveInserted {
+        /// The inserted gate.
+        gate: GateId,
+    },
+    /// Undo an exposure: clear the net's primary-output marking again.
+    Unexpose {
+        /// The exposed net.
+        net: NetId,
+    },
+    /// Undo an un-exposure: mark the net as a primary output again, at the
+    /// exact position it held in the output list (output order drives
+    /// observer column indexing and the text format's `output` line).
+    Expose {
+        /// The un-exposed net.
+        net: NetId,
+        /// Position the net held in the primary-output list.
+        position: usize,
+    },
+    /// Undo a removal: re-append the gate and its output net (both were
+    /// last in their id spaces, so re-appending restores their old ids).
+    Restore {
+        /// Cell kind of the removed gate.
+        kind: CellKind,
+        /// Instance name of the removed gate.
+        name: String,
+        /// Input nets of the removed gate, in pin order.
+        inputs: Vec<NetId>,
+        /// Name of the removed output net.
+        output_name: String,
+        /// Per-pin threshold overrides the gate carried, if any.
+        overrides: Option<Vec<f64>>,
+        /// Position each input pin held in its net's load list before the
+        /// removal, parallel to `inputs` — re-inserting at these positions
+        /// (ascending) reproduces the original load order, which the
+        /// compiled fanout tables (and therefore equal-time event serials)
+        /// depend on.
+        load_positions: Vec<usize>,
+    },
+}
+
+/// The inverse of an [`EditLog`]: a replay script that returns the netlist
+/// (and any derived structures patched via the resulting log) to its
+/// pre-session state.  Obtain one from [`EditLog::invert`] and run it with
+/// [`apply`](EditScript::apply) inside a fresh [`EditSession`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EditScript {
+    /// Undo steps in replay order (the session's ops reversed).
+    steps: Vec<UndoStep>,
+}
+
+impl EditScript {
+    /// The undo steps, in replay order.
+    pub fn steps(&self) -> &[UndoStep] {
+        &self.steps
+    }
+
+    /// Number of undo steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the script undoes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replays every undo step through `session`, returning the netlist to
+    /// its state before the inverted session ran.  The session's own
+    /// [`EditLog`] then describes the undo as an ordinary edit burst, so
+    /// compiled tables can follow it incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing operation.  Scripts applied to the
+    /// netlist state their source log produced never fail; applying a
+    /// script to any other state may.
+    pub fn apply(&self, session: &mut EditSession<'_>) -> Result<(), NetlistError> {
+        for step in &self.steps {
+            match step {
+                UndoStep::SwapKind { gate, kind } => session.swap_cell_kind(*gate, *kind)?,
+                UndoStep::Rewire {
+                    gate,
+                    input,
+                    net,
+                    position,
+                } => session.rewire_input_at(*gate, *input, *net, Some(*position))?,
+                UndoStep::RemoveInserted { gate } => {
+                    let (moved_gate, moved_net) = session.remove_gate(*gate)?;
+                    debug_assert_eq!(
+                        (moved_gate, moved_net),
+                        (None, None),
+                        "an inserted gate is last in its id space at undo time"
+                    );
+                }
+                UndoStep::Unexpose { net } => session.unexpose_net(*net)?,
+                UndoStep::Expose { net, position } => {
+                    session.expose_net_at(*net, Some(*position))?
+                }
+                UndoStep::Restore {
+                    kind,
+                    name,
+                    inputs,
+                    output_name,
+                    overrides,
+                    load_positions,
+                } => session.restore_gate(
+                    *kind,
+                    name,
+                    inputs,
+                    output_name,
+                    overrides.as_deref(),
+                    load_positions,
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The error of [`EditLog::invert`]: the log contains an operation whose
+/// inverse cannot be expressed (currently: a removal that renumbered ids by
+/// moving the then-last gate or net into the freed slot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvertError;
+
+impl std::fmt::Display for InvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edit log is not invertible: a removal renumbered ids \
+             (only removals of the last gate/net can be undone)"
+        )
+    }
+}
+
+impl std::error::Error for InvertError {}
 
 /// The record of one edit session: the structural replay script plus the
 /// sets of gates and nets whose derived data (loads, thresholds, timing
 /// arcs, fanout tables, levels) is stale.  Ids are in the netlist's final
 /// (post-session) id space, sorted and deduplicated.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EditLog {
     ops: Vec<EditOp>,
     dirty_gates: Vec<GateId>,
     dirty_nets: Vec<NetId>,
     edits: usize,
+    undos: Vec<UndoStep>,
+    invertible: bool,
+}
+
+impl Default for EditLog {
+    fn default() -> Self {
+        EditLog {
+            ops: Vec::new(),
+            dirty_gates: Vec::new(),
+            dirty_nets: Vec::new(),
+            edits: 0,
+            undos: Vec::new(),
+            // An empty log inverts to an empty script; invertibility is only
+            // lost by ops whose inverse cannot be expressed.
+            invertible: true,
+        }
+    }
 }
 
 impl EditLog {
@@ -106,6 +301,38 @@ impl EditLog {
     pub fn is_empty(&self) -> bool {
         self.edits == 0
     }
+
+    /// `true` when [`invert`](Self::invert) can produce a full inverse.
+    ///
+    /// Invertibility is lost only by [`remove_gate`]
+    /// (`EditSession::remove_gate`) calls that renumbered ids — a removal
+    /// whose gate or output net was not last in its id space moves the
+    /// then-last element into the hole, and that relocation has no local
+    /// inverse.
+    ///
+    /// [`remove_gate`]: EditSession::remove_gate
+    pub fn is_invertible(&self) -> bool {
+        self.invertible
+    }
+
+    /// Builds the replay script that undoes this session: applying the
+    /// script (via [`EditScript::apply`] inside a fresh session) returns
+    /// the netlist bit-exactly to its pre-session state, including gate and
+    /// net ids, load-list order, threshold overrides and primary-output
+    /// markings.
+    ///
+    /// # Errors
+    ///
+    /// [`InvertError`] when the log is not invertible (see
+    /// [`is_invertible`](Self::is_invertible)).
+    pub fn invert(&self) -> Result<EditScript, InvertError> {
+        if !self.invertible {
+            return Err(InvertError);
+        }
+        Ok(EditScript {
+            steps: self.undos.iter().rev().cloned().collect(),
+        })
+    }
 }
 
 /// An open mutation session on a [`Netlist`] (see [`Netlist::begin_edit`]).
@@ -117,6 +344,7 @@ impl EditLog {
 /// | [`swap_cell_kind`](Self::swap_cell_kind) | retype a gate (same arity) |
 /// | [`rewire_input`](Self::rewire_input) | reconnect one input pin to another net |
 /// | [`expose_net`](Self::expose_net) | mark a net as a primary output |
+/// | [`unexpose_net`](Self::unexpose_net) | clear a net's primary-output mark |
 ///
 /// Dropping the session without calling [`finish`](Self::finish) leaves the
 /// netlist mutated but discards the log — derived structures can then only
@@ -227,6 +455,7 @@ impl<'a> EditSession<'a> {
         self.log.ops.push(EditOp::GateAppended {
             pin_count: inputs.len() as u32,
         });
+        self.log.undos.push(UndoStep::RemoveInserted { gate });
         self.touch_gate(gate);
         self.touch_net(output);
         for &input in inputs {
@@ -273,9 +502,32 @@ impl<'a> EditSession<'a> {
             }
         }
 
+        // Snapshot everything a restore needs *before* mutating — including
+        // where each pin sits in its net's load list, so the undo can
+        // reproduce the exact load order the compiled fanout tables saw.
+        let inputs = self.netlist.gates[g].inputs.clone();
+        let undo = UndoStep::Restore {
+            kind: self.netlist.gates[g].kind,
+            name: self.netlist.gates[g].name.clone(),
+            inputs: inputs.clone(),
+            output_name: self.netlist.nets[output.index()].name.clone(),
+            overrides: self.netlist.gates[g].threshold_overrides.clone(),
+            load_positions: inputs
+                .iter()
+                .enumerate()
+                .map(|(index, &input)| {
+                    let pin = PinRef::new(gate, index as u32);
+                    self.netlist.nets[input.index()]
+                        .loads
+                        .iter()
+                        .position(|&p| p == pin)
+                        .expect("load lists mirror gate inputs")
+                })
+                .collect(),
+        };
+
         // Detach the gate's input pins; the input nets (and their drivers)
         // lose fanout load.
-        let inputs = self.netlist.gates[g].inputs.clone();
         for &input in &inputs {
             self.netlist.nets[input.index()]
                 .loads
@@ -324,6 +576,15 @@ impl<'a> EditSession<'a> {
             gate_index: gate.index() as u32,
             net_index: output.index() as u32,
         });
+        if moved_gate.is_none() && moved_net.is_none() {
+            // Gate and net were both last: re-appending restores their ids,
+            // so the removal has an exact inverse.
+            self.log.undos.push(undo);
+        } else {
+            // The swap_remove renumbered other elements; that relocation
+            // has no local inverse, so the whole log stops being invertible.
+            self.log.invertible = false;
+        }
         self.log.edits += 1;
         Ok((moved_gate, moved_net))
     }
@@ -417,6 +678,10 @@ impl<'a> EditSession<'a> {
             return Ok(());
         }
         let inputs = current.inputs.clone();
+        self.log.undos.push(UndoStep::SwapKind {
+            gate,
+            kind: current.kind,
+        });
         self.netlist.gates[g].kind = kind;
         // The gate's own thresholds/timing change, and its input pins'
         // capacitances change the load (and pre-bound arcs) of every net
@@ -444,6 +709,20 @@ impl<'a> EditSession<'a> {
         gate: GateId,
         input: usize,
         net: NetId,
+    ) -> Result<(), NetlistError> {
+        self.rewire_input_at(gate, input, net, None)
+    }
+
+    /// [`rewire_input`](Self::rewire_input) with control over where the pin
+    /// lands in the target net's load list: `None` appends (the public
+    /// behaviour), `Some(position)` inserts — the undo path uses this to
+    /// reproduce the exact load order a previous rewire destroyed.
+    fn rewire_input_at(
+        &mut self,
+        gate: GateId,
+        input: usize,
+        net: NetId,
+        insert_at: Option<usize>,
     ) -> Result<(), NetlistError> {
         let g = gate.index();
         assert!(
@@ -475,8 +754,18 @@ impl<'a> EditSession<'a> {
             .position(|&p| p == pin)
             .expect("load lists mirror gate inputs");
         old_loads.remove(position);
-        self.netlist.nets[net.index()].loads.push(pin);
+        let new_loads = &mut self.netlist.nets[net.index()].loads;
+        match insert_at {
+            Some(at) => new_loads.insert(at.min(new_loads.len()), pin),
+            None => new_loads.push(pin),
+        }
         self.netlist.gates[g].inputs[input] = net;
+        self.log.undos.push(UndoStep::Rewire {
+            gate,
+            input,
+            net: old,
+            position,
+        });
 
         self.touch_net_and_driver(old);
         self.touch_net_and_driver(net);
@@ -524,6 +813,14 @@ impl<'a> EditSession<'a> {
     ///
     /// Panics if `net` is out of range.
     pub fn expose_net(&mut self, net: NetId) -> Result<(), NetlistError> {
+        self.expose_net_at(net, None)
+    }
+
+    /// [`expose_net`](Self::expose_net) with control over where the net
+    /// lands in the primary-output list: `None` appends (the public
+    /// behaviour), `Some(position)` inserts — the undo path uses this to
+    /// reproduce the output order a previous un-exposure destroyed.
+    fn expose_net_at(&mut self, net: NetId, insert_at: Option<usize>) -> Result<(), NetlistError> {
         assert!(
             net.index() < self.netlist.nets.len(),
             "expose_net: {net} out of range"
@@ -539,8 +836,117 @@ impl<'a> EditSession<'a> {
         }
         let name = slot.name.clone();
         self.netlist.nets[net.index()].is_primary_output = true;
-        self.netlist.primary_outputs.push(net);
-        self.log.ops.push(EditOp::NetExposed { name });
+        let outputs = &mut self.netlist.primary_outputs;
+        let position = insert_at
+            .map(|at| at.min(outputs.len()))
+            .unwrap_or(outputs.len());
+        outputs.insert(position, net);
+        self.log.ops.push(EditOp::NetExposed {
+            name,
+            position: position as u32,
+        });
+        self.log.undos.push(UndoStep::Unexpose { net });
+        self.log.edits += 1;
+        Ok(())
+    }
+
+    /// Clears a net's primary-output marking — the inverse of
+    /// [`expose_net`](Self::expose_net).  Idempotent: un-exposing a net that
+    /// is not a primary output is a successful no-op.  Primary inputs are
+    /// never primary outputs, so they always take the no-op path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn unexpose_net(&mut self, net: NetId) -> Result<(), NetlistError> {
+        assert!(
+            net.index() < self.netlist.nets.len(),
+            "unexpose_net: {net} out of range"
+        );
+        if !self.netlist.nets[net.index()].is_primary_output {
+            return Ok(());
+        }
+        let name = self.netlist.nets[net.index()].name.clone();
+        let position = self
+            .netlist
+            .primary_outputs
+            .iter()
+            .position(|&slot| slot == net)
+            .expect("primary-output flag and list are in sync");
+        self.netlist.nets[net.index()].is_primary_output = false;
+        // `remove` keeps the remaining outputs in declaration order; the
+        // recorded position lets the undo re-insert exactly there.
+        self.netlist.primary_outputs.remove(position);
+        self.log.ops.push(EditOp::NetUnexposed { name });
+        self.log.undos.push(UndoStep::Expose { net, position });
+        self.log.edits += 1;
+        Ok(())
+    }
+
+    /// Re-creates a gate (and its output net) removed earlier in an inverted
+    /// session — the replay arm of [`UndoStep::Restore`].  Both land at the
+    /// end of their id spaces, which *is* the id they held before removal
+    /// (restores only run for removals that renumbered nothing), and each
+    /// input pin returns to the load-list position it held, so the rebuilt
+    /// structure is bit-identical to the pre-removal one.
+    fn restore_gate(
+        &mut self,
+        kind: CellKind,
+        name: &str,
+        inputs: &[NetId],
+        output_name: &str,
+        overrides: Option<&[f64]>,
+        load_positions: &[usize],
+    ) -> Result<(), NetlistError> {
+        if self.netlist.names.contains_key(output_name) {
+            return Err(NetlistError::DuplicateNet {
+                name: output_name.to_string(),
+            });
+        }
+        for &input in inputs {
+            assert!(
+                input.index() < self.netlist.nets.len(),
+                "restore_gate: input net {input} out of range"
+            );
+        }
+
+        let gate = GateId::from_usize(self.netlist.gates.len());
+        let output = NetId::from_usize(self.netlist.nets.len());
+        self.netlist.nets.push(Net {
+            id: output,
+            name: output_name.to_string(),
+            driver: NetDriver::Gate(gate),
+            loads: Vec::new(),
+            is_primary_output: false,
+        });
+        self.netlist.names.insert(output_name.to_string(), output);
+        // Re-inserting the removed pins at their original indices in
+        // ascending index order reconstructs each load list exactly.
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        order.sort_unstable_by_key(|&pin| load_positions[pin]);
+        for pin in order {
+            let loads = &mut self.netlist.nets[inputs[pin].index()].loads;
+            let position = load_positions[pin].min(loads.len());
+            loads.insert(position, PinRef::new(gate, pin as u32));
+        }
+        self.netlist.gates.push(crate::netlist::Gate {
+            id: gate,
+            name: name.to_string(),
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            threshold_overrides: overrides.map(<[f64]>::to_vec),
+        });
+
+        self.log.ops.push(EditOp::GateAppended {
+            pin_count: inputs.len() as u32,
+        });
+        self.log.undos.push(UndoStep::RemoveInserted { gate });
+        self.touch_gate(gate);
+        self.touch_net(output);
+        for &input in inputs {
+            self.touch_net_and_driver(input);
+        }
         self.log.edits += 1;
         Ok(())
     }
@@ -756,7 +1162,7 @@ mod tests {
         assert!(log
             .ops()
             .iter()
-            .any(|op| matches!(op, EditOp::NetExposed { name } if name == "xnet")));
+            .any(|op| matches!(op, EditOp::NetExposed { name, .. } if name == "xnet")));
     }
 
     #[test]
@@ -923,6 +1329,179 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(log.dirty_gates(), &sorted[..]);
+    }
+
+    #[test]
+    fn invert_of_empty_log_is_empty() {
+        let mut netlist = c17();
+        let log = netlist.begin_edit().finish();
+        assert!(log.is_invertible());
+        let script = log.invert().unwrap();
+        assert!(script.is_empty());
+        let reference = c17();
+        let mut session = netlist.begin_edit();
+        script.apply(&mut session).unwrap();
+        assert!(session.finish().is_empty());
+        assert_eq!(netlist, reference);
+    }
+
+    #[test]
+    fn invert_round_trips_a_mixed_session() {
+        let reference = c17();
+        let mut netlist = c17();
+        let i1 = netlist.net_id("i1").unwrap();
+        let i2 = netlist.net_id("i2").unwrap();
+        let n10 = netlist.net_id("n10").unwrap();
+        let g16 = netlist
+            .gates()
+            .iter()
+            .find(|gate| gate.name() == "g16")
+            .unwrap()
+            .id();
+        let mut edit = netlist.begin_edit();
+        edit.swap_cell_kind(g16, CellKind::Nor2).unwrap();
+        let (probe, probe_out) = edit
+            .insert_gate(CellKind::Xor2, "probe", &[i1, i2], "probe_out")
+            .unwrap();
+        edit.expose_net(probe_out).unwrap();
+        edit.expose_net(n10).unwrap();
+        edit.rewire_input(probe, 1, n10).unwrap();
+        edit.unexpose_net(probe_out).unwrap();
+        let log = edit.finish();
+        assert!(log.is_invertible());
+        assert_ne!(netlist, reference);
+
+        let script = log.invert().unwrap();
+        let mut undo = netlist.begin_edit();
+        script.apply(&mut undo).unwrap();
+        let undo_log = undo.finish();
+        assert_eq!(netlist, reference);
+        // The undo session is itself an ordinary edit burst whose log can
+        // drive incremental re-derivation — and it is invertible too (redo).
+        assert!(undo_log.is_invertible());
+        assert_eq!(undo_log.edits(), log.edits());
+    }
+
+    #[test]
+    fn invert_restores_interior_load_positions() {
+        // n11 feeds g16 (interior position) and g19.  Rewiring g16 off n11
+        // and undoing must put its pin back *before* g19's in the load
+        // list — structural equality (PartialEq on the loads Vec) proves it.
+        let reference = c17();
+        let mut netlist = c17();
+        let i1 = netlist.net_id("i1").unwrap();
+        let n11 = netlist.net_id("n11").unwrap();
+        let g16 = netlist
+            .gates()
+            .iter()
+            .find(|gate| gate.name() == "g16")
+            .unwrap()
+            .id();
+        let pin = netlist
+            .gate(g16)
+            .inputs()
+            .iter()
+            .position(|&net| net == n11)
+            .expect("g16 reads n11");
+        assert!(
+            netlist.net(n11).loads().first().map(|p| p.gate()) == Some(g16),
+            "fixture: g16's pin sits at an interior (non-last) position"
+        );
+        let mut edit = netlist.begin_edit();
+        edit.rewire_input(g16, pin, i1).unwrap();
+        let script = edit.finish().invert().unwrap();
+        let mut undo = netlist.begin_edit();
+        script.apply(&mut undo).unwrap();
+        undo.finish();
+        assert_eq!(netlist, reference);
+    }
+
+    #[test]
+    fn invert_restores_interior_output_positions() {
+        // Expose two nets, then in a second session unexpose the *first*
+        // (interior in the output list); the undo must re-insert it there,
+        // not at the end.
+        let mut netlist = c17();
+        let n10 = netlist.net_id("n10").unwrap();
+        let n11 = netlist.net_id("n11").unwrap();
+        let mut edit = netlist.begin_edit();
+        edit.expose_net(n10).unwrap();
+        edit.expose_net(n11).unwrap();
+        edit.finish();
+        let reference = netlist.clone();
+        let position = netlist
+            .primary_outputs()
+            .iter()
+            .position(|&net| net == n10)
+            .unwrap();
+        assert!(position + 1 < netlist.primary_outputs().len());
+
+        let mut edit = netlist.begin_edit();
+        edit.unexpose_net(n10).unwrap();
+        let script = edit.finish().invert().unwrap();
+        let mut undo = netlist.begin_edit();
+        script.apply(&mut undo).unwrap();
+        undo.finish();
+        assert_eq!(netlist, reference);
+        assert_eq!(netlist.primary_outputs()[position], n10);
+    }
+
+    #[test]
+    fn invert_restores_removed_gate_with_overrides() {
+        use crate::NetlistBuilder;
+        let mut builder = NetlistBuilder::new("undo_overrides");
+        let a = builder.add_input("a");
+        let b = builder.add_input("b");
+        let y = builder.add_net("y");
+        let d = builder.add_net("d");
+        builder
+            .add_gate(CellKind::Nand2, "keep", &[a, b], y)
+            .unwrap();
+        builder
+            .add_gate_with_thresholds(CellKind::Nor2, "vt", &[a, b], d, &[0.31, 0.62])
+            .unwrap();
+        builder.mark_output(y);
+        let mut netlist = builder.build().unwrap();
+        let reference = netlist.clone();
+        let doomed = netlist
+            .gates()
+            .iter()
+            .find(|gate| gate.name() == "vt")
+            .unwrap()
+            .id();
+        let mut edit = netlist.begin_edit();
+        let (moved_gate, moved_net) = edit.remove_gate(doomed).unwrap();
+        assert_eq!((moved_gate, moved_net), (None, None));
+        let script = edit.finish().invert().unwrap();
+        let mut undo = netlist.begin_edit();
+        script.apply(&mut undo).unwrap();
+        undo.finish();
+        assert_eq!(netlist, reference);
+        assert_eq!(
+            netlist.gate(doomed).threshold_overrides(),
+            Some(&[0.31, 0.62][..])
+        );
+    }
+
+    #[test]
+    fn renumbering_removal_poisons_invertibility() {
+        // Append two danglers and remove the *first*: the second moves into
+        // its slot, which renumbers ids and has no local inverse.
+        let mut netlist = c17();
+        let i1 = netlist.net_id("i1").unwrap();
+        let i2 = netlist.net_id("i2").unwrap();
+        let mut edit = netlist.begin_edit();
+        let (first, _) = edit
+            .insert_gate(CellKind::And2, "dang_a", &[i1, i2], "dang_a_out")
+            .unwrap();
+        edit.insert_gate(CellKind::Or2, "dang_b", &[i2, i1], "dang_b_out")
+            .unwrap();
+        let (moved_gate, moved_net) = edit.remove_gate(first).unwrap();
+        assert!(moved_gate.is_some() && moved_net.is_some());
+        let log = edit.finish();
+        assert!(!log.is_invertible());
+        assert_eq!(log.invert().unwrap_err(), InvertError);
+        assert!(!InvertError.to_string().is_empty());
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Levelization {
                         }
                     }
                 }
-                EditOp::NetExposed { .. } => {}
+                EditOp::NetExposed { .. } | EditOp::NetUnexposed { .. } => {}
             }
         }
 

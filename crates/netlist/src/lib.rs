@@ -33,7 +33,7 @@ pub mod validate;
 pub mod writer;
 
 pub use cell::CellKind;
-pub use edit::{EditLog, EditOp, EditSession};
+pub use edit::{EditLog, EditOp, EditScript, EditSession, InvertError, UndoStep};
 pub use library::{CellTiming, Library, PinSpec};
 pub use netlist::{
     is_primary_input_net, Gate, Net, NetDriver, Netlist, NetlistBuilder, NetlistError,

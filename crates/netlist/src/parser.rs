@@ -15,7 +15,14 @@
 //! ```
 //!
 //! Keywords: `circuit <name>`, `input <net>...`, `output <net>...`,
+//! `wire <net>...`,
 //! `gate <cell> <instance> <input net>... -> <output net> [vt=<f>,<f>,...]`.
+//!
+//! `wire` lines are optional: they pre-declare nets so their numbering is
+//! exactly the declaration order rather than first-mention order.  The
+//! [`writer`](crate::writer) always emits them, which makes
+//! `parse(to_text(netlist))` reconstruct the original net numbering — and
+//! therefore an identical event schedule — bit for bit.
 
 use std::fmt;
 
@@ -88,6 +95,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
     let mut name = String::from("unnamed");
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
+    let mut wires: Vec<String> = Vec::new();
     struct GateLine {
         line: usize,
         kind: CellKind,
@@ -114,6 +122,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
             }
             Some("input") => inputs.extend(tokens.map(str::to_string)),
             Some("output") => outputs.extend(tokens.map(str::to_string)),
+            Some("wire") => wires.extend(tokens.map(str::to_string)),
             Some("gate") => {
                 let kind_token = tokens
                     .next()
@@ -164,6 +173,16 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
     }
 
     let mut builder = NetlistBuilder::new(name);
+    // `wire` lines fix net numbering to declaration order; primary inputs
+    // keep their input-driver role regardless of which line declares them
+    // first.  Declaring a net no gate drives is still an error in `build`.
+    for wire in &wires {
+        if inputs.iter().any(|input| input == wire) {
+            builder.add_input(wire);
+        } else {
+            builder.add_net(wire);
+        }
+    }
     for input in &inputs {
         builder.add_input(input);
     }

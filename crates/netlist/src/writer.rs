@@ -9,6 +9,13 @@ use crate::netlist::Netlist;
 /// Serialises a netlist into the text format accepted by
 /// [`parser::parse`](crate::parser::parse).
 ///
+/// The emitted `wire` lines pin the [`NetId`](halotis_core::NetId)
+/// numbering, making the round trip the **identity**: `parse(to_text(n))`
+/// reconstructs `n` exactly — same gate and net ids, load order and
+/// primary-port order — so a compile of the reparsed netlist schedules the
+/// identical event sequence (the serve daemon's bit-identity depends on
+/// this).
+///
 /// # Example
 ///
 /// ```
@@ -17,7 +24,7 @@ use crate::netlist::Netlist;
 /// let original = generators::inverter_chain(3);
 /// let text = writer::to_text(&original);
 /// let reparsed = parser::parse(&text)?;
-/// assert_eq!(reparsed.gate_count(), original.gate_count());
+/// assert_eq!(reparsed, original);
 /// # Ok::<(), halotis_netlist::parser::ParseError>(())
 /// ```
 pub fn to_text(netlist: &Netlist) -> String {
@@ -31,6 +38,10 @@ pub fn to_text(netlist: &Netlist) -> String {
             .map(|&id| netlist.net(id).name())
             .collect();
         writeln!(out, "input {}", names.join(" ")).expect("writing to String cannot fail");
+    }
+    for chunk in netlist.nets().chunks(16) {
+        let names: Vec<&str> = chunk.iter().map(|net| net.name()).collect();
+        writeln!(out, "wire {}", names.join(" ")).expect("writing to String cannot fail");
     }
     if !netlist.primary_outputs().is_empty() {
         let names: Vec<&str> = netlist

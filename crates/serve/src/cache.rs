@@ -1,0 +1,557 @@
+//! The compiled-circuit cache and its what-if edit overlays.
+//!
+//! A `load` request parses netlist text, canonicalises it through the
+//! repository's writer, and fingerprints the canonical form — so two
+//! textual variations of the same circuit share one cache slot and one
+//! compilation.  Entries hold a **pristine** [`CompiledCircuit`] plus an
+//! optional **overlay**: a clone carrying outstanding `edit` scripts, with
+//! an inverse [`EditScript`] stack ([`halotis_netlist::EditLog::invert`]) so `revert` can
+//! walk edits back one at a time without recompiling.
+//!
+//! Eviction is LRU over a monotone touch tick, bounded by a fixed capacity.
+//! Evicting an entry that is mid-simulation is safe: requests hold an
+//! [`Arc`], so the circuit lives until the last in-flight request drops it
+//! (its key simply stops resolving).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use halotis_netlist::{parser, technology, writer, EditScript, Library, Netlist, NetlistError};
+use halotis_sim::CompiledCircuit;
+
+use crate::protocol::{EditCommand, ErrorCode, ProtocolError};
+
+/// The daemon's one library, with `'static` lifetime so compiled circuits
+/// are cacheable across connections.
+pub fn library() -> &'static Library {
+    static LIBRARY: OnceLock<Library> = OnceLock::new();
+    LIBRARY.get_or_init(technology::cmos06)
+}
+
+/// 64-bit FNV-1a over the library name and the canonical netlist text.
+fn fingerprint(library_name: &str, canonical: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in library_name
+        .as_bytes()
+        .iter()
+        .chain(&[0u8])
+        .chain(canonical.as_bytes())
+    {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Outstanding what-if edits on top of a pristine circuit.
+#[derive(Debug)]
+pub struct Overlay {
+    /// The edited circuit (a clone of the pristine one, mutated in place).
+    pub circuit: CompiledCircuit<'static>,
+    /// Inverse scripts, one per outstanding `edit`, newest last.
+    pub revert_stack: Vec<EditScript>,
+    /// Set when some edit lost invertibility (a renumbering removal); the
+    /// only revert left is a full reset to pristine.
+    pub non_invertible: bool,
+}
+
+/// The mutable half of a cache entry, behind the entry's [`RwLock`].
+#[derive(Debug)]
+pub struct CircuitState {
+    /// The as-loaded compilation; never mutated after insert.
+    pub pristine: CompiledCircuit<'static>,
+    /// Outstanding edits, if any.
+    pub overlay: Option<Overlay>,
+}
+
+impl CircuitState {
+    /// The circuit requests should run against: the overlay when edits are
+    /// outstanding, the pristine compilation otherwise.
+    pub fn active(&self) -> &CompiledCircuit<'static> {
+        self.overlay
+            .as_ref()
+            .map_or(&self.pristine, |overlay| &overlay.circuit)
+    }
+
+    /// Applies one edit request atomically: the commands run against a
+    /// *clone* of the active circuit, which replaces the overlay only when
+    /// every command succeeded.  On any failure the clone is discarded and
+    /// the state is untouched (the engine treats a half-edited circuit as
+    /// stale, so partial application is never acceptable here).
+    pub fn apply_commands(
+        &mut self,
+        commands: &[EditCommand],
+    ) -> Result<EditReport, ProtocolError> {
+        let mut circuit = self.active().clone();
+        let mut failure: Option<ProtocolError> = None;
+        let result = circuit.edit(|session| {
+            for command in commands {
+                if let Some(error) = apply_command(session, command) {
+                    return match error {
+                        CommandError::Netlist(err) => Err(err),
+                        CommandError::Protocol(err) => {
+                            failure = Some(err);
+                            // Sentinel to abort the session; the clone is
+                            // discarded below, so it never escapes.
+                            Err(NetlistError::DuplicateNet {
+                                name: String::new(),
+                            })
+                        }
+                    };
+                }
+            }
+            Ok(())
+        });
+        let log = match result {
+            Ok(log) => log,
+            Err(err) => {
+                return Err(failure.unwrap_or_else(|| {
+                    ProtocolError::new(ErrorCode::NetlistError, err.to_string())
+                }))
+            }
+        };
+
+        let (mut revert_stack, was_non_invertible) = match self.overlay.take() {
+            Some(overlay) => (overlay.revert_stack, overlay.non_invertible),
+            None => (Vec::new(), false),
+        };
+        let non_invertible = was_non_invertible || !log.is_invertible();
+        if non_invertible {
+            // Stepwise history is no longer replayable; only a reset remains.
+            revert_stack.clear();
+        } else {
+            revert_stack.push(log.invert().expect("invertible log must invert"));
+        }
+        let report = EditReport {
+            edits: log.edits(),
+            revert_depth: revert_stack.len(),
+            invertible: !non_invertible,
+        };
+        self.overlay = Some(Overlay {
+            circuit,
+            revert_stack,
+            non_invertible,
+        });
+        Ok(report)
+    }
+
+    /// Undoes the most recent outstanding edit.  Returns how the revert was
+    /// performed: `"inverse"` (one script replayed backwards) or `"reset"`
+    /// (overlay dropped wholesale, because invertibility was lost).
+    pub fn revert(&mut self) -> Result<RevertReport, ProtocolError> {
+        let Some(mut overlay) = self.overlay.take() else {
+            return Err(ProtocolError::new(
+                ErrorCode::NothingToRevert,
+                "no edits are outstanding on this circuit",
+            ));
+        };
+        if overlay.non_invertible {
+            // Dropping the overlay *is* the revert: the pristine circuit
+            // becomes active again.
+            return Ok(RevertReport {
+                via: "reset",
+                revert_depth: 0,
+            });
+        }
+        let script = overlay
+            .revert_stack
+            .pop()
+            .expect("invertible overlay keeps one script per edit");
+        if overlay
+            .circuit
+            .edit(|session| script.apply(session))
+            .is_err()
+        {
+            // An inverse script failing means the overlay is corrupt; fall
+            // back to the reset path rather than serving a stale circuit.
+            return Ok(RevertReport {
+                via: "reset",
+                revert_depth: 0,
+            });
+        }
+        let revert_depth = overlay.revert_stack.len();
+        if revert_depth > 0 {
+            self.overlay = Some(overlay);
+            Ok(RevertReport {
+                via: "inverse",
+                revert_depth,
+            })
+        } else {
+            // Fully unwound: drop the overlay so the pristine tables (not a
+            // behaviourally-identical edited clone) serve future requests.
+            Ok(RevertReport {
+                via: "inverse",
+                revert_depth: 0,
+            })
+        }
+    }
+}
+
+/// What an `edit` request reports back.
+#[derive(Clone, Copy, Debug)]
+pub struct EditReport {
+    /// Mutating calls the session performed.
+    pub edits: usize,
+    /// Outstanding edits that can still be reverted stepwise.
+    pub revert_depth: usize,
+    /// Whether stepwise revert is still available.
+    pub invertible: bool,
+}
+
+/// What a `revert` request reports back.
+#[derive(Clone, Copy, Debug)]
+pub struct RevertReport {
+    /// `"inverse"` or `"reset"`.
+    pub via: &'static str,
+    /// Outstanding edits remaining after this revert.
+    pub revert_depth: usize,
+}
+
+enum CommandError {
+    Netlist(NetlistError),
+    Protocol(ProtocolError),
+}
+
+fn resolve_gate(netlist: &Netlist, name: &str) -> Result<halotis_core::GateId, CommandError> {
+    netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.name() == name)
+        .map(|gate| gate.id())
+        .ok_or_else(|| {
+            CommandError::Protocol(ProtocolError::new(
+                ErrorCode::UnknownGate,
+                format!("no gate named {name:?}"),
+            ))
+        })
+}
+
+fn resolve_net(netlist: &Netlist, name: &str) -> Result<halotis_core::NetId, CommandError> {
+    netlist.net_id(name).ok_or_else(|| {
+        CommandError::Protocol(ProtocolError::new(
+            ErrorCode::UnknownNet,
+            format!("no net named {name:?}"),
+        ))
+    })
+}
+
+/// Applies one command inside an open session; `None` means success.
+/// (Inverted-Option shape so the caller can keep the borrow checker happy
+/// while smuggling protocol errors out of the [`CompiledCircuit::edit`]
+/// closure.)
+fn apply_command(
+    session: &mut halotis_netlist::EditSession<'_>,
+    command: &EditCommand,
+) -> Option<CommandError> {
+    let result = match command {
+        EditCommand::SwapKind { gate, kind } => {
+            resolve_gate(session.netlist(), gate).and_then(|gate| {
+                session
+                    .swap_cell_kind(gate, *kind)
+                    .map_err(CommandError::Netlist)
+            })
+        }
+        EditCommand::Rewire { gate, input, net } => {
+            resolve_gate(session.netlist(), gate).and_then(|gate_id| {
+                let net_id = resolve_net(session.netlist(), net)?;
+                session
+                    .rewire_input(gate_id, *input, net_id)
+                    .map_err(CommandError::Netlist)
+            })
+        }
+        EditCommand::Insert {
+            kind,
+            name,
+            inputs,
+            output,
+        } => inputs
+            .iter()
+            .map(|input| resolve_net(session.netlist(), input))
+            .collect::<Result<Vec<_>, _>>()
+            .and_then(|inputs| {
+                session
+                    .insert_gate(*kind, name.clone(), &inputs, output.clone())
+                    .map(|_| ())
+                    .map_err(CommandError::Netlist)
+            }),
+        EditCommand::Remove { gate } => resolve_gate(session.netlist(), gate).and_then(|gate| {
+            session
+                .remove_gate(gate)
+                .map(|_| ())
+                .map_err(CommandError::Netlist)
+        }),
+        EditCommand::Expose { net } => resolve_net(session.netlist(), net)
+            .and_then(|net| session.expose_net(net).map_err(CommandError::Netlist)),
+        EditCommand::Unexpose { net } => resolve_net(session.netlist(), net)
+            .and_then(|net| session.unexpose_net(net).map_err(CommandError::Netlist)),
+    };
+    result.err()
+}
+
+/// One cached circuit.
+#[derive(Debug)]
+pub struct CacheEntry {
+    key: String,
+    circuit_name: String,
+    last_used: AtomicU64,
+    /// Pristine compilation + overlay; simulate takes the read side, edit
+    /// and revert the write side.
+    pub state: RwLock<CircuitState>,
+}
+
+impl CacheEntry {
+    /// The fingerprint key clients address this entry by.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The netlist's own name (informational).
+    pub fn circuit_name(&self) -> &str {
+        &self.circuit_name
+    }
+
+    /// Read access to the state, surviving poisoning (a panicking worker
+    /// must not wedge the daemon).
+    pub fn read_state(&self) -> std::sync::RwLockReadGuard<'_, CircuitState> {
+        self.state.read().unwrap_or_else(|err| err.into_inner())
+    }
+
+    /// Write access to the state (see [`read_state`](Self::read_state)).
+    pub fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, CircuitState> {
+        self.state.write().unwrap_or_else(|err| err.into_inner())
+    }
+}
+
+/// What a `load` request reports back.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The fingerprint key to address the circuit by.
+    pub key: String,
+    /// The netlist's own name.
+    pub circuit: String,
+    /// Gate count.
+    pub gates: usize,
+    /// Net count.
+    pub nets: usize,
+    /// `true` when the key was already compiled (this request did no work).
+    pub cached: bool,
+}
+
+/// Counters the `stats` op reports for the cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheCounters {
+    /// Circuits currently resident.
+    pub entries: usize,
+    /// `load` requests that found their key already compiled.
+    pub hits: u64,
+    /// Fresh compilations performed.
+    pub compiles: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+/// The LRU-bounded circuit cache.
+#[derive(Debug)]
+pub struct CircuitCache {
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    compiles: AtomicU64,
+    evictions: AtomicU64,
+    entries: Mutex<HashMap<String, Arc<CacheEntry>>>,
+}
+
+impl CircuitCache {
+    /// Creates a cache holding at most `capacity` circuits (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CircuitCache {
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn touch(&self, entry: &CacheEntry) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Parses, canonicalises, fingerprints and (if new) compiles `text`.
+    pub fn load(&self, text: &str) -> Result<LoadReport, ProtocolError> {
+        let parsed = parser::parse(text)
+            .map_err(|err| ProtocolError::new(ErrorCode::NetlistError, err.to_string()))?;
+        let canonical = writer::to_text(&parsed);
+        let key = format!("c-{:016x}", fingerprint(library().name(), &canonical));
+
+        let mut entries = self.entries.lock().unwrap_or_else(|err| err.into_inner());
+        if let Some(entry) = entries.get(&key) {
+            self.touch(entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let state = entry.read_state();
+            return Ok(LoadReport {
+                key: key.clone(),
+                circuit: entry.circuit_name.clone(),
+                gates: state.pristine.netlist().gates().len(),
+                nets: state.pristine.netlist().nets().len(),
+                cached: true,
+            });
+        }
+
+        let pristine = CompiledCircuit::compile_owned(parsed, library())
+            .map_err(|err| ProtocolError::new(ErrorCode::NetlistError, err.to_string()))?;
+        let report = LoadReport {
+            key: key.clone(),
+            circuit: pristine.netlist().name().to_string(),
+            gates: pristine.netlist().gates().len(),
+            nets: pristine.netlist().nets().len(),
+            cached: false,
+        };
+        let entry = Arc::new(CacheEntry {
+            key: key.clone(),
+            circuit_name: report.circuit.clone(),
+            last_used: AtomicU64::new(0),
+            state: RwLock::new(CircuitState {
+                pristine,
+                overlay: None,
+            }),
+        });
+        self.touch(&entry);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        entries.insert(key, entry);
+
+        while entries.len() > self.capacity {
+            let Some(victim) = entries
+                .values()
+                .min_by_key(|entry| entry.last_used.load(Ordering::Relaxed))
+                .map(|entry| entry.key.clone())
+            else {
+                break;
+            };
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Resolves a key, refreshing its LRU position.
+    pub fn get(&self, key: &str) -> Option<Arc<CacheEntry>> {
+        let entries = self.entries.lock().unwrap_or_else(|err| err.into_inner());
+        let entry = entries.get(key)?;
+        self.touch(entry);
+        Some(Arc::clone(entry))
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn counters(&self) -> CacheCounters {
+        let entries = self.entries.lock().unwrap_or_else(|err| err.into_inner());
+        CacheCounters {
+            entries: entries.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_netlist::{generators, CellKind};
+
+    fn c17_text() -> String {
+        writer::to_text(&generators::c17())
+    }
+
+    #[test]
+    fn load_is_idempotent_and_canonicalising() {
+        let cache = CircuitCache::new(4);
+        let first = cache.load(&c17_text()).unwrap();
+        assert!(!first.cached);
+        let second = cache.load(&c17_text()).unwrap();
+        assert!(second.cached);
+        assert_eq!(first.key, second.key);
+        assert_eq!(cache.counters().compiles, 1);
+        assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = CircuitCache::new(2);
+        let a = cache.load(&writer::to_text(&generators::c17())).unwrap();
+        let b = cache
+            .load(&writer::to_text(&generators::parity_tree(4)))
+            .unwrap();
+        // Touch `a` so `b` is the LRU victim when a third circuit arrives.
+        assert!(cache.get(&a.key).is_some());
+        let c = cache
+            .load(&writer::to_text(&generators::ripple_carry_adder(2)))
+            .unwrap();
+        assert!(cache.get(&a.key).is_some());
+        assert!(cache.get(&b.key).is_none());
+        assert!(cache.get(&c.key).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.counters().entries, 2);
+    }
+
+    #[test]
+    fn edits_overlay_and_revert_restores_pristine() {
+        let cache = CircuitCache::new(4);
+        let report = cache.load(&c17_text()).unwrap();
+        let entry = cache.get(&report.key).unwrap();
+
+        let mut state = entry.write_state();
+        let gate = state.pristine.netlist().gates()[0].name().to_string();
+        let edit = state
+            .apply_commands(&[EditCommand::SwapKind {
+                gate,
+                kind: CellKind::Nor2,
+            }])
+            .unwrap();
+        assert_eq!(edit.edits, 1);
+        assert_eq!(edit.revert_depth, 1);
+        assert!(edit.invertible);
+        assert_ne!(
+            state.active().netlist().gates()[0].kind(),
+            state.pristine.netlist().gates()[0].kind()
+        );
+
+        let revert = state.revert().unwrap();
+        assert_eq!(revert.via, "inverse");
+        assert_eq!(revert.revert_depth, 0);
+        assert!(state.overlay.is_none());
+        assert!(matches!(
+            state.revert(),
+            Err(ProtocolError {
+                code: ErrorCode::NothingToRevert,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_names_fail_atomically() {
+        let cache = CircuitCache::new(4);
+        let report = cache.load(&c17_text()).unwrap();
+        let entry = cache.get(&report.key).unwrap();
+        let mut state = entry.write_state();
+        let gate = state.pristine.netlist().gates()[0].name().to_string();
+        let err = state
+            .apply_commands(&[
+                EditCommand::SwapKind {
+                    gate,
+                    kind: CellKind::Nor2,
+                },
+                EditCommand::Remove {
+                    gate: "missing".to_string(),
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownGate);
+        // The first (valid) command must not have leaked through.
+        assert!(state.overlay.is_none());
+    }
+}

@@ -201,6 +201,30 @@ impl<'a> CompiledCircuit<'a> {
     /// the library does not characterise — the same condition the legacy
     /// single-shot path reported per run.
     pub fn compile(netlist: &'a Netlist, library: &'a Library) -> Result<Self, SimulationError> {
+        Self::compile_cow(Cow::Borrowed(netlist), library)
+    }
+
+    /// [`compile`](Self::compile) for an *owned* netlist: the circuit
+    /// carries the netlist itself, so the result's lifetime is tied only to
+    /// `library`.  With a `&'static Library` this yields a
+    /// `CompiledCircuit<'static>` that can be cached, sent across threads
+    /// and outlive every caller — the shape a resident simulation service
+    /// needs.
+    ///
+    /// # Errors
+    ///
+    /// As [`compile`](Self::compile).
+    pub fn compile_owned(netlist: Netlist, library: &'a Library) -> Result<Self, SimulationError> {
+        Self::compile_cow(Cow::Owned(netlist), library)
+    }
+
+    /// The shared compile body: builds every flat table from the borrowed
+    /// view, then moves the `Cow` into the finished circuit.
+    fn compile_cow(
+        source: Cow<'a, Netlist>,
+        library: &'a Library,
+    ) -> Result<Self, SimulationError> {
+        let netlist: &Netlist = source.as_ref();
         let vdd = library.vdd();
         let pins = PinMap::new(netlist);
 
@@ -282,9 +306,10 @@ impl<'a> CompiledCircuit<'a> {
             .map(|&net| netlist.net(net).name().to_string())
             .collect();
 
+        let levels = levelize::levelize(netlist);
         Ok(CompiledCircuit {
-            levels: levelize::levelize(netlist),
-            netlist: Cow::Borrowed(netlist),
+            levels,
+            netlist: source,
             library,
             vdd,
             pins,
@@ -367,6 +392,23 @@ impl<'a> CompiledCircuit<'a> {
     /// serving this circuit.
     pub fn sync_state(&self, state: &mut SimState) {
         state.resize(
+            self.pins.len(),
+            self.netlist.gate_count(),
+            self.netlist.net_count(),
+        );
+    }
+
+    /// Reshapes an arbitrary state arena — possibly sized for a *different*
+    /// circuit — to fit this one, clearing all queued work.  Unlike
+    /// [`sync_state`](CompiledCircuit::sync_state), which tracks one
+    /// circuit's in-place edits and therefore insists dimensions never
+    /// shrink, this severs any association with the arena's previous
+    /// circuit: a worker can hold one long-lived arena and point it at
+    /// whichever cached circuit the next job needs.  Runs reset every row
+    /// they read, so results are bit-identical to a fresh
+    /// [`new_state`](CompiledCircuit::new_state) arena.
+    pub fn adapt_state(&self, state: &mut SimState) {
+        state.reshape(
             self.pins.len(),
             self.netlist.gate_count(),
             self.netlist.net_count(),
@@ -479,7 +521,11 @@ impl<'a> CompiledCircuit<'a> {
                     // gate_outputs, fanout windows) are rebuilt in phase 2:
                     // the session marked everything the move touched dirty.
                 }
-                EditOp::NetExposed { name } => self.output_names.push(name.clone()),
+                EditOp::NetExposed { name, position } => {
+                    let at = (*position as usize).min(self.output_names.len());
+                    self.output_names.insert(at, name.clone());
+                }
+                EditOp::NetUnexposed { name } => self.output_names.retain(|n| n != name),
             }
         }
 
@@ -942,6 +988,55 @@ mod tests {
         assert_eq!(ddm.model_kind(), Some(DelayModelKind::Degradation));
         assert_eq!(cdm.model_kind(), Some(DelayModelKind::Conventional));
         assert!(ddm.stats().events_processed > 0);
+    }
+
+    #[test]
+    fn adapted_state_hops_circuits_and_reproduces_fresh_runs() {
+        // One long-lived arena serves circuits of different shapes — the
+        // worker-pool reuse pattern.  Bigger→smaller→bigger hops must all
+        // produce results bit-identical to fresh arenas.
+        let small = generators::inverter_chain(2);
+        let big = generators::c17();
+        let library = technology::cmos06();
+        let small_circuit = CompiledCircuit::compile(&small, &library).unwrap();
+        let big_circuit = CompiledCircuit::compile(&big, &library).unwrap();
+
+        let mut big_stimulus = Stimulus::new(library.default_input_slew());
+        for &input in big.primary_inputs() {
+            big_stimulus.set_initial(big.net(input).name(), LogicLevel::Low);
+            big_stimulus.drive(big.net(input).name(), Time::from_ns(1.0), LogicLevel::High);
+        }
+        let chain = chain_stimulus(&library);
+
+        let fresh_big = big_circuit
+            .run(&big_stimulus, &SimulationConfig::ddm())
+            .unwrap();
+        let fresh_small = small_circuit.run(&chain, &SimulationConfig::ddm()).unwrap();
+
+        let mut arena = big_circuit.new_state();
+        big_circuit
+            .run_with(&mut arena, &big_stimulus, &SimulationConfig::cdm())
+            .unwrap();
+        // Shrink onto the small circuit mid-flight, then grow back.
+        small_circuit.adapt_state(&mut arena);
+        let hopped_small = small_circuit
+            .run_with(&mut arena, &chain, &SimulationConfig::ddm())
+            .unwrap();
+        big_circuit.adapt_state(&mut arena);
+        let hopped_big = big_circuit
+            .run_with(&mut arena, &big_stimulus, &SimulationConfig::ddm())
+            .unwrap();
+
+        assert_eq!(fresh_small.stats(), hopped_small.stats());
+        assert_eq!(fresh_big.stats(), hopped_big.stats());
+        for net in big.nets() {
+            assert_eq!(
+                fresh_big.waveform(net.name()),
+                hopped_big.waveform(net.name()),
+                "waveform mismatch on {} after arena hops",
+                net.name()
+            );
+        }
     }
 
     #[test]

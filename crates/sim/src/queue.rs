@@ -158,6 +158,19 @@ impl PendingLists {
         self.heads.resize(pin_count, NIL);
         self.tails.resize(pin_count, NIL);
     }
+
+    /// Re-dimensions the per-pin tables for an unrelated circuit, dropping
+    /// every queued node: unlike [`resize_pins`](Self::resize_pins) the
+    /// tables may shrink, so any node a vanished slot still referenced must
+    /// go too — hence the full reset.
+    fn reshape_pins(&mut self, pin_count: usize) {
+        self.nodes.clear();
+        self.free.clear();
+        self.heads.clear();
+        self.heads.resize(pin_count, NIL);
+        self.tails.clear();
+        self.tails.resize(pin_count, NIL);
+    }
 }
 
 /// Time-ordered event queue with the per-input cancellation rule.
@@ -228,6 +241,16 @@ impl EventQueue {
     /// pin arena.  Existing slots (and any queued events) are untouched.
     pub(crate) fn resize_pins(&mut self, pin_count: usize) {
         self.pending.resize_pins(pin_count);
+    }
+
+    /// Re-dimensions the queue for an unrelated circuit (shrink allowed) and
+    /// clears it back to the freshly constructed condition — the arena-reuse
+    /// path behind [`SimState::reshape`](crate::SimState).
+    pub(crate) fn reshape_pins(&mut self, pin_count: usize) {
+        self.wheel.reset();
+        self.pending.reshape_pins(pin_count);
+        self.scheduled = 0;
+        self.filtered = 0;
     }
 
     /// Clears the queue back to its freshly constructed condition while

@@ -117,6 +117,26 @@ impl SimState {
         self.queue.resize_pins(pin_count);
     }
 
+    /// Re-dimensions the arena for a possibly unrelated circuit, shrinking
+    /// or growing freely and discarding all queued work.  This is the
+    /// cross-circuit counterpart of [`resize`](Self::resize): `resize`
+    /// follows one circuit's in-place edits (where the pin arena never
+    /// shrinks because freed pin blocks stay as holes), while `reshape`
+    /// retargets a long-lived worker arena at whatever circuit comes next.
+    /// Every run resets the rows it reads, so a reshaped arena produces
+    /// bit-identical results to a freshly allocated one.
+    pub(crate) fn reshape(&mut self, pin_count: usize, gate_count: usize, net_count: usize) {
+        self.pin_levels.clear();
+        self.pin_levels.resize(pin_count, LogicLevel::Unknown);
+        self.output_target.clear();
+        self.output_target.resize(gate_count, LogicLevel::Unknown);
+        self.last_output_start.clear();
+        self.last_output_start.resize(gate_count, NO_PREVIOUS_RAMP);
+        self.net_count = net_count;
+        self.queue.reshape_pins(pin_count);
+        self.gate_model_kinds.clear();
+    }
+
     /// Panics with a descriptive message when the arena does not match the
     /// circuit about to use it.
     pub(crate) fn check_capacity(&self, pin_count: usize, gate_count: usize, net_count: usize) {

@@ -17,6 +17,7 @@
 //! | [`sim`] | the HALOTIS engine and the classical baseline simulator |
 //! | [`analog`] | the reference electrical simulator (HSPICE substitute) |
 //! | [`corpus`] | the deterministic benchmark corpus behind the CI golden/perf gates |
+//! | [`serve`] | the simulation daemon: wire protocol, circuit cache, worker scheduler |
 //! | [`experiments`] | Fig. 1/3/6/7 and Table 1/2 reproductions + extensions |
 //!
 //! # Quick start
@@ -41,6 +42,7 @@ pub use halotis_core as core;
 pub use halotis_corpus as corpus;
 pub use halotis_delay as delay;
 pub use halotis_netlist as netlist;
+pub use halotis_serve as serve;
 pub use halotis_sim as sim;
 pub use halotis_waveform as waveform;
 
