@@ -1,0 +1,306 @@
+//! Petgraph-style adjacency view of a [`Netlist`].
+//!
+//! A netlist *is* a directed graph — nets are nodes, and every gate input
+//! pin contributes one edge from the net feeding the pin to the net the
+//! gate drives — but the [`Netlist`] stores it driver-first (each net knows
+//! what drives it, gates know their pins).  This module adds the
+//! fanout-first view that graph algorithms want: [`NetlistGraph`] with
+//! [`nodes()`](NetlistGraph::nodes) / [`edges()`](NetlistGraph::edges)
+//! iterators in the style of petgraph's `MultiDiGraph` bridge, and
+//! [`CsrGraph`], a compressed-sparse-row snapshot with O(1) fanout slices.
+//!
+//! The compiled simulator shares this shape:
+//! `halotis_sim::CompiledCircuit::fanout_csr()` exports its already-built
+//! fanout tables as the same [`CsrGraph`] type, so an analysis written
+//! against the CSR (the static-timing pass in `halotis_sim::sta`, for
+//! instance) runs identically on a raw netlist or a compiled circuit.
+//!
+//! # Example
+//!
+//! ```
+//! use halotis_netlist::{generators, graph::NetlistGraph};
+//!
+//! let netlist = generators::ripple_carry_adder(2);
+//! let graph = NetlistGraph::new(&netlist);
+//! assert_eq!(graph.node_count(), netlist.net_count());
+//! // Every gate input pin is one edge.
+//! let pin_count: usize = netlist.gates().iter().map(|g| g.inputs().len()).sum();
+//! assert_eq!(graph.edge_count(), pin_count);
+//!
+//! // CSR export: fanout of a primary input in O(1).
+//! let csr = graph.to_csr();
+//! let a0 = netlist.net_id("a0").unwrap();
+//! assert!(!csr.outgoing(a0).is_empty());
+//! ```
+
+use halotis_core::{GateId, NetId};
+
+use crate::netlist::Netlist;
+
+/// One edge of the circuit graph: a gate input pin, viewed as the arc from
+/// the net feeding the pin (`source`) to the net the gate drives
+/// (`target`).  Parallel edges are real — a gate fed twice by the same net
+/// contributes two edges that differ only in `pin`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GraphEdge {
+    /// The net feeding the gate input pin.
+    pub source: NetId,
+    /// The net driven by the gate's output.
+    pub target: NetId,
+    /// The gate the pin belongs to.
+    pub gate: GateId,
+    /// Zero-based input position on the gate.
+    pub pin: u32,
+}
+
+/// A borrowed adjacency view of a [`Netlist`] — nodes are nets, edges are
+/// gate input pins.  See the [module docs](self) for the shape.
+#[derive(Clone, Copy, Debug)]
+pub struct NetlistGraph<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> NetlistGraph<'a> {
+    /// Wraps a netlist in its graph view (no allocation).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        NetlistGraph { netlist }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Number of nodes (= nets).
+    pub fn node_count(&self) -> usize {
+        self.netlist.net_count()
+    }
+
+    /// Number of edges (= gate input pins).
+    pub fn edge_count(&self) -> usize {
+        self.netlist
+            .gates()
+            .iter()
+            .map(|gate| gate.inputs().len())
+            .sum()
+    }
+
+    /// All nodes in [`NetId`] order.
+    pub fn nodes(&self) -> impl Iterator<Item = NetId> + 'a {
+        (0..self.netlist.net_count()).map(NetId::from_usize)
+    }
+
+    /// All edges, grouped by gate in [`GateId`] order, pins in position
+    /// order within each gate — a deterministic ordering tests can pin.
+    pub fn edges(&self) -> impl Iterator<Item = GraphEdge> + 'a {
+        self.netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .flat_map(|(gate_index, gate)| {
+                let gate_id = GateId::from_usize(gate_index);
+                let target = gate.output();
+                gate.inputs()
+                    .iter()
+                    .enumerate()
+                    .map(move |(pin, &source)| GraphEdge {
+                        source,
+                        target,
+                        gate: gate_id,
+                        pin: pin as u32,
+                    })
+            })
+    }
+
+    /// Builds the compressed-sparse-row snapshot of this graph.
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.node_count(), self.edges())
+    }
+}
+
+/// A compressed-sparse-row directed multigraph over [`NetId`] nodes:
+/// per-node fanout edge slices in O(1), edges within a node's slice sorted
+/// by `(gate, pin)`.
+///
+/// Build one from a netlist via [`NetlistGraph::to_csr`], from any edge
+/// iterator via [`CsrGraph::from_edges`], or from an already-compiled
+/// circuit via `halotis_sim::CompiledCircuit::fanout_csr()` (which reuses
+/// the engine's fanout tables instead of re-walking the netlist).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[n]..offsets[n + 1]` indexes `edges` for node `n`.
+    offsets: Vec<u32>,
+    /// Edge records grouped by source node.
+    edges: Vec<GraphEdge>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR from an arbitrary edge iterator by counting sort on
+    /// the source node — O(nodes + edges), stable within each node for
+    /// equal sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge's `source` or `target` index is `>= node_count`.
+    pub fn from_edges(node_count: usize, edges: impl IntoIterator<Item = GraphEdge>) -> Self {
+        let mut collected: Vec<GraphEdge> = edges.into_iter().collect();
+        for edge in &collected {
+            assert!(
+                edge.source.index() < node_count && edge.target.index() < node_count,
+                "edge {} -> {} outside the {node_count}-node graph",
+                edge.source,
+                edge.target,
+            );
+        }
+        collected.sort_by_key(|edge| (edge.source, edge.gate, edge.pin));
+        let mut offsets = vec![0u32; node_count + 1];
+        for edge in &collected {
+            offsets[edge.source.index() + 1] += 1;
+        }
+        for index in 0..node_count {
+            offsets[index + 1] += offsets[index];
+        }
+        CsrGraph {
+            offsets,
+            edges: collected,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All nodes in [`NetId`] order.
+    pub fn nodes(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.node_count()).map(NetId::from_usize)
+    }
+
+    /// All edges, grouped by source node.
+    pub fn edges(&self) -> impl Iterator<Item = GraphEdge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The fanout edges of one node, as a slice (O(1)).
+    pub fn outgoing(&self, node: NetId) -> &[GraphEdge] {
+        let start = self.offsets[node.index()] as usize;
+        let end = self.offsets[node.index() + 1] as usize;
+        &self.edges[start..end]
+    }
+
+    /// Out-degree of one node (O(1)).
+    pub fn out_degree(&self, node: NetId) -> usize {
+        self.outgoing(node).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::NetlistBuilder;
+    use crate::{generators, parser, writer};
+
+    fn diamond() -> Netlist {
+        // a -> inv g1 -> n1 -+
+        //   \                 +-> and2 g3 -> y
+        //    -> inv g2 -> n2 -+
+        let mut builder = NetlistBuilder::new("diamond");
+        let a = builder.add_input("a");
+        let n1 = builder.add_net("n1");
+        let n2 = builder.add_net("n2");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Inv, "g1", &[a], n1).unwrap();
+        builder.add_gate(CellKind::Inv, "g2", &[a], n2).unwrap();
+        builder
+            .add_gate(CellKind::And2, "g3", &[n1, n2], y)
+            .unwrap();
+        builder.mark_output(y);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_the_netlist_shape() {
+        let netlist = diamond();
+        let graph = NetlistGraph::new(&netlist);
+        assert_eq!(graph.node_count(), 4);
+        assert_eq!(graph.edge_count(), 4); // two inv pins + two and2 pins
+        assert_eq!(graph.nodes().count(), 4);
+        assert_eq!(graph.edges().count(), 4);
+    }
+
+    #[test]
+    fn edges_carry_gate_and_pin_provenance() {
+        let netlist = diamond();
+        let graph = NetlistGraph::new(&netlist);
+        let a = netlist.net_id("a").unwrap();
+        let y = netlist.net_id("y").unwrap();
+        let n1 = netlist.net_id("n1").unwrap();
+        let from_a: Vec<GraphEdge> = graph.edges().filter(|e| e.source == a).collect();
+        assert_eq!(from_a.len(), 2);
+        assert!(from_a.iter().all(|e| e.pin == 0));
+        let into_y: Vec<GraphEdge> = graph.edges().filter(|e| e.target == y).collect();
+        assert_eq!(into_y.len(), 2);
+        assert_eq!(into_y[0].source, n1);
+        assert_eq!(into_y[0].pin, 0);
+        assert_eq!(into_y[1].pin, 1);
+        assert_eq!(into_y[0].gate, into_y[1].gate);
+    }
+
+    #[test]
+    fn csr_slices_agree_with_the_edge_iterator() {
+        let netlist = generators::ripple_carry_adder(3);
+        let graph = NetlistGraph::new(&netlist);
+        let csr = graph.to_csr();
+        assert_eq!(csr.node_count(), graph.node_count());
+        assert_eq!(csr.edge_count(), graph.edge_count());
+        for node in graph.nodes() {
+            let mut expected: Vec<GraphEdge> = graph.edges().filter(|e| e.source == node).collect();
+            expected.sort_by_key(|e| (e.gate, e.pin));
+            assert_eq!(csr.outgoing(node), expected.as_slice(), "fanout of {node}");
+            assert_eq!(csr.out_degree(node), expected.len());
+        }
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        // Same net on both pins of one gate: two distinct edges.
+        let mut builder = NetlistBuilder::new("par");
+        let a = builder.add_input("a");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::And2, "g", &[a, a], y).unwrap();
+        builder.mark_output(y);
+        let netlist = builder.build().unwrap();
+        let csr = NetlistGraph::new(&netlist).to_csr();
+        let fanout = csr.outgoing(a);
+        assert_eq!(fanout.len(), 2);
+        assert_eq!(fanout[0].pin, 0);
+        assert_eq!(fanout[1].pin, 1);
+    }
+
+    #[test]
+    fn graph_is_stable_across_a_text_round_trip() {
+        let original = generators::wallace_tree_multiplier(3, 3);
+        let reparsed = parser::parse(&writer::to_text(&original)).unwrap();
+        let before: Vec<GraphEdge> = NetlistGraph::new(&original).edges().collect();
+        let after: Vec<GraphEdge> = NetlistGraph::new(&reparsed).edges().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_range_edges_are_rejected() {
+        let edge = GraphEdge {
+            source: NetId::new(5),
+            target: NetId::new(0),
+            gate: GateId::new(0),
+            pin: 0,
+        };
+        let _ = CsrGraph::from_edges(2, [edge]);
+    }
+}

@@ -11,7 +11,12 @@
 //!   [`technology`],
 //! * [`Netlist`] and [`NetlistBuilder`] — the circuit graph (gates, nets,
 //!   primary inputs/outputs) with validation and levelization,
-//! * a small structural text format ([`parser`] / [`writer`]),
+//! * two interchange formats — the in-house `.net` text form ([`parser`] /
+//!   [`writer`]) and a structural-Verilog subset ([`verilog`]) — both
+//!   round-trip **identities** (see `FORMATS.md` at the repository root),
+//! * [`graph`] — a petgraph-style adjacency view (node/edge iterators and a
+//!   CSR export) for graph algorithms over the circuit,
+//! * [`edit`] — an ECO-style mutation session with invertible edit logs,
 //! * [`generators`] — the circuits used by the paper's experiments
 //!   (inverter chains, the Fig. 1 threshold circuit, ripple-carry adders,
 //!   the Fig. 5 array multiplier) plus random logic for scaling studies.
@@ -23,6 +28,7 @@ pub mod cell;
 pub mod edit;
 pub mod eval;
 pub mod generators;
+pub mod graph;
 pub mod iscas;
 pub mod levelize;
 pub mod library;
@@ -30,6 +36,7 @@ pub mod netlist;
 pub mod parser;
 pub mod technology;
 pub mod validate;
+pub mod verilog;
 pub mod writer;
 
 pub use cell::CellKind;

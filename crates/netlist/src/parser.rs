@@ -67,6 +67,93 @@ fn syntax(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// One gate statement, format-agnostic: what cell, which nets, where in the
+/// source it came from.  Both the `.net` parser and the structural-Verilog
+/// parser ([`verilog`](crate::verilog)) lower their surface syntax into this
+/// shape.
+pub(crate) struct GateSpec {
+    /// 1-based source line of the statement, for error anchoring.
+    pub(crate) line: usize,
+    pub(crate) kind: CellKind,
+    pub(crate) instance: String,
+    pub(crate) inputs: Vec<String>,
+    pub(crate) output: String,
+    pub(crate) thresholds: Option<Vec<f64>>,
+}
+
+/// A whole circuit as named sections — the format-independent intermediate
+/// form between tokenization and [`NetlistBuilder`] assembly.
+pub(crate) struct CircuitSpec {
+    pub(crate) name: String,
+    pub(crate) inputs: Vec<String>,
+    pub(crate) outputs: Vec<String>,
+    /// Pre-declared nets in declaration order.  When present, these pin the
+    /// [`NetId`](halotis_core::NetId) numbering exactly (see the module
+    /// docs); nets first mentioned by a gate statement are appended after.
+    pub(crate) wires: Vec<String>,
+    pub(crate) gates: Vec<GateSpec>,
+}
+
+/// Errors produced while assembling a [`CircuitSpec`] into a [`Netlist`].
+pub(crate) enum AssembleError {
+    /// A per-gate error (wrong arity, malformed threshold list) anchored to
+    /// the source line of the offending statement.
+    Gate { line: usize, message: String },
+    /// A whole-circuit structural error.
+    Netlist(NetlistError),
+}
+
+/// Builds the validated netlist from a format-independent [`CircuitSpec`].
+///
+/// This is the shared back half of every netlist parser: `wire` entries
+/// pre-create nets so numbering is exactly the declaration order, primary
+/// inputs keep their input-driver role regardless of which section mentions
+/// them first, and nets first referenced by a gate are created on the spot.
+pub(crate) fn assemble(spec: CircuitSpec) -> Result<Netlist, AssembleError> {
+    let mut builder = NetlistBuilder::new(spec.name);
+    // `wire` entries fix net numbering to declaration order; primary inputs
+    // keep their input-driver role regardless of which line declares them
+    // first.  Declaring a net no gate drives is still an error in `build`.
+    for wire in &spec.wires {
+        if spec.inputs.iter().any(|input| input == wire) {
+            builder.add_input(wire);
+        } else {
+            builder.add_net(wire);
+        }
+    }
+    for input in &spec.inputs {
+        builder.add_input(input);
+    }
+    for gate in &spec.gates {
+        let input_ids: Vec<_> = gate.inputs.iter().map(|n| builder.add_net(n)).collect();
+        let output_id = builder.add_net(&gate.output);
+        let result = match &gate.thresholds {
+            Some(vt) => builder.add_gate_with_thresholds(
+                gate.kind,
+                &gate.instance,
+                &input_ids,
+                output_id,
+                vt,
+            ),
+            None => builder.add_gate(gate.kind, &gate.instance, &input_ids, output_id),
+        };
+        result.map_err(|err| match err {
+            NetlistError::ArityMismatch { .. } | NetlistError::ThresholdOverrideArity { .. } => {
+                AssembleError::Gate {
+                    line: gate.line,
+                    message: err.to_string(),
+                }
+            }
+            other => AssembleError::Netlist(other),
+        })?;
+    }
+    for output in &spec.outputs {
+        let id = builder.add_net(output);
+        builder.mark_output(id);
+    }
+    builder.build().map_err(AssembleError::Netlist)
+}
+
 /// Parses netlist text into a validated [`Netlist`].
 ///
 /// # Errors
@@ -96,15 +183,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut wires: Vec<String> = Vec::new();
-    struct GateLine {
-        line: usize,
-        kind: CellKind,
-        instance: String,
-        inputs: Vec<String>,
-        output: String,
-        thresholds: Option<Vec<f64>>,
-    }
-    let mut gate_lines: Vec<GateLine> = Vec::new();
+    let mut gate_lines: Vec<GateSpec> = Vec::new();
 
     for (index, raw) in text.lines().enumerate() {
         let line_number = index + 1;
@@ -158,7 +237,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
                         return Err(syntax(line_number, format!("unexpected token {extra}")));
                     }
                 }
-                gate_lines.push(GateLine {
+                gate_lines.push(GateSpec {
                     line: line_number,
                     kind,
                     instance,
@@ -172,54 +251,23 @@ pub fn parse(text: &str) -> Result<Netlist, ParseError> {
         }
     }
 
-    let mut builder = NetlistBuilder::new(name);
-    // `wire` lines fix net numbering to declaration order; primary inputs
-    // keep their input-driver role regardless of which line declares them
-    // first.  Declaring a net no gate drives is still an error in `build`.
-    for wire in &wires {
-        if inputs.iter().any(|input| input == wire) {
-            builder.add_input(wire);
-        } else {
-            builder.add_net(wire);
+    assemble(CircuitSpec {
+        name,
+        inputs,
+        outputs,
+        wires,
+        gates: gate_lines,
+    })
+    .map_err(ParseError::from)
+}
+
+impl From<AssembleError> for ParseError {
+    fn from(err: AssembleError) -> Self {
+        match err {
+            AssembleError::Gate { line, message } => syntax(line, message),
+            AssembleError::Netlist(err) => ParseError::Netlist(err),
         }
     }
-    for input in &inputs {
-        builder.add_input(input);
-    }
-    for gate in &gate_lines {
-        let input_ids: Vec<_> = gate
-            .inputs
-            .iter()
-            .map(|n| {
-                if !builder.contains_net(n) && !inputs.contains(n) {
-                    // Internal net referenced before being driven: create it.
-                }
-                builder.add_net(n)
-            })
-            .collect();
-        let output_id = builder.add_net(&gate.output);
-        let result = match &gate.thresholds {
-            Some(vt) => builder.add_gate_with_thresholds(
-                gate.kind,
-                &gate.instance,
-                &input_ids,
-                output_id,
-                vt,
-            ),
-            None => builder.add_gate(gate.kind, &gate.instance, &input_ids, output_id),
-        };
-        result.map_err(|err| match err {
-            NetlistError::ArityMismatch { .. } | NetlistError::ThresholdOverrideArity { .. } => {
-                syntax(gate.line, err.to_string())
-            }
-            other => ParseError::Netlist(other),
-        })?;
-    }
-    for output in &outputs {
-        let id = builder.add_net(output);
-        builder.mark_output(id);
-    }
-    Ok(builder.build()?)
 }
 
 #[cfg(test)]

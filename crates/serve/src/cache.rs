@@ -17,10 +17,12 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use halotis_netlist::{parser, technology, writer, EditScript, Library, Netlist, NetlistError};
+use halotis_netlist::{
+    parser, technology, verilog, writer, EditScript, Library, Netlist, NetlistError,
+};
 use halotis_sim::CompiledCircuit;
 
-use crate::protocol::{EditCommand, ErrorCode, ProtocolError};
+use crate::protocol::{EditCommand, ErrorCode, NetlistFormat, ProtocolError};
 
 /// The daemon's one library, with `'static` lifetime so compiled circuits
 /// are cacheable across connections.
@@ -380,10 +382,24 @@ impl CircuitCache {
         entry.last_used.store(now, Ordering::Relaxed);
     }
 
-    /// Parses, canonicalises, fingerprints and (if new) compiles `text`.
+    /// Parses, canonicalises, fingerprints and (if new) compiles `text` in
+    /// the native `.net` format.
     pub fn load(&self, text: &str) -> Result<LoadReport, ProtocolError> {
-        let parsed = parser::parse(text)
-            .map_err(|err| ProtocolError::new(ErrorCode::NetlistError, err.to_string()))?;
+        self.load_as(text, NetlistFormat::Net)
+    }
+
+    /// [`load`](Self::load) with an explicit interchange format.
+    ///
+    /// The fingerprint key is computed over the canonical `.net` re-emission,
+    /// never the submitted text, so the same circuit keys identically whether
+    /// it arrived as `.net` or as structural Verilog.
+    pub fn load_as(&self, text: &str, format: NetlistFormat) -> Result<LoadReport, ProtocolError> {
+        let parsed = match format {
+            NetlistFormat::Net => parser::parse(text)
+                .map_err(|err| ProtocolError::new(ErrorCode::NetlistError, err.to_string()))?,
+            NetlistFormat::Verilog => verilog::parse_verilog(text)
+                .map_err(|err| ProtocolError::new(ErrorCode::NetlistError, err.to_string()))?,
+        };
         let canonical = writer::to_text(&parsed);
         let key = format!("c-{:016x}", fingerprint(library().name(), &canonical));
 
@@ -476,6 +492,31 @@ mod tests {
         assert_eq!(first.key, second.key);
         assert_eq!(cache.counters().compiles, 1);
         assert_eq!(cache.counters().hits, 1);
+    }
+
+    #[test]
+    fn verilog_loads_key_identically_to_net_loads() {
+        let cache = CircuitCache::new(4);
+        let native = cache.load(&c17_text()).unwrap();
+        let verilog = cache
+            .load_as(
+                &verilog::to_verilog(&generators::c17()),
+                NetlistFormat::Verilog,
+            )
+            .unwrap();
+        // Same circuit, different carrier format: one compile, one hit.
+        assert_eq!(native.key, verilog.key);
+        assert!(verilog.cached);
+        assert_eq!(cache.counters().compiles, 1);
+    }
+
+    #[test]
+    fn unparseable_verilog_reports_a_netlist_error() {
+        let cache = CircuitCache::new(4);
+        let err = cache
+            .load_as("module broken(", NetlistFormat::Verilog)
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NetlistError);
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub mod server;
 pub use cache::{CacheEntry, CircuitCache, LoadReport};
 pub use client::{Client, Response};
 pub use loadgen::{LoadOptions, LoadSummary, Target};
-pub use protocol::{ErrorCode, ModelSpec, ProtocolError, Request};
+pub use protocol::{ErrorCode, ModelSpec, NetlistFormat, ProtocolError, Request};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -206,13 +206,42 @@ pub enum EditCommand {
     },
 }
 
+/// Which interchange format a `load` request's netlist text is in.
+///
+/// Whatever the input format, the cache canonicalises through the native
+/// `.net` writer before fingerprinting, so the same circuit loads to the
+/// same key regardless of which format carried it over the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetlistFormat {
+    /// The repository's native `.net` format (the default).
+    Net,
+    /// The structural Verilog subset (see FORMATS.md).
+    Verilog,
+}
+
+impl NetlistFormat {
+    /// Parses the wire spelling (`"net"` / `"verilog"`).
+    pub fn parse(value: &str) -> Result<Self, ProtocolError> {
+        match value {
+            "net" => Ok(NetlistFormat::Net),
+            "verilog" => Ok(NetlistFormat::Verilog),
+            other => Err(ProtocolError::new(
+                ErrorCode::BadRequest,
+                format!("unknown format {other:?} (expected \"net\" or \"verilog\")"),
+            )),
+        }
+    }
+}
+
 /// A parsed request (the `"id"` is carried separately by the server loop).
 #[derive(Clone, Debug)]
 pub enum Request {
     /// Compile a netlist into the circuit cache.
     Load {
-        /// Netlist source text in the repository's netlist format.
+        /// Netlist source text, in `format`.
         netlist: String,
+        /// Which parser to run the text through (`"net"` when omitted).
+        format: NetlistFormat,
     },
     /// Run a stimulus suite against a cached circuit.
     Simulate {
@@ -455,6 +484,12 @@ fn parse_request_doc(doc: &Value) -> Result<Request, ProtocolError> {
     match require_str(doc, "op")? {
         "load" => Ok(Request::Load {
             netlist: require_str(doc, "netlist")?.to_string(),
+            format: match doc.get("format") {
+                None => NetlistFormat::Net,
+                Some(value) => NetlistFormat::parse(value.as_str().ok_or_else(|| {
+                    ProtocolError::new(ErrorCode::BadRequest, "field \"format\" must be a string")
+                })?)?,
+            },
         }),
         "simulate" => Ok(Request::Simulate {
             key: require_str(doc, "key")?.to_string(),
@@ -545,6 +580,33 @@ mod tests {
             }
             other => panic!("wrong request {other:?}"),
         }
+    }
+
+    #[test]
+    fn load_requests_default_to_the_net_format() {
+        let (_, request) = parse_request(br#"{"op":"load","id":1,"netlist":"circuit x"}"#);
+        match request.unwrap() {
+            Request::Load { format, .. } => assert_eq!(format, NetlistFormat::Net),
+            other => panic!("wrong request {other:?}"),
+        }
+
+        let (_, request) = parse_request(
+            br#"{"op":"load","id":2,"netlist":"module x; endmodule","format":"verilog"}"#,
+        );
+        match request.unwrap() {
+            Request::Load { format, .. } => assert_eq!(format, NetlistFormat::Verilog),
+            other => panic!("wrong request {other:?}"),
+        }
+
+        let (_, request) =
+            parse_request(br#"{"op":"load","id":3,"netlist":"circuit x","format":"edif"}"#);
+        let err = request.unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        assert!(err.message.contains("edif"), "{}", err.message);
+
+        let (_, request) =
+            parse_request(br#"{"op":"load","id":4,"netlist":"circuit x","format":7}"#);
+        assert_eq!(request.unwrap_err().code, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -363,8 +363,8 @@ fn dispatch(
     }
 
     match request {
-        Request::Load { netlist } => {
-            let outcome = shared.cache.load(&netlist);
+        Request::Load { netlist, format } => {
+            let outcome = shared.cache.load_as(&netlist, format);
             send_result(
                 shared,
                 reply,

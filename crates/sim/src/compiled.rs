@@ -371,6 +371,39 @@ impl<'a> CompiledCircuit<'a> {
         self.pin_thresholds[self.pins.index(pin)]
     }
 
+    /// The library timing arcs of one gate input pin.
+    pub fn pin_timing(&self, pin: PinRef) -> &PinTiming {
+        &self.pin_timing[self.pins.index(pin)]
+    }
+
+    /// The output load one gate drives (its output net's switched
+    /// capacitance).
+    pub fn gate_load(&self, gate: GateId) -> Capacitance {
+        self.gate_loads[gate.index()]
+    }
+
+    /// Exports the engine's fanout tables as a
+    /// [`CsrGraph`](halotis_netlist::graph::CsrGraph) — the same adjacency
+    /// [`NetlistGraph::to_csr`](halotis_netlist::graph::NetlistGraph::to_csr)
+    /// builds by walking the netlist, but read straight out of the compiled
+    /// CSR windows, so it reflects the circuit's current (possibly edited)
+    /// state.  Graph passes like [`sta`](crate::sta) run on this export.
+    pub fn fanout_csr(&self) -> halotis_netlist::graph::CsrGraph {
+        let edges = (0..self.netlist.net_count()).flat_map(|net_index| {
+            let start = self.fanout_start[net_index] as usize;
+            let len = self.fanout_len[net_index] as usize;
+            self.fanout_pins[start..start + len]
+                .iter()
+                .map(move |&pin| halotis_netlist::graph::GraphEdge {
+                    source: NetId::from_usize(net_index),
+                    target: self.gate_outputs[pin.gate().index()],
+                    gate: pin.gate(),
+                    pin: pin.input(),
+                })
+        });
+        halotis_netlist::graph::CsrGraph::from_edges(self.netlist.net_count(), edges)
+    }
+
     /// Allocates a fresh state arena sized for this circuit.
     ///
     /// The arena is reusable: every [`run_with`](CompiledCircuit::run_with)

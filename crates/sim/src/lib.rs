@@ -110,6 +110,7 @@ pub mod power;
 pub mod queue;
 pub mod ramp;
 pub mod result;
+pub mod sta;
 pub mod state;
 pub mod stats;
 pub mod wheel;

@@ -1,0 +1,328 @@
+//! Static timing analysis over the compiled circuit graph.
+//!
+//! [`analyze`] runs a topological longest-path pass on the
+//! [`CsrGraph`](halotis_netlist::graph::CsrGraph) exported by
+//! [`CompiledCircuit::fanout_csr`], using the same library timing arcs the
+//! event-driven engine evaluates — no separate characterisation, no
+//! duplicated delay math.  The result is a per-net **upper bound** on when
+//! activity on that net can end, measured from the end of the primary-input
+//! stimulus ramp that triggered it.
+//!
+//! The bound is conservative by construction, arc by arc:
+//!
+//! * an input event fires where the input ramp crosses the pin threshold,
+//!   which is never after the ramp ends (crossing progress is within
+//!   `[0, 1]`);
+//! * the nominal delay `tp0 = t_intrinsic + R·CL + S·tau_in` is linear in
+//!   the input slew, so its maximum over any realisable slew in
+//!   `[0, slew_bound]` is at an endpoint — both are evaluated, making the
+//!   bound robust to negative slew-sensitivity coefficients;
+//! * the output ramp starts at most `max(0, tp0 − tau_out/2)` after the
+//!   input event (the causality clamp of
+//!   [`ramp_start`](crate::ramp::ramp_start)) and lasts `tau_out`, which
+//!   depends only on the load — so per-net slew bounds are exact, not
+//!   estimates;
+//! * degradation (the DDM) only *shortens* or *cancels* transitions
+//!   relative to this nominal schedule, so the bound holds for every delay
+//!   model the engine ships.
+//!
+//! What the bound does **not** cover is the engine's `+1 fs` monotonicity
+//! nudge, which can push a ramp start one femtosecond past its predecessor
+//! any time two output ramps collide.  Callers comparing against simulated
+//! settle times add a margin of one femtosecond per recorded output
+//! transition (see [`StaReport::settle_bound_with_margin`]) — in practice
+//! nanometres of slack against picoseconds of path delay.
+//!
+//! The corpus-wide differential test (`tests/sta_differential.rs` at the
+//! workspace root) holds this invariant on every corpus entry: simulated
+//! last-settle under the Conventional model never exceeds the STA bound.
+//!
+//! # Example
+//!
+//! ```
+//! use halotis_netlist::{generators, technology};
+//! use halotis_sim::{sta, CompiledCircuit};
+//!
+//! let netlist = generators::ripple_carry_adder(4);
+//! let library = technology::cmos06();
+//! let circuit = CompiledCircuit::compile(&netlist, &library)?;
+//! let report = sta::analyze(&circuit, library.default_input_slew());
+//! // The carry chain is the critical path: it ends at the last carry out.
+//! let worst = report.worst_net();
+//! assert!(report.arrival(worst) >= report.arrival(netlist.net_id("s0").unwrap()));
+//! assert!(!report.critical_path().is_empty());
+//! # Ok::<(), halotis_sim::SimulationError>(())
+//! ```
+
+use halotis_core::{Edge, NetId, PinRef, Time, TimeDelta};
+use halotis_delay::nominal;
+use halotis_netlist::graph::GraphEdge;
+use halotis_waveform::Stimulus;
+
+use crate::compiled::CompiledCircuit;
+
+/// The result of a static-timing pass: per-net arrival/slew bounds and the
+/// critical path that set the worst one.  Produced by [`analyze`].
+#[derive(Clone, Debug)]
+pub struct StaReport {
+    /// Upper bound on the end of activity per net, relative to the end of
+    /// the triggering primary-input ramp.
+    arrival: Vec<TimeDelta>,
+    /// Upper bound on the output-ramp duration per net (exact per arc: the
+    /// conventional model's output slew is load-only).
+    slew: Vec<TimeDelta>,
+    /// The graph edge that set each net's arrival bound (`None` for primary
+    /// inputs).
+    predecessor: Vec<Option<GraphEdge>>,
+    /// The net with the largest arrival bound.
+    worst: NetId,
+}
+
+impl StaReport {
+    /// The arrival-bound of one net: activity on it ends at most this long
+    /// after the primary-input ramp that triggered it ends.
+    pub fn arrival(&self, net: NetId) -> TimeDelta {
+        self.arrival[net.index()]
+    }
+
+    /// The output-slew bound of one net.
+    pub fn slew(&self, net: NetId) -> TimeDelta {
+        self.slew[net.index()]
+    }
+
+    /// The net with the largest arrival bound.
+    pub fn worst_net(&self) -> NetId {
+        self.worst
+    }
+
+    /// The largest arrival bound — the topological critical-path delay.
+    pub fn worst_arrival(&self) -> TimeDelta {
+        self.arrival[self.worst.index()]
+    }
+
+    /// The critical path as graph edges from a primary input to
+    /// [`worst_net`](Self::worst_net), in propagation order.
+    pub fn critical_path(&self) -> Vec<GraphEdge> {
+        let mut path = Vec::new();
+        let mut net = self.worst;
+        while let Some(edge) = self.predecessor[net.index()] {
+            path.push(edge);
+            net = edge.source;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Absolute settle bound for a stimulus: no net activity after
+    /// `stimulus.last_activity() + worst_arrival()`.  A stimulus with no
+    /// transitions at all anchors the bound at time zero (initial
+    /// settlement only).
+    pub fn settle_bound(&self, stimulus: &Stimulus) -> Time {
+        stimulus.last_activity().unwrap_or(Time::ZERO) + self.worst_arrival()
+    }
+
+    /// [`settle_bound`](Self::settle_bound) plus one femtosecond per
+    /// recorded output transition, covering the engine's worst-case
+    /// accumulation of `+1 fs` monotonicity nudges (see the module docs).
+    pub fn settle_bound_with_margin(&self, stimulus: &Stimulus, output_transitions: usize) -> Time {
+        self.settle_bound(stimulus) + TimeDelta::from_fs(output_transitions as i64)
+    }
+}
+
+/// The worst-case arrival/slew increment of one graph edge: how much later
+/// than its input-net bound activity on the target net can end, and how
+/// long the resulting output ramp can be.
+fn edge_increment(
+    circuit: &CompiledCircuit<'_>,
+    edge: GraphEdge,
+    input_slew_bound: TimeDelta,
+) -> (TimeDelta, TimeDelta) {
+    let load = circuit.gate_load(edge.gate);
+    let timing = circuit.pin_timing(PinRef::new(edge.gate, edge.pin));
+    let mut worst_increment = TimeDelta::ZERO;
+    let mut worst_slew = TimeDelta::ZERO;
+    for direction in [Edge::Rise, Edge::Fall] {
+        let arc = timing.for_edge(direction);
+        // tp0 is linear in the input slew; realisable slews lie in
+        // [0, input_slew_bound], so the max is at an endpoint.
+        let at_zero = nominal::timing(arc, load, TimeDelta::ZERO);
+        let at_bound = nominal::timing(arc, load, input_slew_bound);
+        let delay = at_zero.delay.max(at_bound.delay);
+        let tau = at_zero.output_slew.max(at_bound.output_slew);
+        // Mirror ramp_start's integer arithmetic exactly: the ramp begins
+        // max(0, delay - tau/2) after the event and ends tau later.
+        let half = tau / 2;
+        let start_offset = if delay > half {
+            delay - half
+        } else {
+            TimeDelta::ZERO
+        };
+        worst_increment = worst_increment.max(start_offset + tau);
+        worst_slew = worst_slew.max(tau);
+    }
+    (worst_increment, worst_slew)
+}
+
+/// Runs the static-timing pass on a compiled circuit.
+///
+/// `input_slew` bounds the slew of every primary-input transition the
+/// stimulus will carry — pass the stimulus's slew (usually
+/// `library.default_input_slew()`); a larger value only loosens the bound.
+///
+/// The pass is a Kahn propagation over [`CompiledCircuit::fanout_csr`]:
+/// primary-input nets start at zero, every gate finalises its output once
+/// all input nets are bounded, and each edge's increment is the worst of
+/// its rise/fall arcs (see the module docs for why this bounds the
+/// event-driven engine).  Runs in O(nets + pins).
+pub fn analyze(circuit: &CompiledCircuit<'_>, input_slew: TimeDelta) -> StaReport {
+    let netlist = circuit.netlist();
+    let csr = circuit.fanout_csr();
+    let net_count = netlist.net_count();
+
+    let mut arrival = vec![TimeDelta::ZERO; net_count];
+    let mut slew = vec![TimeDelta::ZERO; net_count];
+    let mut predecessor: Vec<Option<GraphEdge>> = vec![None; net_count];
+
+    // A gate finalises its output net once every input net is bounded.
+    let mut pending_inputs: Vec<u32> = netlist
+        .gates()
+        .iter()
+        .map(|gate| gate.inputs().len() as u32)
+        .collect();
+
+    let mut worklist: Vec<NetId> = netlist.primary_inputs().to_vec();
+    for &input in netlist.primary_inputs() {
+        slew[input.index()] = input_slew;
+    }
+
+    let mut finalized = worklist.len();
+    while let Some(net) = worklist.pop() {
+        let net_arrival = arrival[net.index()];
+        let net_slew = slew[net.index()];
+        for &edge in csr.outgoing(net) {
+            let (increment, tau) = edge_increment(circuit, edge, net_slew);
+            let candidate = net_arrival + increment;
+            let target = edge.target.index();
+            if candidate > arrival[target] || predecessor[target].is_none() {
+                arrival[target] = candidate;
+                predecessor[target] = Some(edge);
+            }
+            slew[target] = slew[target].max(tau);
+            let gate = edge.gate.index();
+            pending_inputs[gate] -= 1;
+            if pending_inputs[gate] == 0 {
+                worklist.push(netlist.gates()[gate].output());
+                finalized += 1;
+            }
+        }
+    }
+    debug_assert_eq!(
+        finalized, net_count,
+        "netlist validation guarantees an acyclic graph"
+    );
+
+    let worst = (0..net_count)
+        .map(NetId::from_usize)
+        .max_by_key(|net| arrival[net.index()])
+        .expect("netlists have at least one net");
+    StaReport {
+        arrival,
+        slew,
+        predecessor,
+        worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halotis_core::LogicLevel;
+    use halotis_netlist::{generators, technology};
+    use halotis_waveform::Stimulus;
+
+    use crate::config::SimulationConfig;
+    use crate::observer::SimObserver;
+
+    #[test]
+    fn deeper_chains_have_larger_bounds() {
+        let library = technology::cmos06();
+        let slew = library.default_input_slew();
+        let short = generators::inverter_chain(2);
+        let long = generators::inverter_chain(8);
+        let short_sta = analyze(&CompiledCircuit::compile(&short, &library).unwrap(), slew);
+        let long_sta = analyze(&CompiledCircuit::compile(&long, &library).unwrap(), slew);
+        assert!(long_sta.worst_arrival() > short_sta.worst_arrival());
+        assert_eq!(long_sta.critical_path().len(), 8);
+    }
+
+    #[test]
+    fn critical_path_walks_gate_by_gate_from_a_primary_input() {
+        let netlist = generators::ripple_carry_adder(4);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let report = analyze(&circuit, library.default_input_slew());
+        let path = report.critical_path();
+        assert!(!path.is_empty());
+        let first = path.first().unwrap();
+        assert!(netlist.primary_inputs().contains(&first.source));
+        assert_eq!(path.last().unwrap().target, report.worst_net());
+        for pair in path.windows(2) {
+            assert_eq!(pair[0].target, pair[1].source);
+        }
+    }
+
+    #[test]
+    fn larger_input_slew_cannot_tighten_the_bound() {
+        let netlist = generators::ripple_carry_adder(3);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let tight = analyze(&circuit, TimeDelta::ZERO);
+        let loose = analyze(&circuit, library.default_input_slew() * 4);
+        assert!(loose.worst_arrival() >= tight.worst_arrival());
+    }
+
+    /// The soundness contract on a small circuit: simulated settle under
+    /// both built-in models stays below the STA bound.  (The corpus-wide
+    /// version lives in `tests/sta_differential.rs`.)
+    #[test]
+    fn simulated_settle_respects_the_bound() {
+        struct LastEnd(Time);
+        impl SimObserver for LastEnd {
+            fn on_transition(&mut self, _net: NetId, transition: &halotis_waveform::Transition) {
+                self.0 = self.0.max(transition.end());
+            }
+        }
+
+        let netlist = generators::ripple_carry_adder(4);
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let report = analyze(&circuit, library.default_input_slew());
+
+        let mut stimulus = Stimulus::new(library.default_input_slew());
+        for &input in netlist.primary_inputs() {
+            stimulus.set_initial(netlist.net(input).name(), LogicLevel::Low);
+        }
+        for (index, &input) in netlist.primary_inputs().iter().enumerate() {
+            stimulus.drive(
+                netlist.net(input).name(),
+                Time::from_ns(1.0 + 0.2 * index as f64),
+                LogicLevel::High,
+            );
+        }
+
+        for config in [SimulationConfig::ddm(), SimulationConfig::cdm()] {
+            let mut state = circuit.new_state();
+            let mut last = LastEnd(Time::ZERO);
+            let stats = circuit
+                .run_observed(&mut state, &stimulus, &config, &mut last)
+                .unwrap();
+            let bound = report.settle_bound_with_margin(&stimulus, stats.output_transitions);
+            assert!(
+                last.0 <= bound,
+                "settle {:?} exceeds STA bound {:?}",
+                last.0,
+                bound
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validates the netlist snippets embedded in the Markdown documentation.
+
+FORMATS.md (and any other documented Markdown file) promises that every
+fenced code block tagged ```net or ```verilog is a complete, parseable
+circuit.  This script makes that promise mechanical: it extracts each such
+block and feeds it through the *real* parsers via
+`halotis-corpus --import FILE --format {net,verilog}` — which also verifies
+the round-trip identity and compiles the circuit — so a grammar change that
+invalidates a documented example fails CI instead of silently rotting the
+docs.
+
+Blocks tagged with any other language (```json, ```text, plain ```) are
+ignored: fragments and wire-protocol excerpts are not required to parse.
+
+Usage:
+    check_doc_snippets.py [--binary PATH] [FILES...]
+    check_doc_snippets.py --self-test
+
+With no FILES, checks FORMATS.md and PROTOCOL.md relative to the
+repository root (the script's parent directory).  `--binary` points at the
+`halotis-corpus` executable (default: target/release/halotis-corpus, as
+built by the CI release build).
+
+Exit codes: 0 all snippets parse, 1 a snippet failed or no snippets were
+found where some were expected, 2 usage error.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_FILES = ["FORMATS.md", "PROTOCOL.md"]
+DEFAULT_BINARY = os.path.join("target", "release", "halotis-corpus")
+CHECKED_TAGS = {"net": "net", "verilog": "verilog"}
+EXTENSIONS = {"net": ".net", "verilog": ".v"}
+
+
+def extract_snippets(text):
+    """Yields (start_line, tag, body) for each checked fenced block.
+
+    Only fences opened exactly as ```net or ```verilog are extracted; the
+    closing fence is a line that is ``` after stripping.  An unterminated
+    fence is reported as a snippet error by the caller (tag "unterminated").
+    """
+    snippets = []
+    tag = None
+    body = []
+    start = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if tag is None:
+            if stripped.startswith("```"):
+                fence_tag = stripped[3:].strip()
+                if fence_tag in CHECKED_TAGS:
+                    tag = fence_tag
+                    body = []
+                    start = number
+                else:
+                    # Uninteresting block: skip to its closing fence so a
+                    # ``` inside it cannot open a phantom checked block.
+                    tag = ""
+        elif stripped == "```":
+            if tag in CHECKED_TAGS:
+                snippets.append((start, tag, "\n".join(body) + "\n"))
+            tag = None
+        elif tag in CHECKED_TAGS:
+            body.append(line)
+    if tag in CHECKED_TAGS:
+        snippets.append((start, "unterminated", ""))
+    return snippets
+
+
+def check_file(path, binary):
+    """Runs every checked snippet of one Markdown file. Returns (ran, failures)."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    failures = []
+    ran = 0
+    for start, tag, body in extract_snippets(text):
+        where = f"{path}:{start}"
+        if tag == "unterminated":
+            failures.append(f"{where}: unterminated fenced block")
+            continue
+        ran += 1
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=EXTENSIONS[tag], delete=False, encoding="utf-8"
+        ) as snippet:
+            snippet.write(body)
+            snippet_path = snippet.name
+        try:
+            result = subprocess.run(
+                [binary, "--import", snippet_path, "--format", CHECKED_TAGS[tag]],
+                capture_output=True,
+                text=True,
+            )
+            if result.returncode != 0:
+                detail = (result.stderr or result.stdout).strip()
+                failures.append(f"{where}: {tag} snippet rejected: {detail}")
+        finally:
+            os.unlink(snippet_path)
+    return ran, failures
+
+
+def self_test():
+    """Exercises extraction and verdicts without the Rust binary."""
+    sample = "\n".join(
+        [
+            "# Doc",
+            "```net",
+            "circuit t",
+            "```",
+            "```json",
+            '{"op":"load"}',
+            "```",
+            "```",
+            "plain block, ignored",
+            "```",
+            "```verilog",
+            "module t; endmodule",
+            "```",
+        ]
+    )
+    snippets = extract_snippets(sample)
+    assert [(s[0], s[1]) for s in snippets] == [(2, "net"), (11, "verilog")], snippets
+    assert snippets[0][2] == "circuit t\n", snippets[0]
+
+    unterminated = extract_snippets("```net\ncircuit t")
+    assert unterminated and unterminated[-1][1] == "unterminated", unterminated
+
+    # A fake "binary" that accepts .net and rejects .v proves both verdict
+    # paths without needing cargo artifacts in the lint job.
+    with tempfile.TemporaryDirectory() as scratch:
+        fake = os.path.join(scratch, "fake-corpus")
+        with open(fake, "w", encoding="utf-8") as handle:
+            handle.write(
+                "#!/bin/sh\n"
+                'case "$2" in *.net) exit 0 ;; *) echo "line 1: no" >&2; exit 1 ;; esac\n'
+            )
+        os.chmod(fake, 0o755)
+        doc = os.path.join(scratch, "doc.md")
+        with open(doc, "w", encoding="utf-8") as handle:
+            handle.write("```net\ncircuit ok\n```\n```verilog\nbroken\n```\n")
+        ran, failures = check_file(doc, fake)
+        assert ran == 2, ran
+        assert len(failures) == 1 and "verilog snippet rejected" in failures[0], failures
+
+    print(
+        "check_doc_snippets self-test passed: extraction, tag filtering, "
+        "unterminated fences and both verdict paths behave"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="Markdown files to check")
+    parser.add_argument("--binary", default=None, help="halotis-corpus executable")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the script's own extraction and verdict logic, then exit",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    binary = args.binary or os.path.join(REPO_ROOT, DEFAULT_BINARY)
+    if not os.path.exists(binary):
+        print(
+            f"error: {binary} not found — build it first "
+            "(cargo build --release) or pass --binary",
+            file=sys.stderr,
+        )
+        return 2
+    files = args.files or [os.path.join(REPO_ROOT, name) for name in DEFAULT_FILES]
+
+    total_ran = 0
+    all_failures = []
+    for path in files:
+        ran, failures = check_file(path, binary)
+        total_ran += ran
+        all_failures.extend(failures)
+        print(f"{path}: {ran} snippet(s) checked, {len(failures)} failure(s)")
+    for failure in all_failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if all_failures:
+        return 1
+    if total_ran == 0:
+        print("error: no ```net/```verilog snippets found at all", file=sys.stderr)
+        return 1
+    print(f"all {total_ran} documented snippets parse, round-trip and compile")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@
 //! ```text
 //! halotis-corpus [--out CORPUS_stats.json] [--timing PATH] [--threads N]
 //!                [--repeats N] [--deterministic] [--list] [--check GOLDEN]
-//!                [--power-report N]
+//!                [--power-report N] [--export DIR] [--import PATH]
+//!                [--format net|verilog]
 //! ```
 //!
 //! * `--out PATH` — write the statistics JSON.  Stats are only written when
@@ -24,18 +25,75 @@
 //!   variant of `scripts/corpus_diff.py`),
 //! * `--power-report N` — print the `N` most energetic nets of the whole
 //!   corpus run (energy summed per net across every scenario; ordering is
-//!   deterministic, ties break on entry and net names).
+//!   deterministic, ties break on entry and net names),
+//! * `--export DIR` — write every corpus circuit to `DIR` in the chosen
+//!   interchange format (`<entry>.net` or `<entry>.v`), run nothing else,
+//! * `--import PATH` — parse one netlist file, compile it against the
+//!   default library and print its vital signs (gates, nets, depth, STA
+//!   critical path) — the smoke test for externally produced netlists,
+//! * `--format net|verilog` — interchange format for `--export`/`--import`
+//!   (default: `net`, or inferred from the `--import` file extension;
+//!   see `FORMATS.md`).
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
 use halotis::corpus::{standard_corpus, CorpusRunner};
-use halotis::netlist::technology;
+use halotis::netlist::{parser, technology, verilog, writer, Netlist};
+use halotis::sim::{sta, CompiledCircuit};
 
 const USAGE: &str = "usage: halotis-corpus [--out PATH] [--timing PATH] [--threads N] \
                      [--repeats N] [--deterministic] [--list] [--check GOLDEN] \
-                     [--power-report N]";
+                     [--power-report N] [--export DIR] [--import PATH] \
+                     [--format net|verilog]";
+
+/// The two interchange formats of `FORMATS.md`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Net,
+    Verilog,
+}
+
+impl Format {
+    fn parse(value: &str) -> Result<Format, String> {
+        match value {
+            "net" => Ok(Format::Net),
+            "verilog" => Ok(Format::Verilog),
+            other => Err(format!("unknown format {other} (expected net or verilog)")),
+        }
+    }
+
+    fn from_extension(path: &str) -> Option<Format> {
+        let extension = path.rsplit('.').next()?;
+        match extension {
+            "net" => Some(Format::Net),
+            "v" | "sv" => Some(Format::Verilog),
+            _ => None,
+        }
+    }
+
+    fn extension(self) -> &'static str {
+        match self {
+            Format::Net => "net",
+            Format::Verilog => "v",
+        }
+    }
+
+    fn emit(self, netlist: &Netlist) -> String {
+        match self {
+            Format::Net => writer::to_text(netlist),
+            Format::Verilog => verilog::to_verilog(netlist),
+        }
+    }
+
+    fn parse_text(self, text: &str) -> Result<Netlist, String> {
+        match self {
+            Format::Net => parser::parse(text).map_err(|err| err.to_string()),
+            Format::Verilog => verilog::parse_verilog(text).map_err(|err| err.to_string()),
+        }
+    }
+}
 
 struct Options {
     out: Option<String>,
@@ -46,6 +104,9 @@ struct Options {
     list: bool,
     check: Option<String>,
     power_report: Option<usize>,
+    export: Option<String>,
+    import: Option<String>,
+    format: Option<Format>,
 }
 
 impl Options {
@@ -68,6 +129,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         list: false,
         check: None,
         power_report: None,
+        export: None,
+        import: None,
+        format: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -101,11 +165,96 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--power-report needs an integer".to_string())?,
                 )
             }
+            "--export" => options.export = Some(value_of("--export")?),
+            "--import" => options.import = Some(value_of("--import")?),
+            "--format" => options.format = Some(Format::parse(&value_of("--format")?)?),
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }
     }
     Ok(options)
+}
+
+/// `--import`: parse, compile and profile one external netlist — the
+/// entry check for files produced by other tools (and the hook
+/// `scripts/check_doc_snippets.py` uses to validate documentation
+/// examples against the real parsers).
+fn import_netlist(path: &str, format: Format) -> ExitCode {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let netlist = match format.parse_text(&text) {
+        Ok(netlist) => netlist,
+        Err(message) => {
+            eprintln!("{path}: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Canonical re-emission must reconstruct the parsed netlist exactly —
+    // the round-trip identity FORMATS.md promises, checked on every import.
+    match format.parse_text(&format.emit(&netlist)) {
+        Ok(round_tripped) if round_tripped == netlist => {}
+        Ok(_) => {
+            eprintln!("{path}: round trip is not the identity (emission bug)");
+            return ExitCode::FAILURE;
+        }
+        Err(message) => {
+            eprintln!("{path}: canonical re-emission fails to parse: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let library = technology::cmos06();
+    let circuit = match CompiledCircuit::compile(&netlist, &library) {
+        Ok(circuit) => circuit,
+        Err(error) => {
+            eprintln!("{path}: compiles against no library cell: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = sta::analyze(&circuit, library.default_input_slew());
+    println!(
+        "{}: {} gates, {} nets, {} inputs, {} outputs, depth {}",
+        netlist.name(),
+        netlist.gate_count(),
+        netlist.net_count(),
+        netlist.primary_inputs().len(),
+        netlist.primary_outputs().len(),
+        circuit.levels().depth(),
+    );
+    println!(
+        "round trip: identity ok; sta critical path {} arcs, {:.1} ps to {}",
+        report.critical_path().len(),
+        report.worst_arrival().as_ps(),
+        netlist.net(report.worst_net()).name(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--export DIR`: write every corpus circuit in the chosen format, ready
+/// to feed external tools (or to re-import as a parser stress test).
+fn export_corpus(corpus: &[halotis::corpus::CorpusEntry], dir: &str, format: Format) -> ExitCode {
+    if let Err(error) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {error}");
+        return ExitCode::FAILURE;
+    }
+    let mut written = 0usize;
+    for entry in corpus {
+        let path = format!("{dir}/{}.{}", entry.name, format.extension());
+        if let Err(error) = fs::write(&path, format.emit(&entry.netlist)) {
+            eprintln!("cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        written += 1;
+    }
+    println!(
+        "exported {written} circuits to {dir}/*.{}",
+        format.extension()
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -122,7 +271,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &options.import {
+        let format = options
+            .format
+            .or_else(|| Format::from_extension(path))
+            .unwrap_or(Format::Net);
+        return import_netlist(path, format);
+    }
+
     let corpus = standard_corpus();
+
+    if let Some(dir) = &options.export {
+        return export_corpus(&corpus, dir, options.format.unwrap_or(Format::Net));
+    }
 
     if options.list {
         let library = technology::cmos06();

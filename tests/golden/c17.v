@@ -1,0 +1,11 @@
+module c17(i1, i2, i3, i6, i7, o22, o23);
+  input i1, i2, i3, i6, i7;
+  output o22, o23;
+  wire i1, i2, i3, i6, i7, n10, n11, n16, n19, o22, o23;
+  nand g10 (n10, i1, i3);
+  nand g11 (n11, i3, i6);
+  nand g16 (n16, i2, n11);
+  nand g19 (n19, n11, i7);
+  nand g22 (o22, n10, n16);
+  nand g23 (o23, n16, n19);
+endmodule

@@ -1,0 +1,124 @@
+//! The STA-vs-simulation differential layer: on every corpus entry, the
+//! static-timing bound of `halotis_sim::sta` must dominate the settle time
+//! the event-driven engine actually produces.
+//!
+//! The two sides share nothing but the compiled timing arcs: STA is a
+//! topological longest-path pass over the fanout CSR, the engine is an
+//! event queue over ramp crossings — so agreement here cross-checks the
+//! graph export, the arc math and the engine's scheduling rules against
+//! each other on all 22 corpus circuits.  The acceptance contract is the
+//! Conventional column (STA bounds nominal scheduling directly); the
+//! degradation and mixed columns are held too, since degradation only
+//! shortens or cancels transitions.
+
+use halotis::core::{NetId, Time, TimeDelta};
+use halotis::corpus::standard_corpus;
+use halotis::netlist::technology;
+use halotis::sim::observer::SimObserver;
+use halotis::sim::{sta, CompiledCircuit};
+use halotis::waveform::Transition;
+
+/// Tracks the instant the last output ramp ends — "settled" in the
+/// strongest sense: every net is at its final rail.
+struct LastSettle(Time);
+
+impl SimObserver for LastSettle {
+    fn on_transition(&mut self, _net: NetId, transition: &Transition) {
+        self.0 = self.0.max(transition.end());
+    }
+}
+
+#[test]
+fn sta_bound_dominates_simulated_settle_on_every_corpus_entry() {
+    let library = technology::cmos06();
+    let corpus = standard_corpus();
+    assert!(corpus.len() >= 22, "corpus shrank to {}", corpus.len());
+
+    for entry in &corpus {
+        let circuit = CompiledCircuit::compile(&entry.netlist, &library)
+            .unwrap_or_else(|err| panic!("{}: compile failed: {err}", entry.name));
+        let report = sta::analyze(&circuit, library.default_input_slew());
+        assert!(
+            report.worst_arrival() > TimeDelta::ZERO,
+            "{}: STA found no path",
+            entry.name
+        );
+
+        let mut state = circuit.new_state();
+        let mut checked = 0usize;
+        let mut min_slack: Option<TimeDelta> = None;
+        for scenario in entry.scenarios(&library) {
+            let mut settle = LastSettle(Time::ZERO);
+            let stats = circuit
+                .run_observed(
+                    &mut state,
+                    &scenario.stimulus,
+                    &scenario.config,
+                    &mut settle,
+                )
+                .unwrap_or_else(|err| panic!("{}: run failed: {err}", scenario.label));
+            let bound =
+                report.settle_bound_with_margin(&scenario.stimulus, stats.output_transitions);
+            assert!(
+                settle.0 <= bound,
+                "{}: simulated settle {} ps exceeds STA bound {} ps",
+                scenario.label,
+                settle.0.as_ps(),
+                bound.as_ps()
+            );
+            let slack = bound.delta_since(settle.0);
+            min_slack = Some(min_slack.map_or(slack, |s| s.min(slack)));
+            checked += 1;
+        }
+        assert!(checked > 0, "{}: no scenarios ran", entry.name);
+        // Slack report: how much headroom the topological bound leaves over
+        // the worst observed settle across all model columns.
+        println!(
+            "{:<14} critical path {:>3} arcs, sta {:>9.1} ps, min slack {:>9.1} ps over {} scenarios",
+            entry.name,
+            report.critical_path().len(),
+            report.worst_arrival().as_ps(),
+            min_slack.expect("checked > 0").as_ps(),
+            checked
+        );
+    }
+}
+
+/// The per-entry worst net must be reachable through the reported critical
+/// path, and the path's arc count can never exceed the circuit depth.
+#[test]
+fn critical_paths_are_well_formed_on_the_corpus() {
+    let library = technology::cmos06();
+    for entry in standard_corpus() {
+        let circuit = CompiledCircuit::compile(&entry.netlist, &library).unwrap();
+        let report = sta::analyze(&circuit, library.default_input_slew());
+        let path = report.critical_path();
+        assert!(!path.is_empty(), "{}: empty critical path", entry.name);
+        assert!(
+            entry
+                .netlist
+                .primary_inputs()
+                .contains(&path.first().unwrap().source),
+            "{}: critical path does not start at a primary input",
+            entry.name
+        );
+        assert_eq!(
+            path.last().unwrap().target,
+            report.worst_net(),
+            "{}: critical path does not end at the worst net",
+            entry.name
+        );
+        for pair in path.windows(2) {
+            assert_eq!(
+                pair[0].target, pair[1].source,
+                "{}: broken path",
+                entry.name
+            );
+        }
+        assert!(
+            path.len() <= circuit.levels().depth(),
+            "{}: path longer than circuit depth",
+            entry.name
+        );
+    }
+}
