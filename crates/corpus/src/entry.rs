@@ -87,9 +87,11 @@ impl CorpusEntry {
 
 /// The standard HALOTIS corpus: scalable multipliers (array and Wallace
 /// tree), ripple-/carry-skip/Kogge-Stone adders, parity trees, layered
-/// random logic and the ISCAS-85 circuits c17, c432 and c880 (the latter
-/// two loaded from committed netlist files through the parser), each
-/// paired with the stimulus suite that stresses it best.
+/// random logic, the ISCAS-85 circuits c17, c432 and c880 (the latter
+/// two loaded from committed netlist files through the parser), and the
+/// sequential ISCAS-89 s27 under clocked suites — including a
+/// multi-thousand-cycle soak — each paired with the stimulus suite that
+/// stresses it best.
 ///
 /// The definition is **frozen by the golden-stats gate**: any change here
 /// (an entry, a seed, a size) changes `CORPUS_stats.json` and must
@@ -286,6 +288,36 @@ pub fn standard_corpus() -> Vec<CorpusEntry> {
                 seed: 0x880,
                 max_probes: 4,
                 pulse: ps(800.0),
+            },
+        ),
+        // Sequential entries (appended so earlier scenario labels never
+        // shift): the ISCAS-89 s27 under a short clocked suite and a
+        // multi-thousand-cycle soak whose events-per-cycle and queue
+        // high-water telemetry the golden gate pins.  The clock shapes
+        // leave well over the circuit's ~1.6 ns data-to-register settle
+        // time between the data change (fall + skew) and the next rising
+        // edge, so the registers always latch settled values and the runs
+        // track the cycle-accurate reference model.
+        CorpusEntry::new(
+            "s27_clk64",
+            iscas::s27(),
+            StimulusSuite::Clocked {
+                cycles: 64,
+                period: ns(6.0),
+                high: ns(2.0),
+                skew: ps(500.0),
+                seed: 0x27,
+            },
+        ),
+        CorpusEntry::new(
+            "s27_soak",
+            iscas::s27(),
+            StimulusSuite::Clocked {
+                cycles: 2500,
+                period: ns(4.0),
+                high: ns(1.0),
+                skew: ps(250.0),
+                seed: 0x527,
             },
         ),
     ]

@@ -233,6 +233,10 @@ impl CorpusRunner {
                     label: outcome.label.clone(),
                     model: scenario.config.model.label().to_string(),
                     stats: *run_stats,
+                    events_per_cycle: entry
+                        .suite
+                        .cycles()
+                        .map(|cycles| run_stats.events_processed as f64 / cycles as f64),
                     glitch_pulses: glitches.total_glitches(),
                     energy_joules: power.total_joules(),
                     wall_time_ns: clock.elapsed().map(|elapsed| elapsed.as_nanos()),

@@ -28,6 +28,9 @@ pub struct ScenarioRecord {
     pub model: String,
     /// Engine counters of the run.
     pub stats: SimulationStats,
+    /// Events processed per clock cycle — the event-budget telemetry of the
+    /// clocked soak scenarios.  `None` for unclocked (combinational) suites.
+    pub events_per_cycle: Option<f64>,
     /// Glitch pulses on the half-swing projection (see
     /// [`GlitchProfile`](crate::GlitchProfile)).
     pub glitch_pulses: usize,
@@ -159,6 +162,14 @@ impl CorpusStats {
                 write_stats(&mut out, "          ", &scenario.stats);
                 let _ = writeln!(
                     out,
+                    "          \"events_per_cycle\": {},",
+                    match scenario.events_per_cycle {
+                        Some(events) => json_f64(events),
+                        None => "null".to_string(),
+                    }
+                );
+                let _ = writeln!(
+                    out,
                     "          \"glitch_pulses\": {},",
                     scenario.glitch_pulses
                 );
@@ -214,6 +225,11 @@ fn write_stats(out: &mut String, indent: &str, stats: &SimulationStats) {
         out,
         "{indent}\"collapsed_transitions\": {},",
         stats.collapsed_transitions
+    );
+    let _ = writeln!(
+        out,
+        "{indent}\"queue_high_water\": {},",
+        stats.queue_high_water
     );
 }
 
@@ -274,7 +290,9 @@ mod tests {
                             output_transitions: 5,
                             degraded_transitions: 3,
                             collapsed_transitions: 1,
+                            queue_high_water: 4,
                         },
+                        events_per_cycle: Some(2.5),
                         glitch_pulses: 2,
                         energy_joules: 1.25e-13,
                         wall_time_ns: Some(999),
@@ -283,6 +301,7 @@ mod tests {
                         label: "e1/exh/cdm".into(),
                         model: "CDM".into(),
                         stats: SimulationStats::default(),
+                        events_per_cycle: None,
                         glitch_pulses: 0,
                         energy_joules: 0.0,
                         wall_time_ns: None,
@@ -305,6 +324,9 @@ mod tests {
         assert!(json.contains("\"wall_time_ns\": 999"));
         assert!(json.contains("\"wall_time_ns\": null"));
         assert!(json.contains("\"glitch_pulses\": 2"));
+        assert!(json.contains("\"queue_high_water\": 4"));
+        assert!(json.contains("\"events_per_cycle\": 2.5e0"));
+        assert!(json.contains("\"events_per_cycle\": null"));
     }
 
     #[test]

@@ -48,6 +48,25 @@ pub enum StimulusSuite {
         /// Width of the injected pulse.
         pulse: TimeDelta,
     },
+    /// One stimulus driving a sequential circuit for `cycles` clock
+    /// periods: the **first** primary input (the ISCAS-89 clock
+    /// convention) gets a periodic waveform — rising at the start of every
+    /// cycle, falling `high` later — and the remaining data inputs receive
+    /// a fresh seeded random pattern `skew` after each falling edge, so
+    /// data settles during the low phase and is captured at the next rising
+    /// edge.  All durations are integer femtoseconds.
+    Clocked {
+        /// Number of whole clock periods to run.
+        cycles: usize,
+        /// Clock period.
+        period: TimeDelta,
+        /// Clock high time (the duty cycle, as an absolute duration).
+        high: TimeDelta,
+        /// Offset from the falling edge to the data-input change.
+        skew: TimeDelta,
+        /// PRNG seed for the per-cycle data patterns.
+        seed: u64,
+    },
 }
 
 impl StimulusSuite {
@@ -58,6 +77,17 @@ impl StimulusSuite {
             StimulusSuite::RandomVectors { vectors, .. } => format!("rand{vectors}"),
             StimulusSuite::Exhaustive { .. } => "exh".to_string(),
             StimulusSuite::ToggleProbes { max_probes, .. } => format!("toggle{max_probes}"),
+            StimulusSuite::Clocked { cycles, .. } => format!("clk{cycles}"),
+        }
+    }
+
+    /// The number of clock cycles a [`Clocked`](StimulusSuite::Clocked)
+    /// suite runs, `None` for the combinational suites — the denominator of
+    /// the events-per-cycle soak telemetry.
+    pub fn cycles(&self) -> Option<usize> {
+        match *self {
+            StimulusSuite::Clocked { cycles, .. } => Some(cycles),
+            _ => None,
         }
     }
 
@@ -141,6 +171,42 @@ impl StimulusSuite {
                         (format!("probe{probe}"), stimulus)
                     })
                     .collect()
+            }
+            StimulusSuite::Clocked {
+                cycles,
+                period,
+                high,
+                skew,
+                seed,
+            } => {
+                assert!(
+                    TimeDelta::ZERO < high && high + skew < period,
+                    "clock shape must satisfy 0 < high and high + skew < period"
+                );
+                let clock = inputs[0];
+                let data = &inputs[1..];
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut stimulus = Stimulus::new(slew);
+                for name in &inputs {
+                    stimulus.set_initial(*name, LogicLevel::Low);
+                }
+                let mask = if data.is_empty() {
+                    0
+                } else {
+                    u64::MAX >> (64 - data.len())
+                };
+                let start = Time::from_ns(1.0);
+                for cycle in 0..cycles {
+                    let rise = start + period * cycle as i64;
+                    let fall = rise + high;
+                    stimulus.drive(clock, rise, LogicLevel::High);
+                    stimulus.drive(clock, fall, LogicLevel::Low);
+                    if !data.is_empty() {
+                        let pattern = rng.gen::<u64>() & mask;
+                        stimulus.drive_bus_value(data, pattern, fall + skew);
+                    }
+                }
+                vec![(self.label(), stimulus)]
             }
         }
     }
@@ -248,6 +314,63 @@ mod tests {
             }
             assert_eq!(driven, 1);
         }
+    }
+
+    #[test]
+    fn clocked_suite_shapes_the_clock_and_randomizes_data() {
+        let netlist = generators::c17();
+        let library = technology::cmos06();
+        let suite = StimulusSuite::Clocked {
+            cycles: 16,
+            period: TimeDelta::from_ns(2.0),
+            high: TimeDelta::from_ns(1.0),
+            skew: TimeDelta::from_ps(250.0),
+            seed: 0xC10C,
+        };
+        assert_eq!(suite.label(), "clk16");
+        assert_eq!(suite.cycles(), Some(16));
+        assert_eq!(
+            StimulusSuite::Exhaustive {
+                period: TimeDelta::from_ns(4.0)
+            }
+            .cycles(),
+            None
+        );
+        let stimuli = suite.stimuli(&netlist, &library);
+        assert_eq!(stimuli.len(), 1);
+        let (label, stimulus) = &stimuli[0];
+        assert_eq!(label, "clk16");
+        // The first input is the clock: one rising + one falling edge per
+        // cycle, every edge at an exact period/high offset.
+        let clock = stimulus.waveform("i1").unwrap();
+        assert_eq!(clock.len(), 32);
+        // Data inputs change strictly inside the low phase.
+        let rise_fs = Time::from_ns(1.0).as_fs();
+        let period_fs = TimeDelta::from_ns(2.0).as_fs();
+        let high_fs = TimeDelta::from_ns(1.0).as_fs();
+        for name in ["i2", "i3", "i6", "i7"] {
+            for edge in stimulus.waveform(name).unwrap().transitions() {
+                let offset = (edge.start().as_fs() - rise_fs) % period_fs;
+                assert!(offset > high_fs && offset < period_fs, "{name} {offset}");
+            }
+        }
+        // Reproducible: the same definition yields the same waveforms.
+        assert_eq!(stimuli, suite.stimuli(&netlist, &library));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock shape")]
+    fn clocked_suite_rejects_degenerate_shapes() {
+        let netlist = generators::c17();
+        let library = technology::cmos06();
+        StimulusSuite::Clocked {
+            cycles: 4,
+            period: TimeDelta::from_ns(1.0),
+            high: TimeDelta::from_ns(1.0),
+            skew: TimeDelta::ZERO,
+            seed: 1,
+        }
+        .stimuli(&netlist, &library);
     }
 
     #[test]

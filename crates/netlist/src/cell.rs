@@ -1,16 +1,18 @@
-//! Combinational cell kinds and their boolean behaviour.
+//! Cell kinds: combinational boolean behaviour and sequential state.
 
 use std::fmt;
 use std::str::FromStr;
 
 use halotis_core::LogicLevel;
 
-/// The combinational cells understood by the simulator.
+/// The cells understood by the simulator.
 ///
-/// The set covers what the paper's circuits need (inverters, buffers, the
-/// AND/OR/XOR family in 2- and 3-input flavours and NAND/NOR) — enough to
-/// express the Fig. 5 multiplier, full adders and the ISCAS-style test
-/// circuits used by the benches.
+/// The combinational set covers what the paper's circuits need (inverters,
+/// buffers, the AND/OR/XOR family in 2- and 3-input flavours and NAND/NOR) —
+/// enough to express the Fig. 5 multiplier, full adders and the ISCAS-style
+/// test circuits used by the benches.  The sequential tail (`Dff`, `DffRn`,
+/// `LatchD`) adds the registers the ISCAS-89 s-series and clocked soak
+/// scenarios require; see [`is_sequential`](Self::is_sequential).
 ///
 /// # Example
 ///
@@ -57,6 +59,13 @@ pub enum CellKind {
     Nand4,
     /// 4-input NOR.
     Nor4,
+    /// Positive-edge-triggered D flip-flop; pins `[d, ck]`.
+    Dff,
+    /// Positive-edge-triggered D flip-flop with an active-low asynchronous
+    /// reset; pins `[d, ck, rn]`.
+    DffRn,
+    /// Transparent-high D latch; pins `[d, en]`.
+    LatchD,
 }
 
 impl CellKind {
@@ -65,7 +74,7 @@ impl CellKind {
     /// New kinds are appended at the end: the order fixes each kind's
     /// [`class`](Self::class) tag, which composite delay models and the
     /// committed corpus golden depend on.
-    pub const ALL: [CellKind; 16] = [
+    pub const ALL: [CellKind; 19] = [
         CellKind::Inv,
         CellKind::Buf,
         CellKind::And2,
@@ -82,6 +91,9 @@ impl CellKind {
         CellKind::Or4,
         CellKind::Nand4,
         CellKind::Nor4,
+        CellKind::Dff,
+        CellKind::DffRn,
+        CellKind::LatchD,
     ];
 
     /// Number of input pins.
@@ -93,10 +105,24 @@ impl CellKind {
             | CellKind::Nand2
             | CellKind::Nor2
             | CellKind::Xor2
-            | CellKind::Xnor2 => 2,
-            CellKind::And3 | CellKind::Or3 | CellKind::Nand3 | CellKind::Nor3 => 3,
+            | CellKind::Xnor2
+            | CellKind::Dff
+            | CellKind::LatchD => 2,
+            CellKind::And3 | CellKind::Or3 | CellKind::Nand3 | CellKind::Nor3 | CellKind::DffRn => {
+                3
+            }
             CellKind::And4 | CellKind::Or4 | CellKind::Nand4 | CellKind::Nor4 => 4,
         }
+    }
+
+    /// `true` for state-holding cells (flip-flops and latches).
+    ///
+    /// Sequential cells break combinational paths: levelization treats their
+    /// outputs as level sources, cycle detection does not follow edges
+    /// through them, and the event engine computes their next state from the
+    /// stored output instead of a boolean function of the inputs.
+    pub const fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::DffRn | CellKind::LatchD)
     }
 
     /// The delay-model dispatch tag of this cell kind.
@@ -154,6 +180,9 @@ impl CellKind {
             CellKind::Or4 => "or4",
             CellKind::Nand4 => "nand4",
             CellKind::Nor4 => "nor4",
+            CellKind::Dff => "dff",
+            CellKind::DffRn => "dffrn",
+            CellKind::LatchD => "latchd",
         }
     }
 
@@ -165,7 +194,9 @@ impl CellKind {
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len()` differs from [`input_count`](Self::input_count).
+    /// Panics if `inputs.len()` differs from [`input_count`](Self::input_count),
+    /// or if the cell is sequential — state-holding cells have no boolean
+    /// function of their inputs; use [`next_state`](Self::next_state).
     pub fn evaluate(self, inputs: &[LogicLevel]) -> LogicLevel {
         assert_eq!(
             inputs.len(),
@@ -218,6 +249,97 @@ impl CellKind {
             CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => !or_all(inputs),
             CellKind::Xor2 => xor_all(inputs),
             CellKind::Xnor2 => !xor_all(inputs),
+            CellKind::Dff | CellKind::DffRn | CellKind::LatchD => {
+                panic!("sequential cell {self} has no combinational function")
+            }
+        }
+    }
+
+    /// Computes a sequential cell's next stored state after a pin event.
+    ///
+    /// `inputs` are the pin levels *after* the event has been applied,
+    /// `stored` is the current output state, `pin` is the pin index that just
+    /// changed, and `was` is that pin's level *before* the event — edge
+    /// detection (the D flip-flop's positive clock edge) needs both sides of
+    /// the transition.
+    ///
+    /// Semantics: `Dff` (`[d, ck]`) captures `d` on a `Low → High` clock
+    /// edge and holds otherwise; `DffRn` (`[d, ck, rn]`) additionally clears
+    /// to `Low` asynchronously while `rn` is `Low`; `LatchD` (`[d, en]`) is
+    /// transparent while `en` is `High` and holds while `en` is `Low`.
+    /// Unknown clock edges and unknown enables conservatively produce
+    /// [`LogicLevel::Unknown`] unless the stored state is provably
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on combinational cells or an out-of-arity `inputs`/`pin`.
+    pub fn next_state(
+        self,
+        inputs: &[LogicLevel],
+        stored: LogicLevel,
+        pin: usize,
+        was: LogicLevel,
+    ) -> LogicLevel {
+        use LogicLevel::{High, Low, Unknown};
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "cell {self} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        assert!(pin < inputs.len(), "pin {pin} out of range for {self}");
+        let posedge = |was: LogicLevel, now: LogicLevel, captured: LogicLevel| match (was, now) {
+            (Low, High) => captured,
+            (Unknown, High) | (Low, Unknown) => {
+                // The clock may or may not have risen — the state is only
+                // certain if the capture would not have changed it.
+                if captured == stored {
+                    stored
+                } else {
+                    Unknown
+                }
+            }
+            _ => stored,
+        };
+        match self {
+            CellKind::Dff => {
+                if pin == 1 {
+                    posedge(was, inputs[1], inputs[0])
+                } else {
+                    stored
+                }
+            }
+            CellKind::DffRn => match inputs[2] {
+                Low => Low,
+                Unknown => {
+                    if stored == Low {
+                        Low
+                    } else {
+                        Unknown
+                    }
+                }
+                High => {
+                    if pin == 1 {
+                        posedge(was, inputs[1], inputs[0])
+                    } else {
+                        stored
+                    }
+                }
+            },
+            CellKind::LatchD => match inputs[1] {
+                High => inputs[0],
+                Low => stored,
+                Unknown => {
+                    if inputs[0] == stored {
+                        stored
+                    } else {
+                        Unknown
+                    }
+                }
+            },
+            _ => panic!("combinational cell {self} has no stored state"),
         }
     }
 }
@@ -328,6 +450,87 @@ mod tests {
         assert_eq!(CellKind::Nor3.class(), CellClass(11));
         assert_eq!(CellKind::And4.class(), CellClass(12));
         assert_eq!(CellKind::Nor4.class(), CellClass(15));
+        // The sequential kinds append after the combinational family.
+        assert_eq!(CellKind::Dff.class(), CellClass(16));
+        assert_eq!(CellKind::DffRn.class(), CellClass(17));
+        assert_eq!(CellKind::LatchD.class(), CellClass(18));
+    }
+
+    #[test]
+    fn sequential_classification_and_arity() {
+        let sequential: Vec<CellKind> = CellKind::ALL
+            .into_iter()
+            .filter(|kind| kind.is_sequential())
+            .collect();
+        assert_eq!(
+            sequential,
+            vec![CellKind::Dff, CellKind::DffRn, CellKind::LatchD]
+        );
+        assert_eq!(CellKind::Dff.input_count(), 2);
+        assert_eq!(CellKind::DffRn.input_count(), 3);
+        assert_eq!(CellKind::LatchD.input_count(), 2);
+        assert!(!CellKind::Dff.is_inverting());
+        assert!(!CellKind::DffRn.is_inverting());
+        assert!(!CellKind::LatchD.is_inverting());
+    }
+
+    #[test]
+    fn dff_captures_on_the_positive_clock_edge_only() {
+        let k = CellKind::Dff;
+        // Rising edge captures D.
+        assert_eq!(k.next_state(&[High, High], Low, 1, Low), High);
+        assert_eq!(k.next_state(&[Low, High], High, 1, Low), Low);
+        // Falling edge and data changes hold.
+        assert_eq!(k.next_state(&[High, Low], Low, 1, High), Low);
+        assert_eq!(k.next_state(&[High, Low], High, 0, Low), High);
+        assert_eq!(k.next_state(&[Low, High], High, 0, High), High);
+        // An ambiguous clock edge poisons the state unless the capture
+        // would be a no-op.
+        assert_eq!(k.next_state(&[High, High], Low, 1, Unknown), Unknown);
+        assert_eq!(k.next_state(&[High, High], High, 1, Unknown), High);
+        assert_eq!(k.next_state(&[High, Unknown], Low, 1, Low), Unknown);
+    }
+
+    #[test]
+    fn dffrn_clears_asynchronously_while_reset_is_low() {
+        let k = CellKind::DffRn;
+        // rn low forces low regardless of the trigger pin.
+        assert_eq!(k.next_state(&[High, High, Low], High, 2, High), Low);
+        assert_eq!(k.next_state(&[High, High, Low], High, 1, Low), Low);
+        // rn high behaves like a plain DFF.
+        assert_eq!(k.next_state(&[High, High, High], Low, 1, Low), High);
+        assert_eq!(k.next_state(&[High, Low, High], Low, 1, High), Low);
+        // Releasing reset does not capture by itself.
+        assert_eq!(k.next_state(&[High, High, High], Low, 2, Low), Low);
+        // An unknown reset is only safe when the state is already low.
+        assert_eq!(k.next_state(&[High, High, Unknown], Low, 1, Low), Low);
+        assert_eq!(k.next_state(&[High, High, Unknown], High, 0, Low), Unknown);
+    }
+
+    #[test]
+    fn latch_is_transparent_while_enabled() {
+        let k = CellKind::LatchD;
+        // Enabled: output follows D on any pin event.
+        assert_eq!(k.next_state(&[High, High], Low, 0, Low), High);
+        assert_eq!(k.next_state(&[Low, High], High, 1, Low), Low);
+        // Disabled: holds.
+        assert_eq!(k.next_state(&[High, Low], Low, 1, High), Low);
+        assert_eq!(k.next_state(&[Low, Low], High, 0, High), High);
+        // Unknown enable only matters when D disagrees with the state.
+        assert_eq!(k.next_state(&[High, Unknown], High, 1, High), High);
+        assert_eq!(k.next_state(&[Low, Unknown], High, 1, High), Unknown);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no combinational function")]
+    fn sequential_evaluate_panics() {
+        CellKind::Dff.evaluate(&[High, High]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no stored state")]
+    fn combinational_next_state_panics() {
+        CellKind::Nand2.next_state(&[High, High], Low, 0, Low);
     }
 
     #[test]

@@ -699,7 +699,10 @@ impl<'a> EditSession<'a> {
     /// # Errors
     ///
     /// [`NetlistError::CombinationalLoop`] when `net` lies in the gate's
-    /// transitive fanout cone (the rewire would close a cycle).
+    /// *combinational* transitive fanout cone (the rewire would close a
+    /// register-free cycle).  Paths through sequential cells do not count:
+    /// feeding a register's fanout — including its own output — back into
+    /// its D pin is ordinary sequential feedback and succeeds.
     ///
     /// # Panics
     ///
@@ -741,7 +744,11 @@ impl<'a> EditSession<'a> {
         if old == net {
             return Ok(());
         }
-        if self.reaches(self.netlist.gates[g].output, net) {
+        // A register's inputs never start a combinational path, so wiring
+        // its own fanout (even its own output) back in is legal feedback.
+        if !self.netlist.gates[g].kind.is_sequential()
+            && self.reaches(self.netlist.gates[g].output, net)
+        {
             return Err(NetlistError::CombinationalLoop {
                 gate: self.netlist.gates[g].name.clone(),
             });
@@ -777,9 +784,11 @@ impl<'a> EditSession<'a> {
         Ok(())
     }
 
-    /// `true` when net `target` is reachable downstream from net `start` —
-    /// the cone walk behind the rewire cycle check, bounded by the fanout
-    /// cone instead of the whole netlist.
+    /// `true` when net `target` is *combinationally* reachable downstream
+    /// from net `start` — the cone walk behind the rewire cycle check,
+    /// bounded by the fanout cone instead of the whole netlist.  The walk
+    /// stops at sequential gates: a path through a register is not a
+    /// combinational cycle, so rewiring register feedback stays legal.
     fn reaches(&self, start: NetId, target: NetId) -> bool {
         if start == target {
             return true;
@@ -793,6 +802,9 @@ impl<'a> EditSession<'a> {
                     continue;
                 }
                 visited[gate] = true;
+                if self.netlist.gates[gate].kind.is_sequential() {
+                    continue;
+                }
                 let output = self.netlist.gates[gate].output;
                 if output == target {
                     return true;
@@ -1085,8 +1097,11 @@ pub fn check_invariants(netlist: &Netlist) {
         actual.sort_unstable();
         assert_eq!(actual, expected, "load list out of sync on {}", net.name);
     }
-    // Acyclicity (panics inside on a loop) — also exercises levelizability.
-    let _ = crate::levelize::levelize(netlist);
+    // Acyclicity — also exercises levelizability.
+    assert!(
+        crate::levelize::levelize(netlist).is_ok(),
+        "combinational loop after edit session"
+    );
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ use crate::netlist::Netlist;
 /// assert_eq!(levels[s2.index()], LogicLevel::High);
 /// ```
 pub fn evaluate(netlist: &Netlist, assignments: &[(NetId, LogicLevel)]) -> Vec<LogicLevel> {
-    let order = levelize::levelize(netlist);
+    let order = levelize::levelize(netlist).expect("built netlists contain no combinational loop");
     evaluate_with_order(netlist, &order, assignments)
 }
 
@@ -55,6 +55,10 @@ pub fn evaluate(netlist: &Netlist, assignments: &[(NetId, LogicLevel)]) -> Vec<L
 ///
 /// `order` must be a levelization of `netlist`; a stale order produces
 /// wrong values or panics on index mismatch.
+///
+/// Sequential cells evaluate to their power-up state, [`LogicLevel::Low`]:
+/// static evaluation captures the instant before any clock edge, so a
+/// register's output is its stored reset value regardless of its inputs.
 pub fn evaluate_with_order(
     netlist: &Netlist,
     order: &levelize::Levelization,
@@ -64,9 +68,20 @@ pub fn evaluate_with_order(
     for &(net, level) in assignments {
         levels[net.index()] = level;
     }
+    // Register outputs are level sources: settle them before the sweep so
+    // combinational logic sharing level 0 reads the stored value whatever
+    // the within-level gate order is.
+    for gate in netlist.gates() {
+        if gate.kind().is_sequential() {
+            levels[gate.output().index()] = LogicLevel::Low;
+        }
+    }
     let mut inputs_scratch = Vec::with_capacity(3);
     for gate_id in order.topological_order() {
         let gate = netlist.gate(gate_id);
+        if gate.kind().is_sequential() {
+            continue;
+        }
         inputs_scratch.clear();
         inputs_scratch.extend(gate.inputs().iter().map(|&net| levels[net.index()]));
         levels[gate.output().index()] = gate.kind().evaluate(&inputs_scratch);

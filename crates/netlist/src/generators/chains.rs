@@ -102,7 +102,7 @@ mod tests {
             let levels = eval::evaluate(&chain, &[(input, LogicLevel::Low)]);
             let expected = LogicLevel::from_bool(stages % 2 == 1);
             assert_eq!(levels[out.index()], expected, "stages = {stages}");
-            assert_eq!(levelize::levelize(&chain).depth(), stages);
+            assert_eq!(levelize::levelize(&chain).unwrap().depth(), stages);
         }
     }
 

@@ -44,7 +44,7 @@ use crate::netlist::{Netlist, NetlistBuilder};
 /// assert_eq!(ks.primary_outputs().len(), 9); // s0..s7, cout
 /// // The prefix network is shallower than the 8-bit ripple carry chain.
 /// let ripple = generators::ripple_carry_adder(8);
-/// assert!(levelize::levelize(&ks).depth() < levelize::levelize(&ripple).depth());
+/// assert!(levelize::levelize(&ks).unwrap().depth() < levelize::levelize(&ripple).unwrap().depth());
 /// ```
 pub fn kogge_stone_adder(bits: usize) -> Netlist {
     assert!(bits > 0, "an adder needs at least one bit");
@@ -212,15 +212,17 @@ mod tests {
         // p/g (1) + log2(n) prefix levels (2 each) + carry combine (2) +
         // sum xor (1).
         for bits in [4usize, 8, 16] {
-            let depth = levelize::levelize(&kogge_stone_adder(bits)).depth();
+            let depth = levelize::levelize(&kogge_stone_adder(bits))
+                .unwrap()
+                .depth();
             let levels = bits.next_power_of_two().trailing_zeros() as usize;
             assert!(
                 depth <= 2 + 2 * levels + 3,
                 "{bits}b depth {depth} not logarithmic"
             );
         }
-        let ks = levelize::levelize(&kogge_stone_adder(16)).depth();
-        let ripple = levelize::levelize(&ripple_carry_adder(16)).depth();
+        let ks = levelize::levelize(&kogge_stone_adder(16)).unwrap().depth();
+        let ripple = levelize::levelize(&ripple_carry_adder(16)).unwrap().depth();
         assert!(ks < ripple, "ks {ks} >= ripple {ripple}");
     }
 

@@ -115,7 +115,7 @@ mod tests {
         for width in [2usize, 4, 7, 16] {
             let tree = parity_tree(width);
             assert_eq!(tree.gate_count(), width - 1, "width {width}");
-            let depth = levelize::levelize(&tree).depth();
+            let depth = levelize::levelize(&tree).unwrap().depth();
             let expected = (usize::BITS - (width - 1).leading_zeros()) as usize;
             assert_eq!(depth, expected, "width {width}");
         }

@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn circuits_are_levelizable_and_evaluable() {
         let netlist = random_logic(6, 150, 9);
-        let depth = levelize::levelize(&netlist).depth();
+        let depth = levelize::levelize(&netlist).unwrap().depth();
         assert!(depth >= 2, "depth = {depth}");
         let assignment: Vec<_> = netlist
             .primary_inputs()

@@ -43,8 +43,8 @@ use super::adder::full_adder_cell;
 /// // Same arithmetic as the array multiplier, different topology.
 /// let array = generators::multiplier(4, 4);
 /// assert_ne!(
-///     levelize::levelize(&wallace).depth(),
-///     levelize::levelize(&array).depth()
+///     levelize::levelize(&wallace).unwrap().depth(),
+///     levelize::levelize(&array).unwrap().depth()
 /// );
 /// ```
 pub fn wallace_tree_multiplier(a_bits: usize, b_bits: usize) -> Netlist {
@@ -237,8 +237,10 @@ mod tests {
 
     #[test]
     fn reduction_is_shallower_than_the_array_for_wide_operands() {
-        let wallace = levelize::levelize(&wallace_tree_multiplier(6, 6)).depth();
-        let array = levelize::levelize(&multiplier(6, 6)).depth();
+        let wallace = levelize::levelize(&wallace_tree_multiplier(6, 6))
+            .unwrap()
+            .depth();
+        let array = levelize::levelize(&multiplier(6, 6)).unwrap().depth();
         assert!(wallace < array, "wallace {wallace} >= array {array}");
     }
 

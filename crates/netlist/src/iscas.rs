@@ -20,6 +20,14 @@
 //!
 //! (The tiny c17 — six NAND gates — is genuinely the original netlist and
 //! lives in [`generators::c17`](crate::generators::c17).)
+//!
+//! The module also carries the first ISCAS-**89** sequential benchmark:
+//! `s27.net` is the original published netlist gate for gate (three DFFs
+//! and ten combinational gates), with the implicit clock made explicit as
+//! the **first** primary input `clk` — the convention every clocked corpus
+//! suite follows.  [`s27_reference_step`] is the cycle-accurate integer
+//! reference model the differential tests evolve alongside the timing
+//! simulation.
 
 use halotis_core::NetId;
 
@@ -57,6 +65,96 @@ pub fn c432() -> Netlist {
 /// ```
 pub fn c880() -> Netlist {
     parser::parse(C880_TEXT).expect("committed c880.net parses")
+}
+
+/// The committed s27 netlist text (rendered from [`reconstruct_s27`]).
+pub const S27_TEXT: &str = include_str!("../circuits/s27.net");
+
+/// Loads the committed ISCAS-89 s27 benchmark through the netlist parser.
+///
+/// # Example
+///
+/// ```
+/// let s27 = halotis_netlist::iscas::s27();
+/// assert_eq!(s27.primary_inputs().len(), 5); // clk + g0..g3
+/// assert_eq!(s27.primary_outputs().len(), 1);
+/// ```
+pub fn s27() -> Netlist {
+    parser::parse(S27_TEXT).expect("committed s27.net parses")
+}
+
+/// Builds the s27 benchmark: the original ISCAS-89 netlist with the clock
+/// explicit as the first primary input.
+///
+/// Registers `g5`/`g6`/`g7` capture `g10`/`g11`/`g13` on the rising edge
+/// of `clk`; the single output `g17` is the complement of `g11`.
+pub fn reconstruct_s27() -> Netlist {
+    let mut builder = NetlistBuilder::new("s27");
+    let clk = builder.add_input("clk");
+    let g0 = builder.add_input("g0");
+    let g1 = builder.add_input("g1");
+    let g2 = builder.add_input("g2");
+    let g3 = builder.add_input("g3");
+    let g5 = builder.add_net("g5");
+    let g6 = builder.add_net("g6");
+    let g7 = builder.add_net("g7");
+    let g8 = builder.add_net("g8");
+    let g9 = builder.add_net("g9");
+    let g10 = builder.add_net("g10");
+    let g11 = builder.add_net("g11");
+    let g12 = builder.add_net("g12");
+    let g13 = builder.add_net("g13");
+    let g14 = builder.add_net("g14");
+    let g15 = builder.add_net("g15");
+    let g16 = builder.add_net("g16");
+    let g17 = builder.add_net("g17");
+    let gates: [(CellKind, &str, &[NetId], NetId); 13] = [
+        (CellKind::Inv, "not14", &[g0], g14),
+        (CellKind::Inv, "not17", &[g11], g17),
+        (CellKind::And2, "and8", &[g14, g6], g8),
+        (CellKind::Or2, "or15", &[g12, g8], g15),
+        (CellKind::Or2, "or16", &[g3, g8], g16),
+        (CellKind::Nand2, "nand9", &[g16, g15], g9),
+        (CellKind::Nor2, "nor10", &[g14, g11], g10),
+        (CellKind::Nor2, "nor11", &[g5, g9], g11),
+        (CellKind::Nor2, "nor12", &[g1, g7], g12),
+        (CellKind::Nor2, "nor13", &[g2, g12], g13),
+        (CellKind::Dff, "dff5", &[g10, clk], g5),
+        (CellKind::Dff, "dff6", &[g11, clk], g6),
+        (CellKind::Dff, "dff7", &[g13, clk], g7),
+    ];
+    for (kind, instance, inputs, output) in gates {
+        builder
+            .add_gate(kind, instance, inputs, output)
+            .expect("s27 net must be undriven");
+    }
+    builder.mark_output(g17);
+    builder.build().expect("s27 is a valid netlist")
+}
+
+/// One clock cycle of the cycle-accurate s27 reference model.
+///
+/// `state` is the register state `[g5, g6, g7]` at the start of the cycle
+/// and `inputs` the data inputs `[g0, g1, g2, g3]`, held stable through
+/// the cycle.  Returns the settled value of the primary output `g17`
+/// before the next rising edge, and the state that edge captures.  Evolving
+/// from the power-up state `[false; 3]` reproduces the timing simulation's
+/// per-cycle settled outputs exactly — the executable spec of the
+/// sequential differential tests.
+pub fn s27_reference_step(state: [bool; 3], inputs: [bool; 4]) -> (bool, [bool; 3]) {
+    let [s5, s6, s7] = state;
+    let [g0, g1, g2, g3] = inputs;
+    let g14 = !g0;
+    let g12 = !(g1 || s7);
+    let g8 = g14 && s6;
+    let g15 = g12 || g8;
+    let g16 = g3 || g8;
+    let g9 = !(g16 && g15);
+    let g11 = !(s5 || g9);
+    let g17 = !g11;
+    let g10 = !(g14 || g11);
+    let g13 = !(g2 || g12);
+    (g17, [g10, g11, g13])
 }
 
 /// Balanced OR2 reduction over `nets`; the root net is named `root`,
@@ -1033,6 +1131,51 @@ mod tests {
     }
 
     #[test]
+    fn committed_s27_matches_its_reconstruction() {
+        assert_eq!(
+            S27_TEXT,
+            writer::to_text(&reconstruct_s27()),
+            "circuits/s27.net is stale; regenerate with \
+             `cargo test -p halotis_netlist --lib -- --ignored regenerate`"
+        );
+    }
+
+    #[test]
+    fn s27_has_the_original_structure() {
+        let s27 = s27();
+        assert_eq!(s27.primary_inputs().len(), 5);
+        assert_eq!(s27.primary_outputs().len(), 1);
+        assert_eq!(s27.gate_count(), 13);
+        let registers = s27
+            .gates()
+            .iter()
+            .filter(|gate| gate.kind().is_sequential())
+            .count();
+        assert_eq!(registers, 3, "s27 has exactly three DFFs");
+        // Register feedback levelizes: the combinational cone behind the
+        // registers is shallow but non-trivial.
+        let levels = levelize::levelize(&s27).unwrap();
+        assert!(levels.depth() >= 4, "depth {}", levels.depth());
+    }
+
+    #[test]
+    fn s27_reference_model_follows_known_cycles() {
+        // Hand-traced from the netlist.  All-low inputs hold the reset
+        // state and g17 = 1; raising g3 forces g9 low, so g11 (and with it
+        // the captured g6) rises and g17 falls.
+        let (g17, state) = s27_reference_step([false; 3], [false; 4]);
+        assert!(g17);
+        assert_eq!(state, [false; 3], "all-low inputs hold reset");
+        let (g17, state) = s27_reference_step([false; 3], [false, false, false, true]);
+        assert!(!g17);
+        assert_eq!(state, [false, true, false]);
+        // From that state the same inputs are a fixed point.
+        let (g17, state) = s27_reference_step(state, [false, false, false, true]);
+        assert!(!g17);
+        assert_eq!(state, [false, true, false]);
+    }
+
+    #[test]
     fn io_profiles_match_the_original_benchmarks() {
         let c432 = c432();
         assert_eq!(c432.primary_inputs().len(), 36);
@@ -1041,8 +1184,8 @@ mod tests {
         assert_eq!(c880.primary_inputs().len(), 60);
         assert_eq!(c880.primary_outputs().len(), 26);
         // Both are deep multi-level circuits, not trivial stand-ins.
-        assert!(levelize::levelize(&c432).depth() >= 10);
-        assert!(levelize::levelize(&c880).depth() >= 20);
+        assert!(levelize::levelize(&c432).unwrap().depth() >= 10);
+        assert!(levelize::levelize(&c880).unwrap().depth() >= 20);
         assert!(c432.gate_count() >= 120);
         assert!(c880.gate_count() >= 300);
     }
@@ -1065,5 +1208,10 @@ mod tests {
             writer::to_text(&reconstruct_c880()),
         )
         .expect("write c880.net");
+        std::fs::write(
+            format!("{dir}/s27.net"),
+            writer::to_text(&reconstruct_s27()),
+        )
+        .expect("write s27.net");
     }
 }

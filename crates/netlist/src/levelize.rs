@@ -1,13 +1,20 @@
-//! Topological levelization of a combinational netlist.
+//! Topological levelization of a netlist.
 //!
-//! Level 0 gates depend only on primary inputs; level `n` gates depend on at
-//! least one gate of level `n - 1`.  Levelization gives the evaluation order
-//! used by the zero-delay functional checker and bounds the logic depth
-//! reported in circuit statistics.
+//! Level 0 gates depend only on primary inputs (or register outputs); level
+//! `n` gates depend on at least one gate of level `n - 1`.  Levelization
+//! gives the evaluation order used by the zero-delay functional checker and
+//! bounds the logic depth reported in circuit statistics.
+//!
+//! Sequential cells break the dependency graph: a register is always a level
+//! source (its output at any instant is stored state, not a function of its
+//! inputs), so feedback *through* a register levelizes cleanly.  Only purely
+//! combinational cycles are errors, and they are reported as
+//! [`NetlistError::CombinationalLoop`] instead of panicking or looping
+//! forever.
 
 use halotis_core::GateId;
 
-use crate::netlist::{NetDriver, Netlist};
+use crate::netlist::{NetDriver, Netlist, NetlistError};
 
 /// The levelization result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,16 +50,26 @@ impl Levelization {
     /// The log's structural ops are replayed first so the id space matches
     /// the mutated netlist, then a worklist fixpoint of
     /// `level(g) = max(level of gate-driven fanin) + 1` runs outward from
-    /// the dirty gates.  The result is identical to a fresh
-    /// [`levelize`] of the mutated netlist — including within-level
-    /// ordering, which both paths keep ascending by gate id.
+    /// the dirty gates (sequential gates are pinned to level 0 and their
+    /// outputs contribute nothing, exactly as in a fresh pass).  The result
+    /// is identical to a fresh [`levelize`] of the mutated netlist —
+    /// including within-level ordering, which both paths keep ascending by
+    /// gate id.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// May panic (or loop forever in release builds) if `netlist` is not the
-    /// netlist this levelization was built from with exactly the edits in
-    /// `log` applied.
-    pub fn update(&mut self, netlist: &Netlist, log: &crate::edit::EditLog) {
+    /// Returns [`NetlistError::CombinationalLoop`] if the edits introduced a
+    /// register-free cycle: a computed level exceeding the gate count (the
+    /// acyclic maximum) or a gate left unresolved once the worklist drains
+    /// both prove one.  The edit API rejects cycle-forming rewires up front,
+    /// so this is a defence-in-depth bound that replaces the former
+    /// may-loop-forever-in-release behaviour.  On error the levelization is
+    /// left inconsistent and must be rebuilt from scratch.
+    pub fn update(
+        &mut self,
+        netlist: &Netlist,
+        log: &crate::edit::EditLog,
+    ) -> Result<(), NetlistError> {
         use crate::edit::EditOp;
 
         // Phase 1: replay the shape ops so gate ids line up again.  An
@@ -85,28 +102,56 @@ impl Levelization {
         // Phase 2: chaotic iteration from the dirty set.  A gate whose
         // driver is still unresolved is skipped — it is re-enqueued when
         // that driver resolves (resolution is always a level change).
-        let mut queue: Vec<GateId> = log.dirty_gates().to_vec();
+        // The immediate fanout of every dirty gate is seeded too: a kind
+        // swap across the sequential boundary changes how the gate's output
+        // counts for its readers (register outputs are sources) without
+        // necessarily changing the gate's own level, so waiting for a level
+        // change would leave the fanout stale.
+        let mut queue: Vec<GateId> = Vec::new();
         let mut queued = vec![false; netlist.gate_count()];
-        for gate in &queue {
-            queued[gate.index()] = true;
+        for &gate in log.dirty_gates() {
+            if !queued[gate.index()] {
+                queued[gate.index()] = true;
+                queue.push(gate);
+            }
+            for pin in netlist.net(netlist.gate(gate).output()).loads() {
+                let fanout = pin.gate();
+                if !queued[fanout.index()] {
+                    queued[fanout.index()] = true;
+                    queue.push(fanout);
+                }
+            }
         }
         while let Some(gate) = queue.pop() {
             queued[gate.index()] = false;
             let mut level = 0usize;
             let mut unresolved = false;
-            for &input in netlist.gate(gate).inputs() {
-                if let NetDriver::Gate(driver) = netlist.net(input).driver() {
-                    match self.gate_level[driver.index()] {
-                        usize::MAX => {
-                            unresolved = true;
-                            break;
+            if !netlist.gate(gate).kind().is_sequential() {
+                for &input in netlist.gate(gate).inputs() {
+                    if let NetDriver::Gate(driver) = netlist.net(input).driver() {
+                        if netlist.gate(driver).kind().is_sequential() {
+                            continue;
                         }
-                        driver_level => level = level.max(driver_level + 1),
+                        match self.gate_level[driver.index()] {
+                            usize::MAX => {
+                                unresolved = true;
+                                break;
+                            }
+                            driver_level => level = level.max(driver_level + 1),
+                        }
                     }
                 }
             }
             if unresolved {
                 continue;
+            }
+            if level >= netlist.gate_count() {
+                // An acyclic graph cannot be deeper than its gate count:
+                // a level past that bound proves the worklist is chasing a
+                // combinational cycle.
+                return Err(NetlistError::CombinationalLoop {
+                    gate: netlist.gate(gate).name().to_string(),
+                });
             }
             let old = self.gate_level[gate.index()];
             if old == level {
@@ -135,10 +180,18 @@ impl Levelization {
         while self.levels.last().is_some_and(|level| level.is_empty()) {
             self.levels.pop();
         }
-        debug_assert!(
-            self.gate_level.iter().all(|&level| level != usize::MAX),
-            "unresolved gate level after incremental update"
-        );
+        if let Some(stuck) = self
+            .gate_level
+            .iter()
+            .position(|&level| level == usize::MAX)
+        {
+            // A gate the worklist could never resolve is waiting on itself
+            // through a register-free cycle among the inserted gates.
+            return Err(NetlistError::CombinationalLoop {
+                gate: netlist.gate(GateId::from_usize(stuck)).name().to_string(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -160,13 +213,20 @@ fn insert_sorted(list: &mut Vec<GateId>, gate: GateId) {
 
 /// Levelizes a netlist.
 ///
-/// # Panics
+/// Sequential gates (see [`CellKind::is_sequential`]) are level sources:
+/// they sit at level 0 and their outputs satisfy a reader's readiness just
+/// like a primary input, so register feedback loops levelize cleanly.
 ///
-/// Panics if the netlist contains a combinational loop; [`NetlistBuilder`]
-/// (and the parser) reject such circuits, so a loop here indicates internal
-/// corruption.
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalLoop`] (naming one gate on the
+/// cycle) if the netlist contains a register-free cycle.  [`NetlistBuilder`]
+/// and the parsers reject such circuits up front, so this is the checked
+/// backstop for internally constructed or mutated netlists — it replaces the
+/// panic the earlier combinational-only implementation documented.
 ///
 /// [`NetlistBuilder`]: crate::NetlistBuilder
+/// [`CellKind::is_sequential`]: crate::CellKind::is_sequential
 ///
 /// # Example
 ///
@@ -174,10 +234,10 @@ fn insert_sorted(list: &mut Vec<GateId>, gate: GateId) {
 /// use halotis_netlist::{levelize, generators};
 ///
 /// let chain = generators::inverter_chain(4);
-/// let levels = levelize::levelize(&chain);
+/// let levels = levelize::levelize(&chain).expect("chains are acyclic");
 /// assert_eq!(levels.depth(), 4);
 /// ```
-pub fn levelize(netlist: &Netlist) -> Levelization {
+pub fn levelize(netlist: &Netlist) -> Result<Levelization, NetlistError> {
     let mut gate_level = vec![usize::MAX; netlist.gate_count()];
     let mut remaining: Vec<usize> = (0..netlist.gate_count()).collect();
     let mut current_level = 0usize;
@@ -187,21 +247,26 @@ pub fn levelize(netlist: &Netlist) -> Levelization {
         let mut this_level = Vec::new();
         for &index in &remaining {
             let gate = &netlist.gates()[index];
-            let ready = gate
-                .inputs()
-                .iter()
-                .all(|&net| match netlist.net(net).driver() {
-                    NetDriver::PrimaryInput => true,
-                    NetDriver::Gate(driver) => gate_level[driver.index()] < current_level,
-                });
+            let ready = gate.kind().is_sequential()
+                || gate
+                    .inputs()
+                    .iter()
+                    .all(|&net| match netlist.net(net).driver() {
+                        NetDriver::PrimaryInput => true,
+                        NetDriver::Gate(driver) => {
+                            netlist.gate(driver).kind().is_sequential()
+                                || gate_level[driver.index()] < current_level
+                        }
+                    });
             if ready {
                 this_level.push(gate.id());
             }
         }
-        assert!(
-            !this_level.is_empty(),
-            "combinational loop survived netlist validation"
-        );
+        if this_level.is_empty() {
+            return Err(NetlistError::CombinationalLoop {
+                gate: netlist.gates()[remaining[0]].name().to_string(),
+            });
+        }
         for id in &this_level {
             gate_level[id.index()] = current_level;
         }
@@ -210,7 +275,7 @@ pub fn levelize(netlist: &Netlist) -> Levelization {
         current_level += 1;
     }
 
-    Levelization { levels, gate_level }
+    Ok(Levelization { levels, gate_level })
 }
 
 #[cfg(test)]
@@ -238,7 +303,7 @@ mod tests {
     #[test]
     fn diamond_has_two_levels() {
         let netlist = diamond();
-        let levels = levelize(&netlist);
+        let levels = levelize(&netlist).unwrap();
         assert_eq!(levels.depth(), 2);
         assert_eq!(levels.levels()[0].len(), 2);
         assert_eq!(levels.levels()[1].len(), 1);
@@ -254,7 +319,7 @@ mod tests {
     #[test]
     fn topological_order_respects_dependencies() {
         let netlist = diamond();
-        let levels = levelize(&netlist);
+        let levels = levelize(&netlist).unwrap();
         let order: Vec<GateId> = levels.topological_order().collect();
         assert_eq!(order.len(), netlist.gate_count());
         let position = |id: GateId| order.iter().position(|&g| g == id).unwrap();
@@ -270,7 +335,7 @@ mod tests {
     #[test]
     fn incremental_update_matches_fresh_levelize() {
         let mut netlist = crate::generators::c17();
-        let mut levels = levelize(&netlist);
+        let mut levels = levelize(&netlist).unwrap();
 
         // Insert a gate reading a mid-cone net, expose it, rewire, remove.
         let n11 = netlist.net_id("n11").unwrap();
@@ -281,8 +346,8 @@ mod tests {
             .unwrap();
         edit.expose_net(output).unwrap();
         let log = edit.finish();
-        levels.update(&netlist, &log);
-        assert_eq!(levels, levelize(&netlist));
+        levels.update(&netlist, &log).unwrap();
+        assert_eq!(levels, levelize(&netlist).unwrap());
         assert!(
             levels.level_of(gate) > 0,
             "grafted gate reads a gate-driven net"
@@ -293,8 +358,8 @@ mod tests {
         let mut edit = netlist.begin_edit();
         edit.rewire_input(gate, 0, i2).unwrap();
         let log = edit.finish();
-        levels.update(&netlist, &log);
-        assert_eq!(levels, levelize(&netlist));
+        levels.update(&netlist, &log).unwrap();
+        assert_eq!(levels, levelize(&netlist).unwrap());
         assert_eq!(levels.level_of(gate), 0);
 
         // Removal renumbers via swap_remove; update must follow.
@@ -309,14 +374,14 @@ mod tests {
         edit.remove_gate(tmp).unwrap();
         let log = edit.finish();
         let mut levels2 = levels.clone();
-        levels2.update(&netlist2, &log);
-        assert_eq!(levels2, levelize(&netlist2));
+        levels2.update(&netlist2, &log).unwrap();
+        assert_eq!(levels2, levelize(&netlist2).unwrap());
     }
 
     #[test]
     fn incremental_update_handles_random_edit_bursts() {
         let mut netlist = crate::generators::random_logic(8, 60, 0x5EED);
-        let mut levels = levelize(&netlist);
+        let mut levels = levelize(&netlist).unwrap();
         let kinds = [CellKind::Nand2, CellKind::Nor2, CellKind::Xor2];
         for (round, kind) in kinds.into_iter().enumerate() {
             let mut edit = netlist.begin_edit();
@@ -342,8 +407,8 @@ mod tests {
             )
             .unwrap();
             let log = edit.finish();
-            levels.update(&netlist, &log);
-            assert_eq!(levels, levelize(&netlist), "round {round}");
+            levels.update(&netlist, &log).unwrap();
+            assert_eq!(levels, levelize(&netlist).unwrap(), "round {round}");
         }
     }
 
@@ -354,7 +419,124 @@ mod tests {
         let y = builder.add_net("y");
         builder.add_gate(CellKind::Inv, "g", &[a], y).unwrap();
         builder.mark_output(y);
-        let levels = levelize(&builder.build().unwrap());
+        let levels = levelize(&builder.build().unwrap()).unwrap();
         assert_eq!(levels.depth(), 1);
+    }
+
+    /// A DFF whose D input is fed from logic computed off its own Q output:
+    /// the canonical sequential feedback loop (a toggle register).
+    fn toggle_register() -> Netlist {
+        let mut builder = NetlistBuilder::new("toggle");
+        let ck = builder.add_input("ck");
+        let q = builder.add_net("q");
+        let nq = builder.add_net("nq");
+        builder.add_gate(CellKind::Inv, "inv", &[q], nq).unwrap();
+        builder.add_gate(CellKind::Dff, "ff", &[nq, ck], q).unwrap();
+        builder.mark_output(q);
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn register_feedback_levelizes_with_the_register_as_source() {
+        let netlist = toggle_register();
+        let levels = levelize(&netlist).unwrap();
+        let gate = |name: &str| {
+            netlist
+                .gates()
+                .iter()
+                .find(|g| g.name() == name)
+                .unwrap()
+                .id()
+        };
+        assert_eq!(levels.level_of(gate("ff")), 0);
+        // The inverter reads the register's output, which counts as a
+        // source, so it also sits at level 0.
+        assert_eq!(levels.level_of(gate("inv")), 0);
+        assert_eq!(levels.depth(), 1);
+    }
+
+    #[test]
+    fn logic_behind_a_register_still_stacks_levels() {
+        // ck, d -> dff -> q ; q -> inv -> a ; (a, q) -> nand -> out
+        let mut builder = NetlistBuilder::new("behind");
+        let ck = builder.add_input("ck");
+        let d = builder.add_input("d");
+        let q = builder.add_net("q");
+        let a = builder.add_net("a");
+        let out = builder.add_net("out");
+        builder.add_gate(CellKind::Dff, "ff", &[d, ck], q).unwrap();
+        builder.add_gate(CellKind::Inv, "g1", &[q], a).unwrap();
+        builder
+            .add_gate(CellKind::Nand2, "g2", &[a, q], out)
+            .unwrap();
+        builder.mark_output(out);
+        let netlist = builder.build().unwrap();
+        let levels = levelize(&netlist).unwrap();
+        let gate = |name: &str| {
+            netlist
+                .gates()
+                .iter()
+                .find(|g| g.name() == name)
+                .unwrap()
+                .id()
+        };
+        assert_eq!(levels.level_of(gate("ff")), 0);
+        assert_eq!(levels.level_of(gate("g1")), 0);
+        assert_eq!(levels.level_of(gate("g2")), 1);
+    }
+
+    /// A kind swap across the sequential boundary can leave the swapped
+    /// gate's own level unchanged while still changing its *readers'*
+    /// levels (register outputs are sources).  The incremental pass must
+    /// recompute the fanout even though no level on the dirty gate moved.
+    #[test]
+    fn incremental_update_follows_kind_swaps_across_the_sequential_boundary() {
+        // a, b -> nand g1 -> x ; x -> inv g2 -> y
+        let mut builder = NetlistBuilder::new("swap");
+        let a = builder.add_input("a");
+        let b = builder.add_input("b");
+        let x = builder.add_net("x");
+        let y = builder.add_net("y");
+        builder.add_gate(CellKind::Nand2, "g1", &[a, b], x).unwrap();
+        builder.add_gate(CellKind::Inv, "g2", &[x], y).unwrap();
+        builder.mark_output(y);
+        let mut netlist = builder.build().unwrap();
+        let mut levels = levelize(&netlist).unwrap();
+        let g1 = netlist.gates()[0].id();
+        let g2 = netlist.gates()[1].id();
+        assert_eq!((levels.level_of(g1), levels.level_of(g2)), (0, 1));
+
+        // nand -> latch: g1 stays at level 0, but g2's driver is now a
+        // register output, so g2 drops to level 0 as well.
+        let mut edit = netlist.begin_edit();
+        edit.swap_cell_kind(g1, CellKind::LatchD).unwrap();
+        let log = edit.finish();
+        levels.update(&netlist, &log).unwrap();
+        assert_eq!(levels, levelize(&netlist).unwrap());
+        assert_eq!(levels.level_of(g2), 0);
+
+        // And back: g2 must climb again.
+        let mut edit = netlist.begin_edit();
+        edit.swap_cell_kind(g1, CellKind::And2).unwrap();
+        let log = edit.finish();
+        levels.update(&netlist, &log).unwrap();
+        assert_eq!(levels, levelize(&netlist).unwrap());
+        assert_eq!(levels.level_of(g2), 1);
+    }
+
+    #[test]
+    fn incremental_update_follows_sequential_inserts() {
+        let mut netlist = toggle_register();
+        let mut levels = levelize(&netlist).unwrap();
+        let q = netlist.net_id("q").unwrap();
+        let ck = netlist.net_id("ck").unwrap();
+        let mut edit = netlist.begin_edit();
+        let (_, shadow_q) = edit
+            .insert_gate(CellKind::LatchD, "shadow", &[q, ck], "shadow_q")
+            .unwrap();
+        edit.expose_net(shadow_q).unwrap();
+        let log = edit.finish();
+        levels.update(&netlist, &log).unwrap();
+        assert_eq!(levels, levelize(&netlist).unwrap());
     }
 }

@@ -572,13 +572,23 @@ impl NetlistBuilder {
             }
         }
         // Cycle detection: Kahn's algorithm over gate dependencies.
+        // Sequential gates break the graph at both ends — their stored
+        // output does not combinationally depend on their inputs — so
+        // register feedback loops are legal and only register-free cycles
+        // are rejected.
         let mut in_degree: Vec<usize> = self
             .gates
             .iter()
             .map(|gate| {
+                if gate.kind.is_sequential() {
+                    return 0;
+                }
                 gate.inputs
                     .iter()
-                    .filter(|&&net| matches!(self.nets[net.index()].driver, NetDriver::Gate(_)))
+                    .filter(|&&net| match self.nets[net.index()].driver {
+                        NetDriver::Gate(driver) => !self.gates[driver.index()].kind.is_sequential(),
+                        NetDriver::PrimaryInput => false,
+                    })
                     .count()
             })
             .collect();
@@ -591,9 +601,16 @@ impl NetlistBuilder {
         let mut visited = 0usize;
         while let Some(index) = ready.pop() {
             visited += 1;
+            if self.gates[index].kind.is_sequential() {
+                // A register's fanout edges were never counted above.
+                continue;
+            }
             let output = self.gates[index].output;
             for pin in self.nets[output.index()].loads.iter() {
                 let successor = pin.gate().index();
+                if self.gates[successor].kind.is_sequential() {
+                    continue;
+                }
                 in_degree[successor] -= 1;
                 if in_degree[successor] == 0 {
                     ready.push(successor);

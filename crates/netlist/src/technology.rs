@@ -49,6 +49,11 @@ fn base_delay_ps(kind: CellKind) -> f64 {
         CellKind::Nor4 => 260.0,
         CellKind::And4 => 310.0,
         CellKind::Or4 => 330.0,
+        // Registers: clock-to-Q is a full master/slave stage, slower than
+        // any simple gate; the transparent latch is one stage lighter.
+        CellKind::Dff => 380.0,
+        CellKind::DffRn => 410.0,
+        CellKind::LatchD => 290.0,
     }
 }
 
@@ -63,6 +68,8 @@ fn drive_resistance_ohms(kind: CellKind) -> f64 {
         CellKind::And3 | CellKind::Or3 => 3.8e3,
         CellKind::Nand4 | CellKind::Nor4 => 4.2e3,
         CellKind::And4 | CellKind::Or4 => 4.4e3,
+        CellKind::Dff | CellKind::DffRn => 3.4e3,
+        CellKind::LatchD => 3.2e3,
     }
 }
 
@@ -77,6 +84,8 @@ fn input_cap_ff(kind: CellKind) -> f64 {
         CellKind::And3 | CellKind::Or3 => 13.0,
         CellKind::Nand4 | CellKind::Nor4 => 14.0,
         CellKind::And4 | CellKind::Or4 => 15.0,
+        CellKind::Dff | CellKind::DffRn => 12.0,
+        CellKind::LatchD => 10.0,
     }
 }
 

@@ -107,6 +107,12 @@ fn primitive_name(kind: CellKind) -> &'static str {
         CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => "nor",
         CellKind::Xor2 => "xor",
         CellKind::Xnor2 => "xnor",
+        // Sequential cells have no Verilog gate primitive; the subset
+        // treats the library cell names as primitive keywords, mirroring
+        // the `.net` grammar (connections stay output-first).
+        CellKind::Dff => "dff",
+        CellKind::DffRn => "dffrn",
+        CellKind::LatchD => "latchd",
     }
 }
 
@@ -130,11 +136,14 @@ fn cell_for_primitive(primitive: &str, input_count: usize) -> Result<CellKind, S
         ("nor", 4) => CellKind::Nor4,
         ("xor", 2) => CellKind::Xor2,
         ("xnor", 2) => CellKind::Xnor2,
+        ("dff", 2) => CellKind::Dff,
+        ("dffrn", 3) => CellKind::DffRn,
+        ("latchd", 2) => CellKind::LatchD,
         _ => {
             return Err(format!(
                 "the cell library has no {input_count}-input '{primitive}' \
                  (supported: not/buf with 1 input, and/or/nand/nor with 2-4, \
-                 xor/xnor with 2)"
+                 xor/xnor with 2, dff/latchd with 2, dffrn with 3)"
             ))
         }
     };
@@ -152,6 +161,8 @@ const KEYWORDS: &[&str] = &[
     "begin",
     "buf",
     "case",
+    "dff",
+    "dffrn",
     "end",
     "endcase",
     "endmodule",
@@ -160,6 +171,7 @@ const KEYWORDS: &[&str] = &[
     "initial",
     "inout",
     "input",
+    "latchd",
     "module",
     "nand",
     "nor",
@@ -648,7 +660,8 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
                     _ => spec.wires.extend(names),
                 }
             }
-            "and" | "or" | "nand" | "nor" | "xor" | "xnor" | "not" | "buf" => {
+            "and" | "or" | "nand" | "nor" | "xor" | "xnor" | "not" | "buf" | "dff" | "dffrn"
+            | "latchd" => {
                 let instance = cursor.expect_ident(
                     "as the instance name (anonymous primitive instances are not supported)",
                 )?;

@@ -324,9 +324,18 @@ fn parse_suite(doc: &Value) -> Result<StimulusSuite, ProtocolError> {
             max_probes: require_u64(doc, "max_probes")? as usize,
             pulse: require_time_fs(doc, "pulse_fs")?,
         }),
+        "clocked" => Ok(StimulusSuite::Clocked {
+            cycles: require_u64(doc, "cycles")? as usize,
+            period: require_time_fs(doc, "period_fs")?,
+            high: require_time_fs(doc, "high_fs")?,
+            skew: require_time_fs(doc, "skew_fs")?,
+            seed: require_u64(doc, "seed")?,
+        }),
         other => Err(ProtocolError::new(
             ErrorCode::BadRequest,
-            format!("unknown suite kind {other:?} (expected random, exhaustive or toggle)"),
+            format!(
+                "unknown suite kind {other:?} (expected random, exhaustive, toggle or clocked)"
+            ),
         )),
     }
 }
@@ -352,6 +361,18 @@ pub fn render_suite(suite: &StimulusSuite) -> String {
         } => format!(
             r#"{{"kind":"toggle","seed":{seed},"max_probes":{max_probes},"pulse_fs":{}}}"#,
             pulse.as_fs()
+        ),
+        StimulusSuite::Clocked {
+            cycles,
+            period,
+            high,
+            skew,
+            seed,
+        } => format!(
+            r#"{{"kind":"clocked","cycles":{cycles},"period_fs":{},"high_fs":{},"skew_fs":{},"seed":{seed}}}"#,
+            period.as_fs(),
+            high.as_fs(),
+            skew.as_fs()
         ),
     }
 }

@@ -60,6 +60,11 @@ pub struct ServerConfig {
     pub max_inflight: usize,
     /// Per-connection read timeout (slow-loris bound).
     pub read_timeout: Duration,
+    /// Replay the standard corpus into the compiled-circuit cache before
+    /// accepting connections, so the first `simulate` of a well-known
+    /// circuit never pays compilation latency.  The cache capacity is
+    /// raised to hold the whole corpus if it is smaller.
+    pub preload: bool,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             max_frame: 8 << 20,
             max_inflight: 8,
             read_timeout: Duration::from_secs(10),
+            preload: false,
         }
     }
 }
@@ -167,6 +173,19 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         ));
     }
 
+    // Preload renders every standard-corpus netlist through the same path a
+    // `load` request takes, so the cache keys match client fingerprints.
+    // The capacity floor keeps the replay from evicting its own entries.
+    let preload = if config.preload {
+        Some(halotis_corpus::standard_corpus())
+    } else {
+        None
+    };
+    let mut config = config;
+    if let Some(corpus) = &preload {
+        config.cache_capacity = config.cache_capacity.max(corpus.len());
+    }
+
     let shared = Arc::new(Shared {
         cache: CircuitCache::new(config.cache_capacity),
         scheduler: Scheduler::new(config.workers, config.queue_depth),
@@ -177,6 +196,16 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         busy_rejections: AtomicU64::new(0),
         config,
     });
+
+    if let Some(corpus) = preload {
+        for entry in &corpus {
+            let text = halotis_netlist::writer::to_text(&entry.netlist);
+            shared
+                .cache
+                .load(&text)
+                .expect("standard corpus circuits always compile");
+        }
+    }
 
     let tcp_addr = tcp
         .as_ref()
@@ -584,6 +613,17 @@ fn validate_suite(entry: &CacheEntry, suite: &StimulusSuite) -> Option<ProtocolE
             ),
         ));
     }
+    if let StimulusSuite::Clocked {
+        period, high, skew, ..
+    } = suite
+    {
+        if *high + *skew >= *period {
+            return Some(ProtocolError::new(
+                ErrorCode::BadRequest,
+                "clocked suites need high_fs + skew_fs < period_fs",
+            ));
+        }
+    }
     None
 }
 
@@ -631,7 +671,8 @@ fn run_simulate(
             concat!(
                 r#"{{"stimulus":{},"events_scheduled":{},"events_filtered":{},"#,
                 r#""events_processed":{},"output_transitions":{},"#,
-                r#""degraded_transitions":{},"collapsed_transitions":{}"#
+                r#""degraded_transitions":{},"collapsed_transitions":{},"#,
+                r#""queue_high_water":{}"#
             ),
             json::string(stimulus_label),
             stats.events_scheduled,
@@ -640,6 +681,7 @@ fn run_simulate(
             stats.output_transitions,
             stats.degraded_transitions,
             stats.collapsed_transitions,
+            stats.queue_high_water,
         ));
         if observers.activity {
             rows.push_str(&format!(

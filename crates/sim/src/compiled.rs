@@ -306,7 +306,7 @@ impl<'a> CompiledCircuit<'a> {
             .map(|&net| netlist.net(net).name().to_string())
             .collect();
 
-        let levels = levelize::levelize(netlist);
+        let levels = levelize::levelize(netlist)?;
         Ok(CompiledCircuit {
             levels,
             netlist: source,
@@ -623,7 +623,7 @@ impl<'a> CompiledCircuit<'a> {
             }
         }
         // (d) incremental re-levelization of the affected cones.
-        self.levels.update(netlist, log);
+        self.levels.update(netlist, log)?;
         Ok(())
     }
 
@@ -789,11 +789,24 @@ impl<'a> CompiledCircuit<'a> {
             }
 
             let gate_index = self.pin_gate[dense] as usize;
+            let was = state.pin_levels[dense];
             state.pin_levels[dense] = event.new_level;
             let block = self.pins.gate_offset(GateId::from_usize(gate_index));
             let count = self.gate_pin_counts[gate_index] as usize;
-            let new_output =
-                self.gate_kinds[gate_index].evaluate(&state.pin_levels[block..block + count]);
+            let kind = self.gate_kinds[gate_index];
+            let new_output = if kind.is_sequential() {
+                // Registers compute the next stored state from the stored
+                // output plus the pin transition (edge detection needs the
+                // pre-event level); `output_target` *is* the stored state.
+                kind.next_state(
+                    &state.pin_levels[block..block + count],
+                    state.output_target[gate_index],
+                    dense - block,
+                    was,
+                )
+            } else {
+                kind.evaluate(&state.pin_levels[block..block + count])
+            };
             if new_output == state.output_target[gate_index] {
                 continue;
             }
@@ -856,6 +869,7 @@ impl<'a> CompiledCircuit<'a> {
 
         stats.events_scheduled = state.queue.scheduled();
         stats.events_filtered = state.queue.filtered();
+        stats.queue_high_water = state.queue.high_water();
         observer.finish(&stats);
         Ok(stats)
     }

@@ -197,6 +197,7 @@ pub struct EventQueue {
     pending: PendingLists,
     scheduled: usize,
     filtered: usize,
+    high_water: usize,
 }
 
 impl EventQueue {
@@ -207,6 +208,7 @@ impl EventQueue {
             pending: PendingLists::new(pin_count),
             scheduled: 0,
             filtered: 0,
+            high_water: 0,
         }
     }
 
@@ -234,6 +236,7 @@ impl EventQueue {
         );
         self.pending.push_back(pin_index, event.time, serial);
         self.scheduled += 1;
+        self.high_water = self.high_water.max(self.wheel.len());
         ScheduleOutcome::Inserted
     }
 
@@ -251,6 +254,7 @@ impl EventQueue {
         self.pending.reshape_pins(pin_count);
         self.scheduled = 0;
         self.filtered = 0;
+        self.high_water = 0;
     }
 
     /// Clears the queue back to its freshly constructed condition while
@@ -266,6 +270,7 @@ impl EventQueue {
         self.pending.reset();
         self.scheduled = 0;
         self.filtered = 0;
+        self.high_water = 0;
     }
 
     /// The raw pop shared by the public variants: earliest live entry plus
@@ -335,6 +340,15 @@ impl EventQueue {
     /// and discards the incoming one) — the paper's "filtered events".
     pub fn filtered(&self) -> usize {
         self.filtered
+    }
+
+    /// The largest number of live events the queue held at any instant since
+    /// construction or the last [`reset`](EventQueue::reset) — the
+    /// queue-depth high-water mark of the soak-scenario event-budget
+    /// telemetry.  Sampled after every insertion, so cancellations can never
+    /// hide a peak.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -580,6 +594,25 @@ mod tests {
             .map(|e| e.pin.gate().index())
             .collect();
         assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn high_water_tracks_the_peak_live_depth() {
+        let mut queue = EventQueue::new(3);
+        assert_eq!(queue.high_water(), 0);
+        queue.schedule(0, event(1.0, 0));
+        queue.schedule(1, event(2.0, 1));
+        queue.schedule(2, event(3.0, 2));
+        assert_eq!(queue.high_water(), 3);
+        // Draining does not lower the mark.
+        while queue.pop().is_some() {}
+        assert_eq!(queue.high_water(), 3);
+        // Nor does a cancellation rewind it.
+        queue.schedule(0, event(5.0, 0));
+        queue.schedule(0, event(4.0, 0));
+        assert_eq!(queue.high_water(), 3);
+        queue.reset();
+        assert_eq!(queue.high_water(), 0);
     }
 
     #[test]

@@ -33,6 +33,14 @@
 //! transition (see [`StaReport::settle_bound_with_margin`]) — in practice
 //! nanometres of slack against picoseconds of path delay.
 //!
+//! Sequential circuits are **register-segmented**: a register's output is a
+//! level source (arrival zero, slew bounded by its worst clock-to-Q arc)
+//! and arrivals at its D/EN/CK pins end the segment — nothing propagates
+//! through the register within a cycle.  The per-net bounds therefore cover
+//! each register-bounded combinational cone, which is exactly the
+//! single-cycle settling question, and register feedback loops analyse
+//! cleanly instead of deadlocking the propagation.
+//!
 //! The corpus-wide differential test (`tests/sta_differential.rs` at the
 //! workspace root) holds this invariant on every corpus entry: simulated
 //! last-settle under the Conventional model never exceeds the STA bound.
@@ -183,7 +191,11 @@ pub fn analyze(circuit: &CompiledCircuit<'_>, input_slew: TimeDelta) -> StaRepor
     let mut slew = vec![TimeDelta::ZERO; net_count];
     let mut predecessor: Vec<Option<GraphEdge>> = vec![None; net_count];
 
-    // A gate finalises its output net once every input net is bounded.
+    // A combinational gate finalises its output net once every input net is
+    // bounded.  Sequential gates never finalise through their inputs:
+    // their outputs are level sources (clock-to-Q launches a fresh ramp
+    // each cycle), which is what makes register feedback analysable — the
+    // pass bounds each register-bounded combinational segment.
     let mut pending_inputs: Vec<u32> = netlist
         .gates()
         .iter()
@@ -194,12 +206,39 @@ pub fn analyze(circuit: &CompiledCircuit<'_>, input_slew: TimeDelta) -> StaRepor
     for &input in netlist.primary_inputs() {
         slew[input.index()] = input_slew;
     }
+    for (index, gate) in netlist.gates().iter().enumerate() {
+        if !gate.kind().is_sequential() {
+            continue;
+        }
+        // The register's output ramp duration is bounded by the worst arc
+        // over its pins (clock, data, reset all launch at most one Q ramp).
+        let gate_id = halotis_core::GateId::from_usize(index);
+        let load = circuit.gate_load(gate_id);
+        let mut tau_bound = TimeDelta::ZERO;
+        for pin in 0..gate.inputs().len() {
+            let timing = circuit.pin_timing(PinRef::new(gate_id, pin as u32));
+            for direction in [Edge::Rise, Edge::Fall] {
+                let arc = timing.for_edge(direction);
+                let at_zero = nominal::timing(arc, load, TimeDelta::ZERO);
+                let at_bound = nominal::timing(arc, load, input_slew);
+                tau_bound = tau_bound.max(at_zero.output_slew.max(at_bound.output_slew));
+            }
+        }
+        slew[gate.output().index()] = tau_bound;
+        worklist.push(gate.output());
+    }
 
     let mut finalized = worklist.len();
     while let Some(net) = worklist.pop() {
         let net_arrival = arrival[net.index()];
         let net_slew = slew[net.index()];
         for &edge in csr.outgoing(net) {
+            let gate = edge.gate.index();
+            if netlist.gates()[gate].kind().is_sequential() {
+                // Arrival at a register's D/EN/CK pin does not propagate to
+                // Q within the cycle; the segment ends here.
+                continue;
+            }
             let (increment, tau) = edge_increment(circuit, edge, net_slew);
             let candidate = net_arrival + increment;
             let target = edge.target.index();
@@ -208,7 +247,6 @@ pub fn analyze(circuit: &CompiledCircuit<'_>, input_slew: TimeDelta) -> StaRepor
                 predecessor[target] = Some(edge);
             }
             slew[target] = slew[target].max(tau);
-            let gate = edge.gate.index();
             pending_inputs[gate] -= 1;
             if pending_inputs[gate] == 0 {
                 worklist.push(netlist.gates()[gate].output());
@@ -218,7 +256,8 @@ pub fn analyze(circuit: &CompiledCircuit<'_>, input_slew: TimeDelta) -> StaRepor
     }
     debug_assert_eq!(
         finalized, net_count,
-        "netlist validation guarantees an acyclic graph"
+        "compilation rejects combinational loops, so every register-bounded \
+         segment is acyclic"
     );
 
     let worst = (0..net_count)
@@ -279,6 +318,32 @@ mod tests {
         let tight = analyze(&circuit, TimeDelta::ZERO);
         let loose = analyze(&circuit, library.default_input_slew() * 4);
         assert!(loose.worst_arrival() >= tight.worst_arrival());
+    }
+
+    #[test]
+    fn register_feedback_is_segmented_not_rejected() {
+        use halotis_netlist::{CellKind, NetlistBuilder};
+
+        let mut builder = NetlistBuilder::new("toggle");
+        let ck = builder.add_input("ck");
+        let q = builder.add_net("q");
+        let nq = builder.add_net("nq");
+        builder.add_gate(CellKind::Inv, "g_inv", &[q], nq).unwrap();
+        builder
+            .add_gate(CellKind::Dff, "g_ff", &[nq, ck], q)
+            .unwrap();
+        builder.mark_output(q);
+        let netlist = builder.build().unwrap();
+        let library = technology::cmos06();
+        let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+        let report = analyze(&circuit, library.default_input_slew());
+        let nq = netlist.net_id("nq").unwrap();
+        let q = netlist.net_id("q").unwrap();
+        // Q is a segment source (arrival zero, non-trivial launch slew); the
+        // inverter behind it is a bounded one-gate segment.
+        assert_eq!(report.arrival(q), TimeDelta::ZERO);
+        assert!(report.slew(q) > TimeDelta::ZERO);
+        assert!(report.arrival(nq) > TimeDelta::ZERO);
     }
 
     /// The soundness contract on a small circuit: simulated settle under

@@ -22,6 +22,11 @@ pub struct SimulationStats {
     /// Output transitions whose delay collapsed to zero (fully degraded
     /// runt excitations).
     pub collapsed_transitions: usize,
+    /// The largest number of live events the queue held at any instant — the
+    /// event-budget telemetry of the soak scenarios.  Aggregation takes the
+    /// maximum across runs rather than a sum: a fleet-wide peak, not a
+    /// count.
+    pub queue_high_water: usize,
 }
 
 impl SimulationStats {
@@ -59,6 +64,7 @@ impl SimulationStats {
         self.output_transitions += other.output_transitions;
         self.degraded_transitions += other.degraded_transitions;
         self.collapsed_transitions += other.collapsed_transitions;
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
     }
 
     /// Fraction of processed events that produced an output transition.
@@ -74,10 +80,11 @@ impl fmt::Display for SimulationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "events: {} scheduled, {} filtered, {} processed; transitions: {} ({} degraded, {} collapsed)",
+            "events: {} scheduled, {} filtered, {} processed (queue peak {}); transitions: {} ({} degraded, {} collapsed)",
             self.events_scheduled,
             self.events_filtered,
             self.events_processed,
+            self.queue_high_water,
             self.output_transitions,
             self.degraded_transitions,
             self.collapsed_transitions
@@ -125,7 +132,17 @@ mod tests {
             output_transitions: scheduled / 2,
             degraded_transitions: 0,
             collapsed_transitions: 0,
+            queue_high_water: scheduled.min(8),
         }
+    }
+
+    #[test]
+    fn merge_takes_the_maximum_high_water() {
+        let mut totals = SimulationStats::default();
+        totals.merge(&stats(100, 5));
+        totals.merge(&stats(3, 0));
+        assert_eq!(totals.queue_high_water, 8);
+        assert_eq!(totals.events_scheduled, 103);
     }
 
     #[test]

@@ -65,11 +65,14 @@ def self_test() -> int:
             {"name": "e", "wall_time_ns": None,
              "scenarios": [
                  {"label": "e/s/ddm", "model": "DDM",
-                  "glitch_pulses": 3, "wall_time_ns": None},
+                  "glitch_pulses": 3, "queue_high_water": 17,
+                  "events_per_cycle": 14.25, "wall_time_ns": None},
                  {"label": "e/s/cdm", "model": "CDM",
-                  "glitch_pulses": 5, "wall_time_ns": None},
+                  "glitch_pulses": 5, "queue_high_water": 17,
+                  "events_per_cycle": None, "wall_time_ns": None},
                  {"label": "e/s/mix", "model": "MIX",
-                  "glitch_pulses": 4, "wall_time_ns": None},
+                  "glitch_pulses": 4, "queue_high_water": 17,
+                  "events_per_cycle": 14.25, "wall_time_ns": None},
              ]}
         ],
     }
@@ -104,8 +107,21 @@ def self_test() -> int:
     del dropped["entries"][0]["scenarios"][2]
     assert diff(golden, dropped, "golden", "dropped") != []
 
-    print("corpus_diff self-test passed: timing masked; counts, energy and "
-          "all three model columns bit-exact")
+    # The sequential telemetry is part of the golden contract, not timing:
+    # a queue high-water drift, an events-per-cycle drift, or a clocked
+    # scenario losing its events-per-cycle number must all fail.
+    queue_drift = copy.deepcopy(golden)
+    queue_drift["entries"][0]["scenarios"][0]["queue_high_water"] = 18
+    assert diff(golden, queue_drift, "golden", "queue_drift") != []
+    rate_drift = copy.deepcopy(golden)
+    rate_drift["entries"][0]["scenarios"][0]["events_per_cycle"] = 14.5
+    assert diff(golden, rate_drift, "golden", "rate_drift") != []
+    unclocked = copy.deepcopy(golden)
+    unclocked["entries"][0]["scenarios"][2]["events_per_cycle"] = None
+    assert diff(golden, unclocked, "golden", "unclocked") != []
+
+    print("corpus_diff self-test passed: timing masked; counts, energy, "
+          "all three model columns and sequential telemetry bit-exact")
     return 0
 
 

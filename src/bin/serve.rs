@@ -3,7 +3,7 @@
 //! ```text
 //! halotis-serve [--tcp ADDR] [--uds PATH] [--workers N] [--queue-depth N]
 //!               [--cache N] [--max-frame BYTES] [--max-inflight N]
-//!               [--read-timeout-ms MS]
+//!               [--read-timeout-ms MS] [--preload]
 //! ```
 //!
 //! * `--tcp ADDR` — listen on a TCP address (e.g. `127.0.0.1:7816`; port 0
@@ -18,7 +18,9 @@
 //! * `--max-inflight N` — per-connection simulate quota; overflow answers
 //!   `quota` (default 8),
 //! * `--read-timeout-ms MS` — per-connection read timeout, the slow-loris
-//!   bound (default 10000).
+//!   bound (default 10000),
+//! * `--preload` — replay the standard corpus into the compiled-circuit
+//!   cache before accepting connections (raises `--cache` to fit it).
 //!
 //! At least one of `--tcp` / `--uds` is required.  The daemon runs until a
 //! client sends `shutdown`, then drains: in-flight simulations finish,
@@ -34,7 +36,7 @@ use halotis::serve::{self, ServerConfig};
 
 const USAGE: &str = "usage: halotis-serve [--tcp ADDR] [--uds PATH] [--workers N] \
                      [--queue-depth N] [--cache N] [--max-frame BYTES] \
-                     [--max-inflight N] [--read-timeout-ms MS]";
+                     [--max-inflight N] [--read-timeout-ms MS] [--preload]";
 
 fn parse_options(args: &[String]) -> Result<ServerConfig, String> {
     let mut config = ServerConfig::default();
@@ -71,6 +73,7 @@ fn parse_options(args: &[String]) -> Result<ServerConfig, String> {
                         .map_err(|_| "--read-timeout-ms needs an integer".to_string())?,
                 )
             }
+            "--preload" => config.preload = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option: {other}")),
         }

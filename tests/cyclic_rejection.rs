@@ -1,0 +1,101 @@
+//! Cyclic netlists must be *rejected*, never panicked on.
+//!
+//! Before sequential support the levelizer asserted acyclicity with
+//! `debug_assert!`/`panic!` paths that release builds either skipped
+//! (miscompiling the schedule) or hit (killing the process).  These
+//! regressions pin the contract at every entry point that accepts a
+//! circuit from outside: the `.net` parser, the structural-Verilog
+//! parser, the builder and the in-place edit API all return
+//! [`NetlistError::CombinationalLoop`] — in release mode too, which is
+//! how this suite runs under CI's `--release` pass.
+//!
+//! Register feedback is the legal counterpart: the same two-gate ring
+//! broken by a DFF levelizes fine, because sequential outputs are level
+//! sources.
+
+use halotis::netlist::parser::{self, ParseError};
+use halotis::netlist::verilog::{parse_verilog, VerilogError};
+use halotis::netlist::{levelize, NetlistError};
+
+/// A two-inverter ring in `.net` syntax: every net is driven, the gate
+/// graph is cyclic.
+const RING_NET: &str = "circuit ring\n\
+     input en\n\
+     wire a b\n\
+     output b\n\
+     gate nand2 u1 en b -> a\n\
+     gate inv u2 a -> b\n";
+
+/// The same ring with a DFF in the loop: legal sequential feedback.
+const REGISTER_RING_NET: &str = "circuit toggler\n\
+     input en ck\n\
+     wire a b\n\
+     output b\n\
+     gate nand2 u1 en b -> a\n\
+     gate dff u2 a ck -> b\n";
+
+#[test]
+fn net_parser_reports_the_ring_as_a_combinational_loop() {
+    let err = parser::parse(RING_NET).unwrap_err();
+    match err {
+        ParseError::Netlist(NetlistError::CombinationalLoop { gate }) => {
+            assert!(
+                gate == "u1" || gate == "u2",
+                "culprit names a gate on the loop, got {gate}"
+            );
+        }
+        other => panic!("expected a combinational-loop error, got {other:?}"),
+    }
+}
+
+#[test]
+fn verilog_parser_reports_the_ring_as_a_combinational_loop() {
+    let source = "module ring(en, b);\n\
+         input en;\n\
+         output b;\n\
+         wire a;\n\
+         nand u1(a, en, b);\n\
+         not u2(b, a);\n\
+         endmodule\n";
+    let err = parse_verilog(source).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerilogError::Netlist(NetlistError::CombinationalLoop { .. })
+        ),
+        "expected a combinational-loop error, got {err:?}"
+    );
+}
+
+#[test]
+fn breaking_the_ring_with_a_register_makes_it_legal() {
+    let netlist = parser::parse(REGISTER_RING_NET).expect("register feedback is not a loop");
+    let levels = levelize::levelize(&netlist).expect("levelizes with the register as a source");
+    // The DFF is a source and the NAND reads only sources (a primary input
+    // and the register output), so the whole ring collapses to one level.
+    assert_eq!(levels.depth(), 1);
+}
+
+#[test]
+fn edits_that_close_a_loop_are_refused_and_leave_the_netlist_reusable() {
+    // Start from the legal register ring and try to replace the DFF's
+    // breaking role: rewiring the NAND's feedback input from the register
+    // output to its own output closes a one-gate loop.
+    let mut netlist = parser::parse(REGISTER_RING_NET).unwrap();
+    let u1 = netlist
+        .gates()
+        .iter()
+        .find(|gate| gate.name() == "u1")
+        .unwrap()
+        .id();
+    let a = netlist.net_id("a").unwrap();
+    let mut edit = netlist.begin_edit();
+    let err = edit
+        .rewire_input(u1, 1, a)
+        .expect_err("self-loop through u1 must be refused");
+    assert!(matches!(err, NetlistError::CombinationalLoop { .. }));
+    edit.finish();
+    // The failed edit must not have corrupted the netlist.
+    let levels = levelize::levelize(&netlist).expect("netlist still levelizes after refusal");
+    assert_eq!(levels.depth(), 1);
+}

@@ -157,7 +157,7 @@ fn assert_structure(netlist: &Netlist, max_fanout: usize) {
 /// seeded random generator may leave an input unpicked; every other family
 /// must consume all of its inputs).
 fn assert_structure_with(netlist: &Netlist, max_fanout: usize, allow_unused_inputs: bool) {
-    let levels = levelize::levelize(netlist);
+    let levels = levelize::levelize(netlist).expect("generated circuits are acyclic");
     assert!(levels.depth() >= 1, "{}: no logic", netlist.name());
     assert_eq!(
         levels.topological_order().count(),

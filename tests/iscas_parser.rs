@@ -44,7 +44,7 @@ fn assert_structure(name: &str, netlist: &Netlist, golden: &StructureGolden) {
         "{name} outputs"
     );
     assert_eq!(
-        levelize::levelize(netlist).depth(),
+        levelize::levelize(netlist).unwrap().depth(),
         golden.depth,
         "{name} levelization depth"
     );
@@ -136,6 +136,7 @@ fn stats(
     transitions: usize,
     degraded: usize,
     collapsed: usize,
+    peak: usize,
 ) -> SimulationStats {
     SimulationStats {
         events_scheduled: scheduled,
@@ -144,14 +145,15 @@ fn stats(
         output_transitions: transitions,
         degraded_transitions: degraded,
         collapsed_transitions: collapsed,
+        queue_high_water: peak,
     }
 }
 
 #[test]
 fn c432_simulation_fingerprints_are_pinned() {
     let [ddm, cdm, mix] = fingerprint_stats(&iscas::c432());
-    assert_eq!(ddm, stats(436, 12, 424, 345, 107, 9), "c432/ddm");
-    assert_eq!(cdm, stats(634, 12, 622, 445, 0, 0), "c432/cdm");
+    assert_eq!(ddm, stats(436, 12, 424, 345, 107, 9, 88), "c432/ddm");
+    assert_eq!(cdm, stats(634, 12, 622, 445, 0, 0, 88), "c432/cdm");
     // c432's cell mix contains none of the overridden classes, so the MIX
     // column must collapse onto pure degradation — itself a useful pin on
     // the composite dispatch.
@@ -161,10 +163,10 @@ fn c432_simulation_fingerprints_are_pinned() {
 #[test]
 fn c880_simulation_fingerprints_are_pinned() {
     let [ddm, cdm, mix] = fingerprint_stats(&iscas::c880());
-    assert_eq!(ddm, stats(1918, 157, 1761, 1248, 781, 74), "c880/ddm");
-    assert_eq!(cdm, stats(2631, 74, 2557, 1728, 0, 0), "c880/cdm");
+    assert_eq!(ddm, stats(1918, 157, 1761, 1248, 781, 74, 333), "c880/ddm");
+    assert_eq!(cdm, stats(2631, 74, 2557, 1728, 0, 0, 333), "c880/cdm");
     // c880's XOR-heavy datapaths make all three columns distinct.
-    assert_eq!(mix, stats(2185, 110, 2075, 1408, 464, 41), "c880/mix");
+    assert_eq!(mix, stats(2185, 110, 2075, 1408, 464, 41, 333), "c880/mix");
 }
 
 #[test]

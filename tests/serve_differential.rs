@@ -139,6 +139,7 @@ fn daemon_matches_in_process_run_observed_bit_for_bit() {
                     ("output_transitions", stats.output_transitions),
                     ("degraded_transitions", stats.degraded_transitions),
                     ("collapsed_transitions", stats.collapsed_transitions),
+                    ("queue_high_water", stats.queue_high_water),
                 ] {
                     assert_eq!(field(row, name), want as u64, "{label}: {name}");
                 }

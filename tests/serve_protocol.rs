@@ -74,6 +74,7 @@ fn scenario_payload(response: &Response) -> Vec<(String, Vec<u64>, u64)> {
                 "output_transitions",
                 "degraded_transitions",
                 "collapsed_transitions",
+                "queue_high_water",
                 "transitions",
                 "glitch_pulses",
             ]
@@ -396,4 +397,119 @@ fn unix_domain_socket_serves_the_same_protocol() {
     handle.initiate_shutdown();
     handle.wait();
     assert!(!path.exists(), "socket file removed on clean shutdown");
+}
+
+#[test]
+fn preload_warms_the_cache_through_the_load_path() {
+    let (handle, addr) = start_daemon(ServerConfig {
+        preload: true,
+        ..test_config()
+    });
+    let mut client = connect(&addr);
+
+    // Every standard-corpus circuit was compiled before the first client
+    // connected (the capacity floor keeps the replay from self-evicting).
+    // Entries sharing a circuit (probe/soak variants) dedupe by fingerprint.
+    let corpus = halotis::corpus::standard_corpus();
+    let unique: std::collections::BTreeSet<String> = corpus
+        .iter()
+        .map(|entry| writer::to_text(&entry.netlist))
+        .collect();
+    let stats = client.call(&stats_request(1)).unwrap();
+    let cache = stats
+        .ok()
+        .and_then(|ok| ok.get("cache"))
+        .cloned()
+        .expect("cache block present");
+    assert_eq!(
+        cache.get("entries").and_then(Value::as_u64),
+        Some(unique.len() as u64)
+    );
+    assert_eq!(
+        cache.get("compiles").and_then(Value::as_u64),
+        Some(unique.len() as u64)
+    );
+
+    // A client loading a corpus circuit hits the warmed entry: the preload
+    // renders through the same writer the fingerprint hashes.
+    let load = client.call(&load_request(2, &c17_text())).unwrap();
+    let ok = load.ok().expect("load succeeds");
+    assert_eq!(ok.get("cached").and_then(Value::as_bool), Some(true));
+    drop(client);
+    stop(handle);
+}
+
+#[test]
+fn clocked_suites_simulate_sequential_circuits_over_the_wire() {
+    let (handle, addr) = start_daemon(test_config());
+    let mut client = connect(&addr);
+    let load = client
+        .call(&load_request(
+            1,
+            &writer::to_text(&halotis::netlist::iscas::s27()),
+        ))
+        .unwrap();
+    let key = load
+        .ok()
+        .and_then(|ok| ok.get("key"))
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let clocked = StimulusSuite::Clocked {
+        cycles: 16,
+        period: TimeDelta::from_ns(4.0),
+        high: TimeDelta::from_ns(2.0),
+        skew: TimeDelta::from_ps(500.0),
+        seed: 0x27,
+    };
+    let response = client
+        .call(&simulate_request(2, &key, &clocked, "ddm"))
+        .unwrap();
+    let payload = scenario_payload(&response);
+    assert_eq!(payload.len(), 1, "one clocked scenario");
+    let (label, counters, _) = &payload[0];
+    assert_eq!(label, "clk16");
+    // events_processed > 0 and the queue high-water mark is reported.
+    assert!(counters[2] > 0, "clocked run processes events");
+    assert!(counters[6] > 0, "queue high-water reported");
+
+    // A degenerate clock shape is refused before it reaches a worker.
+    let degenerate = StimulusSuite::Clocked {
+        cycles: 4,
+        period: TimeDelta::from_ns(2.0),
+        high: TimeDelta::from_ns(1.5),
+        skew: TimeDelta::from_ns(0.5),
+        seed: 1,
+    };
+    let response = client
+        .call(&simulate_request(3, &key, &degenerate, "ddm"))
+        .unwrap();
+    assert_eq!(response.error_code(), Some("bad_request"));
+    drop(client);
+    stop(handle);
+}
+
+#[test]
+fn cyclic_netlists_are_refused_with_a_structured_error() {
+    let (handle, addr) = start_daemon(test_config());
+    let mut client = connect(&addr);
+
+    // A two-inverter ring: every net is driven, but the gate graph is
+    // cyclic.  The daemon must answer netlist_error — not panic.
+    let ring = "circuit ring\ninput en\nwire a b\noutput b\n\
+                gate nand2 u1 en b -> a\ngate inv u2 a -> b\n";
+    let response = client.call(&load_request(1, ring)).unwrap();
+    assert_eq!(response.error_code(), Some("netlist_error"));
+    let message = response.error_message().unwrap_or_default();
+    assert!(
+        message.contains("combinational loop"),
+        "error names the loop: {message}"
+    );
+
+    // The connection survives and serves acyclic work afterwards.
+    let load = client.call(&load_request(2, &c17_text())).unwrap();
+    assert!(load.ok().is_some());
+    drop(client);
+    stop(handle);
 }

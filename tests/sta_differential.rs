@@ -6,10 +6,15 @@
 //! topological longest-path pass over the fanout CSR, the engine is an
 //! event queue over ramp crossings — so agreement here cross-checks the
 //! graph export, the arc math and the engine's scheduling rules against
-//! each other on all 22 corpus circuits.  The acceptance contract is the
+//! each other on all 24 corpus circuits.  The acceptance contract is the
 //! Conventional column (STA bounds nominal scheduling directly); the
 //! degradation and mixed columns are held too, since degradation only
 //! shortens or cancels transitions.
+//!
+//! Sequential entries exercise the register-segmented pass: register
+//! outputs are timing sources (arrival zero) and paths end at register
+//! inputs, so the bound covers exactly one clock cycle's combinational
+//! cone — which is also what the engine resolves between clock edges.
 
 use halotis::core::{NetId, Time, TimeDelta};
 use halotis::corpus::standard_corpus;
@@ -32,7 +37,7 @@ impl SimObserver for LastSettle {
 fn sta_bound_dominates_simulated_settle_on_every_corpus_entry() {
     let library = technology::cmos06();
     let corpus = standard_corpus();
-    assert!(corpus.len() >= 22, "corpus shrank to {}", corpus.len());
+    assert!(corpus.len() >= 24, "corpus shrank to {}", corpus.len());
 
     for entry in &corpus {
         let circuit = CompiledCircuit::compile(&entry.netlist, &library)
@@ -94,12 +99,16 @@ fn critical_paths_are_well_formed_on_the_corpus() {
         let report = sta::analyze(&circuit, library.default_input_slew());
         let path = report.critical_path();
         assert!(!path.is_empty(), "{}: empty critical path", entry.name);
+        let start = path.first().unwrap().source;
+        let starts_at_register = match entry.netlist.net(start).driver() {
+            halotis::netlist::netlist::NetDriver::Gate(gate) => {
+                entry.netlist.gate(gate).kind().is_sequential()
+            }
+            halotis::netlist::netlist::NetDriver::PrimaryInput => true,
+        };
         assert!(
-            entry
-                .netlist
-                .primary_inputs()
-                .contains(&path.first().unwrap().source),
-            "{}: critical path does not start at a primary input",
+            entry.netlist.primary_inputs().contains(&start) || starts_at_register,
+            "{}: critical path does not start at a timing source",
             entry.name
         );
         assert_eq!(
@@ -119,6 +128,55 @@ fn critical_paths_are_well_formed_on_the_corpus() {
             path.len() <= circuit.levels().depth(),
             "{}: path longer than circuit depth",
             entry.name
+        );
+    }
+}
+
+/// Register segmentation on the sequential corpus entry: every register
+/// output is a timing source with zero arrival, no combinational arrival
+/// exceeds the segment bound, and the clock net never accumulates
+/// combinational delay.
+#[test]
+fn s27_is_register_segmented() {
+    let library = technology::cmos06();
+    let netlist = halotis::netlist::iscas::s27();
+    let circuit = CompiledCircuit::compile(&netlist, &library).unwrap();
+    let report = sta::analyze(&circuit, library.default_input_slew());
+
+    let mut register_outputs = 0;
+    for gate in netlist.gates() {
+        if gate.kind().is_sequential() {
+            assert_eq!(
+                report.arrival(gate.output()),
+                TimeDelta::ZERO,
+                "register output {} must be a timing source",
+                netlist.net(gate.output()).name()
+            );
+            register_outputs += 1;
+        }
+    }
+    assert_eq!(register_outputs, 3, "s27 has three DFFs");
+
+    // The clock is a pure source too: fanning out only to CK pins, it
+    // accumulates no combinational arrival.
+    let clk = netlist.net_id("clk").unwrap();
+    assert_eq!(report.arrival(clk), TimeDelta::ZERO);
+
+    // The worst segment is a genuine combinational path and it stays a
+    // (per-cycle) bound: the deepest cone of s27 is a handful of arcs.
+    assert!(report.worst_arrival() > TimeDelta::ZERO);
+    let path = report.critical_path();
+    assert!(!path.is_empty());
+    for edge in &path {
+        let target_gate = match netlist.net(edge.target).driver() {
+            halotis::netlist::netlist::NetDriver::Gate(gate) => gate,
+            halotis::netlist::netlist::NetDriver::PrimaryInput => {
+                panic!("path edge targets a primary input")
+            }
+        };
+        assert!(
+            !netlist.gate(target_gate).kind().is_sequential(),
+            "segmented paths never traverse a register"
         );
     }
 }

@@ -112,6 +112,7 @@ fn stats(
     transitions: usize,
     degraded: usize,
     collapsed: usize,
+    peak: usize,
 ) -> SimulationStats {
     SimulationStats {
         events_scheduled: scheduled,
@@ -120,6 +121,7 @@ fn stats(
         output_transitions: transitions,
         degraded_transitions: degraded,
         collapsed_transitions: collapsed,
+        queue_high_water: peak,
     }
 }
 
@@ -133,16 +135,16 @@ fn cross_format_transit_preserves_simulation_fingerprints() {
         (
             "c432",
             iscas::C432_TEXT,
-            stats(436, 12, 424, 345, 107, 9),
-            stats(634, 12, 622, 445, 0, 0),
+            stats(436, 12, 424, 345, 107, 9, 88),
+            stats(634, 12, 622, 445, 0, 0, 88),
             None,
         ),
         (
             "c880",
             iscas::C880_TEXT,
-            stats(1918, 157, 1761, 1248, 781, 74),
-            stats(2631, 74, 2557, 1728, 0, 0),
-            Some(stats(2185, 110, 2075, 1408, 464, 41)),
+            stats(1918, 157, 1761, 1248, 781, 74, 333),
+            stats(2631, 74, 2557, 1728, 0, 0, 333),
+            Some(stats(2185, 110, 2075, 1408, 464, 41, 333)),
         ),
     ] {
         let native = parser::parse(net_text).expect("committed netlist parses");
